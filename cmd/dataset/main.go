@@ -1,0 +1,92 @@
+// Command dataset records a §3-style measurement campaign over the
+// simulated prototype and writes it as a JSON Lines dataset — the
+// counterpart of the measurement dataset the paper's authors published —
+// optionally alongside a COCO-format export of one detection batch.
+//
+// Usage:
+//
+//	dataset -out measurements.jsonl [-grid N] [-reps N] [-snr DB]
+//	        [-users N] [-coco DIR] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ran"
+	"repro/internal/testbed"
+	"repro/internal/vision"
+)
+
+func main() {
+	out := flag.String("out", "measurements.jsonl", "output dataset path")
+	gridLevels := flag.Int("grid", 5, "control-grid levels per dimension")
+	reps := flag.Int("reps", 2, "repetitions per control")
+	snr := flag.Float64("snr", 35, "first user's SNR in dB")
+	users := flag.Int("users", 1, "number of users")
+	coco := flag.String("coco", "", "directory for a COCO export of one detection batch (optional)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	us := make([]ran.User, *users)
+	for i := range us {
+		us[i] = ran.User{SNRdB: *snr - 2*float64(i)}
+	}
+	tb, err := testbed.New(testbed.DefaultConfig(), us, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	grid := core.GridSpec{Levels: *gridLevels, MinResolution: 0.1, MinAirtime: 0.1}
+	fmt.Printf("collecting %d controls x %d repetitions...\n", grid.Size(), *reps)
+	ds, err := dataset.Collect(tb, grid, *reps)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := ds.Write(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d records to %s\n", len(ds.Records), *out)
+
+	if *coco != "" {
+		if err := os.MkdirAll(*coco, 0o755); err != nil {
+			fatal(err)
+		}
+		cfg := tb.Config()
+		rng := rand.New(rand.NewSource(*seed + 99))
+		batch, err := vision.GenerateBatch(1.0, cfg.ImagesPerMeasurement, cfg.Scene, cfg.Detector, rng)
+		if err != nil {
+			fatal(err)
+		}
+		cocoDS, dets := vision.ExportCOCO(batch)
+		dsFile, err := os.Create(filepath.Join(*coco, "annotations.json"))
+		if err != nil {
+			fatal(err)
+		}
+		defer dsFile.Close()
+		detFile, err := os.Create(filepath.Join(*coco, "detections.json"))
+		if err != nil {
+			fatal(err)
+		}
+		defer detFile.Close()
+		if err := vision.WriteCOCO(dsFile, detFile, cocoDS, dets); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote COCO batch (%d images, mAP %.3f) to %s\n",
+			len(batch), vision.MeanAveragePrecision(batch), *coco)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command edgebol-sim runs the EdgeBOL closed loop against the simulated
+// prototype and reports per-period decisions and KPIs plus a convergence
+// summary against the exhaustive-search oracle.
+//
+// Usage:
+//
+//	edgebol-sim [-periods N] [-users N] [-snr DB] [-delta1 F] [-delta2 F]
+//	            [-dmax S] [-rmin F] [-grid LEVELS] [-seed N] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bandit"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/ran"
+	"repro/internal/testbed"
+)
+
+func main() {
+	periods := flag.Int("periods", 120, "control periods to run")
+	users := flag.Int("users", 1, "number of users (heterogeneous SNRs beyond the first)")
+	snr := flag.Float64("snr", 35, "first user's mean uplink SNR in dB")
+	delta1 := flag.Float64("delta1", 1, "server energy price δ1 (mu/W)")
+	delta2 := flag.Float64("delta2", 1, "vBS energy price δ2 (mu/W)")
+	dmax := flag.Float64("dmax", 0.4, "max service delay in seconds")
+	rmin := flag.Float64("rmin", 0.5, "min mAP")
+	gridLevels := flag.Int("grid", 7, "control-grid levels per dimension")
+	seed := flag.Int64("seed", 1, "random seed")
+	quiet := flag.Bool("quiet", false, "suppress per-period lines")
+	flag.Parse()
+
+	us := make([]ran.User, *users)
+	for i := range us {
+		us[i] = ran.User{SNRdB: *snr - 2*float64(i)}
+	}
+	tb, err := testbed.New(testbed.DefaultConfig(), us, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	w := core.CostWeights{Delta1: *delta1, Delta2: *delta2}
+	cons := core.Constraints{MaxDelay: *dmax, MinMAP: *rmin}
+	grid := core.GridSpec{Levels: *gridLevels, MinResolution: 0.1, MinAirtime: 0.1}
+	agent, err := core.NewAgent(core.Options{Grid: grid, Weights: w, Constraints: cons})
+	if err != nil {
+		fatal(err)
+	}
+
+	var costs []float64
+	violations := 0
+	for t := 0; t < *periods; t++ {
+		x, k, info, err := agent.Step(tb)
+		if err != nil {
+			fatal(err)
+		}
+		cost := w.Cost(k)
+		costs = append(costs, cost)
+		viol := ""
+		if !cons.Satisfied(k) {
+			viol = " VIOLATION"
+			if t >= *periods/3 {
+				violations++
+			}
+		}
+		if !*quiet {
+			fmt.Printf("t=%3d  x=[res %.2f air %.2f gpu %.2f mcs %.2f]  d=%.3fs mAP=%.3f  ps=%.1fW pb=%.2fW  u=%.1f  |S|=%d%s\n",
+				t, x.Resolution, x.Airtime, x.GPUSpeed, x.MCS,
+				k.Delay, k.MAP, k.ServerPower, k.BSPower, cost, info.SafeSetSize, viol)
+		}
+	}
+
+	tail := costs
+	if len(tail) > 25 {
+		tail = tail[len(tail)-25:]
+	}
+	fmt.Printf("\nconverged cost (median of last %d): %.1f mu\n", len(tail), experiment.Median(tail))
+	fmt.Printf("constraint violations after burn-in: %d/%d periods\n", violations, *periods-*periods/3)
+
+	xo, oc, err := bandit.Oracle(tb.Expected, grid, w, cons)
+	if err != nil {
+		fmt.Printf("oracle: %v\n", err)
+		return
+	}
+	fmt.Printf("oracle (exhaustive search): cost %.1f mu at [res %.2f air %.2f gpu %.2f mcs %.2f]\n",
+		oc, xo.Resolution, xo.Airtime, xo.GPUSpeed, xo.MCS)
+	fmt.Printf("optimality gap: %.1f%%\n", 100*(experiment.Median(tail)-oc)/oc)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,144 @@
+// Command figures regenerates every figure of the paper's evaluation
+// against the simulated prototype and writes the results as CSV tables.
+//
+// Usage:
+//
+//	figures [-fig all|fig1..fig6|fig9..fig14] [-scale quick|paper] [-seed N] [-out DIR]
+//
+// Each table holds exactly the series the corresponding paper figure
+// plots; EXPERIMENTS.md records the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (fig1..fig6, fig9..fig14, or all)")
+	scaleName := flag.String("scale", "quick", "experiment scale: quick or paper")
+	seed := flag.Int64("seed", 1, "base random seed")
+	out := flag.String("out", "", "directory for CSV output (omit to print only)")
+	maxRows := flag.Int("rows", 12, "max rows of each table to print (0 = all)")
+	verify := flag.Bool("verify", false, "check the paper's qualitative claims against each regenerated table")
+	flag.Parse()
+
+	var scale experiment.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiment.QuickScale()
+	case "paper":
+		scale = experiment.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	type gen func() ([]*experiment.Table, error)
+	one := func(f func(experiment.Scale, int64) (*experiment.Table, error)) gen {
+		return func() ([]*experiment.Table, error) {
+			t, err := f(scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiment.Table{t}, nil
+		}
+	}
+	gens := map[string]gen{
+		"fig1": one(experiment.Fig1),
+		"fig2": one(experiment.Fig2),
+		"fig3": one(experiment.Fig3),
+		"fig4": one(experiment.Fig4),
+		"fig5": one(experiment.Fig5),
+		"fig6": one(experiment.Fig6),
+		"fig9": one(experiment.Fig9),
+		"fig10": func() ([]*experiment.Table, error) {
+			f10, f11, err := experiment.Fig10And11(scale, *seed)
+			return []*experiment.Table{f10, f11}, err
+		},
+		"fig12": one(experiment.Fig12),
+		"fig13": one(experiment.Fig13),
+		"fig14": one(experiment.Fig14),
+	}
+	order := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig9", "fig10", "fig12", "fig13", "fig14"}
+
+	var selected []string
+	switch *fig {
+	case "all":
+		selected = order
+	case "fig11": // generated together with fig10
+		selected = []string{"fig10"}
+	default:
+		if _, ok := gens[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+		selected = []string{*fig}
+	}
+
+	verifiers := map[string]func(*experiment.Table) ([]experiment.Check, error){
+		"fig1":  experiment.VerifyFig1,
+		"fig2":  experiment.VerifyFig2,
+		"fig3":  experiment.VerifyFig3,
+		"fig4":  experiment.VerifyFig4,
+		"fig5":  experiment.VerifyFig5,
+		"fig6":  experiment.VerifyFig6,
+		"fig9":  func(t *experiment.Table) ([]experiment.Check, error) { return experiment.VerifyFig9(t, scale) },
+		"fig10": experiment.VerifyFig10,
+		"fig12": experiment.VerifyFig12,
+		"fig13": experiment.VerifyFig13,
+		"fig14": experiment.VerifyFig14,
+	}
+
+	failed := false
+	for _, name := range selected {
+		start := time.Now()
+		tables, err := gens[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Print(t.ASCII(*maxRows))
+			fmt.Printf("(%d rows, %s)\n\n", len(t.Rows), time.Since(start).Round(time.Millisecond))
+			if *out != "" {
+				if err := os.MkdirAll(*out, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*out, t.ID+".csv")
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n\n", path)
+			}
+			if *verify {
+				if vf, ok := verifiers[t.ID]; ok {
+					checks, err := vf(t)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "%s verify: %v\n", t.ID, err)
+						os.Exit(1)
+					}
+					for _, c := range checks {
+						status := "PASS"
+						if !c.OK {
+							status = "FAIL"
+							failed = true
+						}
+						fmt.Printf("  [%s] %s: %s (%s)\n", status, c.Figure, c.Claim, c.Detail)
+					}
+					fmt.Println()
+				}
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,89 @@
+// Command sweep measures the simulated prototype at a single operating
+// point (or a one-dimensional sweep of one policy), printing the KPIs —
+// the tool behind the §3-style measurement campaign.
+//
+// Usage:
+//
+//	sweep [-res F] [-air F] [-gpu F] [-mcs F] [-snr DB] [-users N]
+//	      [-load F] [-sweep res|air|gpu|mcs] [-points N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ran"
+	"repro/internal/testbed"
+)
+
+func main() {
+	res := flag.Float64("res", 1, "image resolution policy (0,1]")
+	air := flag.Float64("air", 1, "airtime policy (0,1]")
+	gpu := flag.Float64("gpu", 1, "GPU speed policy [0,1]")
+	mcs := flag.Float64("mcs", 1, "max-MCS policy [0,1]")
+	snr := flag.Float64("snr", 35, "uplink SNR in dB")
+	users := flag.Int("users", 1, "number of users")
+	load := flag.Float64("load", 1, "background load factor (>= 1)")
+	sweepDim := flag.String("sweep", "", "sweep one dimension: res, air, gpu, or mcs")
+	points := flag.Int("points", 9, "sweep points")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := testbed.DefaultConfig()
+	cfg.LoadFactor = *load
+	us := make([]ran.User, *users)
+	for i := range us {
+		us[i] = ran.User{SNRdB: *snr - 2*float64(i)}
+	}
+	tb, err := testbed.New(cfg, us, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := core.Control{Resolution: *res, Airtime: *air, GPUSpeed: *gpu, MCS: *mcs}
+	measure := func(x core.Control) {
+		k, err := tb.Measure(x)
+		if err != nil {
+			fatal(err)
+		}
+		e, err := tb.Expected(x)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("res=%.2f air=%.2f gpu=%.2f mcs=%.2f | d=%.3fs (exp %.3f) gpu_d=%.3fs mAP=%.3f (exp %.3f) ps=%.1fW pb=%.2fW\n",
+			x.Resolution, x.Airtime, x.GPUSpeed, x.MCS,
+			k.Delay, e.Delay, k.GPUDelay, k.MAP, e.MAP, k.ServerPower, k.BSPower)
+	}
+
+	if *sweepDim == "" {
+		measure(base)
+		return
+	}
+	if *points < 2 {
+		fatal(fmt.Errorf("need at least 2 sweep points"))
+	}
+	for i := 0; i < *points; i++ {
+		frac := float64(i) / float64(*points-1)
+		x := base
+		switch *sweepDim {
+		case "res":
+			x.Resolution = 0.1 + 0.9*frac
+		case "air":
+			x.Airtime = 0.1 + 0.9*frac
+		case "gpu":
+			x.GPUSpeed = frac
+		case "mcs":
+			x.MCS = frac
+		default:
+			fatal(fmt.Errorf("unknown sweep dimension %q", *sweepDim))
+		}
+		measure(x)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,174 @@
+// Package edgebol is the public API of this reproduction of "EdgeBOL:
+// Automating Energy-savings for Mobile Edge AI" (Ayala-Romero,
+// Garcia-Saavedra, Costa-Perez, Iosifidis — CoNEXT 2021).
+//
+// EdgeBOL is a contextual safe Bayesian online-learning controller that
+// jointly configures a virtualized base station (airtime and max-MCS radio
+// policies) and a GPU edge AI service (image resolution and GPU speed) to
+// minimize energy cost under service-level delay and accuracy constraints.
+//
+// The package re-exports the library's building blocks:
+//
+//   - the learning agent (Agent, Options, Algorithm 1 of the paper),
+//   - the problem vocabulary (Context, Control, KPIs, Constraints,
+//     CostWeights),
+//   - the simulated prototype (Testbed) standing in for the paper's
+//     srsRAN + USRP + RTX 2080 Ti testbed,
+//   - the O-RAN control plane (Deploy) for driving the loop over real
+//     loopback TCP interfaces,
+//   - the benchmark controllers (DDPG, Oracle) of the paper's evaluation,
+//   - and the experiment harness that regenerates every figure.
+//
+// Quickstart:
+//
+//	tb, _ := edgebol.NewTestbed(edgebol.DefaultTestbedConfig(),
+//		[]edgebol.User{{SNRdB: 35}}, 1)
+//	agent, _ := edgebol.NewAgent(edgebol.Options{
+//		Grid:        edgebol.DefaultGridSpec(),
+//		Weights:     edgebol.CostWeights{Delta1: 1, Delta2: 1},
+//		Constraints: edgebol.Constraints{MaxDelay: 0.4, MinMAP: 0.5},
+//	})
+//	for t := 0; t < 150; t++ {
+//		x, kpis, info, err := agent.Step(tb)
+//		...
+//	}
+//
+// See examples/ for complete programs and DESIGN.md for the system map.
+package edgebol
+
+import (
+	"repro/internal/bandit"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/oran"
+	"repro/internal/ran"
+	"repro/internal/testbed"
+)
+
+// Problem vocabulary (§4 of the paper).
+type (
+	// Context is the slice state c_t = [users, mean CQI, var CQI].
+	Context = core.Context
+	// Control is the joint policy x_t = [resolution, airtime, GPU speed,
+	// max MCS].
+	Control = core.Control
+	// KPIs are the per-period performance-indicator observations.
+	KPIs = core.KPIs
+	// Constraints are the service requirements (d^max, ρ^min) of eq. 2.
+	Constraints = core.Constraints
+	// CostWeights are the energy prices (δ₁, δ₂) of eq. 1.
+	CostWeights = core.CostWeights
+	// Environment is the data plane the agent drives.
+	Environment = core.Environment
+)
+
+// Learning agent (§5, Algorithm 1).
+type (
+	// Agent is the EdgeBOL learner.
+	Agent = core.Agent
+	// Options configure an Agent.
+	Options = core.Options
+	// GridSpec defines the discrete control space X.
+	GridSpec = core.GridSpec
+	// SelectionInfo carries per-period acquisition diagnostics.
+	SelectionInfo = core.SelectionInfo
+	// Normalization maps raw KPIs into GP working units.
+	Normalization = core.Normalization
+	// Affine is one normalization transform.
+	Affine = core.Affine
+)
+
+// Acquisition rules (§5): the paper's constrained LCB and the
+// SafeOpt-style alternative it rejected.
+const (
+	AcquisitionLCB     = core.AcquisitionLCB
+	AcquisitionSafeOpt = core.AcquisitionSafeOpt
+)
+
+// Offline hyperparameter fitting (§5 "Kernel selection").
+type (
+	// PretrainOptions configure the offline fitting phase.
+	PretrainOptions = core.PretrainOptions
+	// PretrainResult holds per-objective fitted hyperparameters.
+	PretrainResult = core.PretrainResult
+)
+
+// NewAgent builds an EdgeBOL agent.
+func NewAgent(opts Options) (*Agent, error) { return core.NewAgent(opts) }
+
+// Pretrain fits per-objective GP hyperparameters on prior data collected
+// with random controls, the paper's offline phase; apply the result to
+// Options before NewAgent.
+func Pretrain(env Environment, grid GridSpec, w CostWeights, opts PretrainOptions, seed int64) (PretrainResult, error) {
+	return core.Pretrain(env, grid, w, opts, seed)
+}
+
+// DefaultGridSpec returns the paper's 11-level control grid.
+func DefaultGridSpec() GridSpec { return core.DefaultGridSpec() }
+
+// DefaultNormalization returns KPI normalization matched to the testbed.
+func DefaultNormalization(w CostWeights) Normalization { return core.DefaultNormalization(w) }
+
+// Simulated prototype (§6.1).
+type (
+	// Testbed is the simulated vBS + edge-server prototype.
+	Testbed = testbed.Testbed
+	// TestbedConfig parameterizes the simulation.
+	TestbedConfig = testbed.Config
+	// User is one UE attached to the slice.
+	User = ran.User
+)
+
+// NewTestbed builds the simulated prototype.
+func NewTestbed(cfg TestbedConfig, users []User, seed int64) (*Testbed, error) {
+	return testbed.New(cfg, users, seed)
+}
+
+// DefaultTestbedConfig returns the calibrated prototype model.
+func DefaultTestbedConfig() TestbedConfig { return testbed.DefaultConfig() }
+
+// HeterogeneousUsers returns the §6.4 multi-user population.
+func HeterogeneousUsers(n int) []User { return testbed.HeterogeneousUsers(n) }
+
+// Benchmarks (§6.3–§6.5).
+type (
+	// DDPG is the actor-critic baseline of the Fig. 14 comparison.
+	DDPG = bandit.DDPG
+	// DDPGOptions configure the baseline.
+	DDPGOptions = bandit.DDPGOptions
+	// BenchmarkPolicy is the common select/observe interface of baselines.
+	BenchmarkPolicy = bandit.Policy
+)
+
+// NewDDPG builds the DDPG baseline.
+func NewDDPG(opts DDPGOptions) (*DDPG, error) { return bandit.NewDDPG(opts) }
+
+// Oracle exhaustively searches the noise-free surface for the cheapest
+// feasible control (the paper's offline benchmark).
+func Oracle(expected bandit.ExpectedFn, grid GridSpec, w CostWeights, cons Constraints) (Control, float64, error) {
+	return bandit.Oracle(expected, grid, w, cons)
+}
+
+// O-RAN control plane (Fig. 7).
+type (
+	// Deployment is the loopback A1/E2/O1 stack.
+	Deployment = oran.Deployment
+)
+
+// Deploy stands up the control plane around an environment.
+var Deploy = oran.Deploy
+
+// Experiments (§3 and §6).
+type (
+	// ExperimentScale sizes the figure regenerations.
+	ExperimentScale = experiment.Scale
+	// ResultTable is one regenerated figure as tabular data.
+	ResultTable = experiment.Table
+)
+
+// PaperScale returns the paper's experiment sizes; QuickScale a reduced
+// setting preserving every qualitative effect.
+func PaperScale() ExperimentScale { return experiment.PaperScale() }
+
+// QuickScale returns the reduced experiment sizes.
+func QuickScale() ExperimentScale { return experiment.QuickScale() }

@@ -1,0 +1,125 @@
+package edgebol
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/oran"
+)
+
+// These tests exercise the repository's public facade the way an external
+// adopter would: build the testbed, run the agent, consult the oracle, and
+// drive the loop over the O-RAN control plane.
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	tb, err := NewTestbed(DefaultTestbedConfig(), []User{{SNRdB: 35}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := NewAgent(Options{
+		Grid:        GridSpec{Levels: 5, MinResolution: 0.1, MinAirtime: 0.1},
+		Weights:     CostWeights{Delta1: 1, Delta2: 1},
+		Constraints: Constraints{MaxDelay: 0.4, MinMAP: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k KPIs
+	for i := 0; i < 25; i++ {
+		_, k, _, err = agent.Step(tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k.Delay <= 0 || k.ServerPower <= 0 {
+		t.Fatalf("degenerate KPIs %+v", k)
+	}
+	if agent.Observations() != 25 {
+		t.Fatalf("agent saw %d observations", agent.Observations())
+	}
+}
+
+func TestFacadeDefaults(t *testing.T) {
+	if DefaultGridSpec().Size() != 14641 {
+		t.Fatal("default grid must match the paper's 11^4 control space")
+	}
+	n := DefaultNormalization(CostWeights{Delta1: 1, Delta2: 1})
+	if n.Cost.Scale <= 0 {
+		t.Fatal("default normalization broken")
+	}
+	if len(HeterogeneousUsers(4)) != 4 {
+		t.Fatal("HeterogeneousUsers wrong length")
+	}
+	if QuickScale().GridLevels >= PaperScale().GridLevels {
+		t.Fatal("quick scale should be coarser than paper scale")
+	}
+}
+
+func TestFacadeOracle(t *testing.T) {
+	tb, err := NewTestbed(DefaultTestbedConfig(), []User{{SNRdB: 35}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := GridSpec{Levels: 5, MinResolution: 0.1, MinAirtime: 0.1}
+	x, cost, err := Oracle(tb.Expected, grid, CostWeights{Delta1: 1, Delta2: 1},
+		Constraints{MaxDelay: 0.4, MinMAP: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatalf("oracle cost %v", cost)
+	}
+}
+
+func TestFacadeDDPG(t *testing.T) {
+	d, err := NewDDPG(DDPGOptions{
+		Grid:        GridSpec{Levels: 4, MinResolution: 0.1, MinAirtime: 0.1},
+		Weights:     CostWeights{Delta1: 1, Delta2: 1},
+		Constraints: Constraints{MaxDelay: 0.5, MinMAP: 0.4},
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := d.Select(Context{NumUsers: 1, MeanCQI: 15})
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var _ BenchmarkPolicy = d
+}
+
+func TestFacadeORANDeployment(t *testing.T) {
+	tb, err := NewTestbed(DefaultTestbedConfig(), []User{{SNRdB: 35}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dep *Deployment
+	dep, err = Deploy(tb, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	var env Environment = dep.Env()
+	k, err := env.Measure(Control{Resolution: 0.8, Airtime: 1, GPUSpeed: 0.8, MCS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.BSPower <= 0 {
+		t.Fatal("no KPI over the control plane")
+	}
+	// KPI subscriptions are reachable through the deployment too.
+	ch, cancel := dep.DataPlane.Subscribe()
+	defer cancel()
+	if _, err := env.Measure(Control{Resolution: 0.8, Airtime: 1, GPUSpeed: 0.8, MCS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-ch:
+		var _ oran.KPIReport = r
+	case <-time.After(2 * time.Second):
+		t.Fatal("no KPI indication")
+	}
+}

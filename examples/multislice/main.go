@@ -1,0 +1,60 @@
+// Multi-slice: two edge AI services on pre-configured network slices
+// (§4.4). A surveillance service and an industrial-inspection service
+// share the carrier and the GPU through static partitions; one EdgeBOL
+// agent per slice optimizes its own cost under its own constraints, the
+// architecture the paper argues keeps the problem tractable as services
+// multiply.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/multislice"
+	"repro/internal/ran"
+	"repro/internal/testbed"
+)
+
+func main() {
+	slices := []multislice.SliceConfig{
+		{
+			Name:          "surveillance", // latency-critical, accuracy-focused
+			AirtimeBudget: 0.6,
+			GPUShare:      0.6,
+			Users:         []ran.User{{SNRdB: 35}},
+			Weights:       core.CostWeights{Delta1: 1, Delta2: 1},
+			Constraints:   core.Constraints{MaxDelay: 0.6, MinMAP: 0.5},
+		},
+		{
+			Name:          "inspection", // tolerant of delay, radio-cost sensitive
+			AirtimeBudget: 0.4,
+			GPUShare:      0.4,
+			Users:         []ran.User{{SNRdB: 30}},
+			Weights:       core.CostWeights{Delta1: 1, Delta2: 4},
+			Constraints:   core.Constraints{MaxDelay: 1.0, MinMAP: 0.4},
+		},
+	}
+	sys, err := multislice.New(testbed.DefaultConfig(),
+		core.GridSpec{Levels: 6, MinResolution: 0.1, MinAirtime: 0.1}, slices, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for t := 0; t < 100; t++ {
+		results, err := sys.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if t%20 == 19 {
+			fmt.Printf("t=%3d total cost %.1f mu\n", t, multislice.TotalCost(results, sys.Slices))
+			for _, r := range results {
+				fmt.Printf("   %-13s res %.2f air(rel) %.2f gpu %.2f | d=%3.0f ms mAP %.2f\n",
+					r.Slice, r.Control.Resolution, r.Control.Airtime, r.Control.GPUSpeed,
+					1000*r.KPIs.Delay, r.KPIs.MAP)
+			}
+		}
+	}
+	fmt.Println("\neach slice's agent stays four-dimensional no matter how many")
+	fmt.Println("services share the machine room — the §4.4 scalability argument")
+}

@@ -1,0 +1,55 @@
+// Quickstart: minimize the energy cost of a mobile-edge video-analytics
+// service under delay and accuracy constraints with EdgeBOL.
+//
+// This is the smallest complete use of the library: build the simulated
+// prototype (one user, good channel), build an agent, run the online loop,
+// and read off the learned operating point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ran"
+	"repro/internal/testbed"
+)
+
+func main() {
+	// The environment: a vBS + GPU edge server serving one user at 35 dB.
+	tb, err := testbed.New(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The objective: minimize δ₁·serverPower + δ₂·bsPower subject to
+	// delay ≤ 400 ms and mAP ≥ 0.5.
+	agent, err := core.NewAgent(core.Options{
+		Grid:        core.GridSpec{Levels: 7, MinResolution: 0.1, MinAirtime: 0.1},
+		Weights:     core.CostWeights{Delta1: 1, Delta2: 1},
+		Constraints: core.Constraints{MaxDelay: 0.4, MinMAP: 0.5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The online loop: one Step per control period.
+	var x core.Control
+	var k core.KPIs
+	for t := 0; t < 100; t++ {
+		x, k, _, err = agent.Step(tb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if t%20 == 0 {
+			fmt.Printf("t=%3d: cost %.1f mu, delay %.0f ms, mAP %.2f\n",
+				t, agent.Weights().Cost(k), 1000*k.Delay, k.MAP)
+		}
+	}
+
+	fmt.Printf("\nlearned operating point after %d periods:\n", agent.Observations())
+	fmt.Printf("  image resolution %.0f%%, airtime %.0f%%, GPU speed %.0f%%, max MCS %d\n",
+		100*x.Resolution, 100*x.Airtime, 100*x.GPUSpeed, x.MCSCap())
+	fmt.Printf("  delay %.0f ms (limit 400), mAP %.2f (floor 0.5), power %.1f + %.1f W\n",
+		1000*k.Delay, k.MAP, k.ServerPower, k.BSPower)
+}

@@ -1,0 +1,122 @@
+package bandit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+)
+
+// LinUCB is the linear contextual bandit of the related-work family the
+// paper contrasts against (§5: "most of the existing contextual bandit
+// algorithms assume a linear relationship between the contexts-control
+// space and the associated reward"): ridge regression of a
+// violation-penalized cost on the joint (context, control) features, with
+// optimism in the face of uncertainty.
+//
+// Its failure mode on this problem is exactly the paper's point — the
+// cost/constraint surfaces are non-linear, so the linear model
+// systematically mis-ranks large regions of the control space no matter
+// how much data it sees.
+type LinUCB struct {
+	grid        []core.Control
+	weights     core.CostWeights
+	constraints core.Constraints
+	maxCost     float64
+	alpha       float64
+
+	dim   int
+	a     *linalg.Matrix // A = λI + Σ zzᵀ
+	b     []float64      // Σ z·y
+	theta []float64      // A⁻¹ b, refreshed on demand
+	dirty bool
+}
+
+// NewLinUCB builds the baseline. alpha is the exploration multiplier on
+// the confidence ellipsoid (≈1–2 typical).
+func NewLinUCB(grid core.GridSpec, w core.CostWeights, cons core.Constraints, alpha float64) (*LinUCB, error) {
+	if alpha <= 0 {
+		return nil, fmt.Errorf("bandit: alpha %v must be positive", alpha)
+	}
+	if err := cons.Validate(); err != nil {
+		return nil, err
+	}
+	if w.Delta1 < 0 || w.Delta2 < 0 || (w.Delta1 == 0 && w.Delta2 == 0) {
+		return nil, fmt.Errorf("bandit: cost weights %+v invalid", w)
+	}
+	ctls, err := grid.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	dim := core.ContextDims + core.ControlDims + 1 // +1 bias term
+	l := &LinUCB{
+		grid:        ctls,
+		weights:     w,
+		constraints: cons,
+		maxCost:     2 * core.DefaultNormalization(w).Cost.Center,
+		alpha:       alpha,
+		dim:         dim,
+		a:           linalg.NewMatrix(dim, dim),
+		b:           make([]float64, dim),
+	}
+	for i := 0; i < dim; i++ {
+		l.a.Set(i, i, 1) // ridge λ = 1
+	}
+	return l, nil
+}
+
+func (l *LinUCB) features(ctx core.Context, x core.Control) []float64 {
+	z := core.Features(ctx, x)
+	return append(z, 1)
+}
+
+// Select implements Policy: argmin over the grid of θᵀz − α·√(zᵀA⁻¹z).
+func (l *LinUCB) Select(ctx core.Context) core.Control {
+	chol, err := linalg.NewCholesky(l.a)
+	if err != nil {
+		// A is λI plus a sum of outer products: always positive definite.
+		panic(fmt.Sprintf("bandit: LinUCB design matrix not PD: %v", err))
+	}
+	if l.dirty || l.theta == nil {
+		theta := append([]float64(nil), l.b...)
+		chol.SolveVec(theta)
+		l.theta = theta
+		l.dirty = false
+	}
+	best := 0
+	bestScore := math.Inf(1)
+	buf := make([]float64, l.dim)
+	for i, x := range l.grid {
+		z := l.features(ctx, x)
+		mean := linalg.Dot(l.theta, z)
+		copy(buf, z)
+		chol.ForwardSolve(buf)
+		width := math.Sqrt(linalg.Dot(buf, buf))
+		if score := mean - l.alpha*width; score < bestScore {
+			bestScore = score
+			best = i
+		}
+	}
+	return l.grid[best]
+}
+
+// Observe implements Policy: rank-one update of the design matrix with
+// the violation-penalized normalized cost.
+func (l *LinUCB) Observe(ctx core.Context, x core.Control, k core.KPIs) {
+	cost := l.weights.Cost(k)
+	if !l.constraints.Satisfied(k) {
+		cost = l.maxCost
+	}
+	y := cost / l.maxCost
+	z := l.features(ctx, x)
+	for i := 0; i < l.dim; i++ {
+		for j := 0; j < l.dim; j++ {
+			l.a.Set(i, j, l.a.At(i, j)+z[i]*z[j])
+		}
+		l.b[i] += z[i] * y
+	}
+	l.dirty = true
+}
+
+var _ Policy = (*LinUCB)(nil)

@@ -1,0 +1,139 @@
+package bandit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestNewLinUCBValidation(t *testing.T) {
+	if _, err := NewLinUCB(benchGrid(), benchWeights, benchCons, 0); err == nil {
+		t.Fatal("expected error for zero alpha")
+	}
+	if _, err := NewLinUCB(benchGrid(), benchWeights, core.Constraints{}, 1); err == nil {
+		t.Fatal("expected error for invalid constraints")
+	}
+	if _, err := NewLinUCB(benchGrid(), core.CostWeights{}, benchCons, 1); err == nil {
+		t.Fatal("expected error for zero weights")
+	}
+}
+
+func TestLinUCBSelectsValidControls(t *testing.T) {
+	l, err := NewLinUCB(benchGrid(), benchWeights, benchCons, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := core.Context{NumUsers: 1, MeanCQI: 15}
+	for i := 0; i < 10; i++ {
+		x := l.Select(ctx)
+		if err := x.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		l.Observe(ctx, x, core.KPIs{Delay: 0.3, MAP: 0.5, ServerPower: 100, BSPower: 5})
+	}
+}
+
+func TestLinUCBImproves(t *testing.T) {
+	env := &linEnv{ctx: core.Context{NumUsers: 1, MeanCQI: 15}, noise: rand.New(rand.NewSource(9))}
+	l, err := NewLinUCB(benchGrid(), benchWeights, benchCons, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ks, err := Run(l, env, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	penalized := func(k core.KPIs) float64 {
+		if !benchCons.Satisfied(k) {
+			return l.maxCost
+		}
+		return benchWeights.Cost(k)
+	}
+	var early, late float64
+	for i, k := range ks {
+		if i < 50 {
+			early += penalized(k) / 50
+		}
+		if i >= 250 {
+			late += penalized(k) / 50
+		}
+	}
+	if late >= early {
+		t.Fatalf("LinUCB did not improve: early %v late %v", early, late)
+	}
+}
+
+// The paper's §5 premise: the GP-based agent must beat a linear bandit on
+// these non-linear surfaces. linEnv's delay/cost are affine, so use a
+// curved variant to expose the model mismatch.
+type curvedEnv struct {
+	linEnv
+}
+
+func (e *curvedEnv) truth(x core.Control) core.KPIs {
+	k := e.linEnv.truth(x)
+	// Strong curvature: power explodes at the extremes of GPU speed.
+	k.ServerPower = 80 + 150*(x.GPUSpeed-0.4)*(x.GPUSpeed-0.4)*2.5
+	return k
+}
+
+func (e *curvedEnv) Measure(x core.Control) (core.KPIs, error) {
+	return e.truth(x), nil
+}
+
+func TestLinUCBUnderperformsOnCurvedSurface(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison skipped in -short mode")
+	}
+	env := &curvedEnv{linEnv{ctx: core.Context{NumUsers: 1, MeanCQI: 15}}}
+
+	lin, err := NewLinUCB(benchGrid(), benchWeights, benchCons, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, linKs, err := Run(lin, env, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agent, err := core.NewAgent(core.Options{
+		Grid:        benchGrid(),
+		Weights:     benchWeights,
+		Constraints: benchCons,
+		Norm: core.Normalization{
+			Cost:  core.Affine{Center: 120, Scale: 30},
+			Delay: core.Affine{Center: 0.5, Scale: 0.15},
+			MAP:   core.Affine{Center: 0.4, Scale: 0.15},
+		},
+		NoiseVars: [3]float64{1e-4, 1e-4, 1e-4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gpKs []core.KPIs
+	for i := 0; i < 250; i++ {
+		_, k, _, err := agent.Step(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpKs = append(gpKs, k)
+	}
+
+	tail := func(ks []core.KPIs) float64 {
+		var s float64
+		for _, k := range ks[len(ks)-40:] {
+			c := benchWeights.Cost(k)
+			if !benchCons.Satisfied(k) {
+				c = lin.maxCost
+			}
+			s += c / 40
+		}
+		return s
+	}
+	linCost, gpCost := tail(linKs), tail(gpKs)
+	t.Logf("tail penalized cost: LinUCB %.1f, EdgeBOL %.1f", linCost, gpCost)
+	if gpCost >= linCost {
+		t.Fatalf("EdgeBOL (%v) should beat LinUCB (%v) on a curved surface", gpCost, linCost)
+	}
+}

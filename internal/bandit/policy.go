@@ -1,0 +1,73 @@
+// Package bandit provides the benchmark controllers EdgeBOL is compared
+// against in §6: the DDPG actor-critic baseline adapted to the contextual
+// bandit setting (inspired by vrAIn, as in the paper's Fig. 14), the
+// offline exhaustive-search oracle of Figs. 10 and 12, and simple
+// ε-greedy/random bandits for additional reference points.
+package bandit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Policy is the common interface of all benchmark controllers: pick a
+// control for a context, then learn from the observed KPIs.
+type Policy interface {
+	// Select returns the control to apply for the given context.
+	Select(ctx core.Context) core.Control
+	// Observe feeds back the KPIs measured for (ctx, x).
+	Observe(ctx core.Context, x core.Control, k core.KPIs)
+}
+
+// Run drives a policy against an environment for the given number of
+// periods, returning per-period KPIs and selected controls.
+func Run(p Policy, env core.Environment, periods int) ([]core.Control, []core.KPIs, error) {
+	if periods <= 0 {
+		return nil, nil, fmt.Errorf("bandit: periods %d must be positive", periods)
+	}
+	xs := make([]core.Control, 0, periods)
+	ks := make([]core.KPIs, 0, periods)
+	for t := 0; t < periods; t++ {
+		ctx := env.Context()
+		x := p.Select(ctx)
+		k, err := env.Measure(x)
+		if err != nil {
+			return xs, ks, fmt.Errorf("bandit: period %d: %w", t, err)
+		}
+		p.Observe(ctx, x, k)
+		xs = append(xs, x)
+		ks = append(ks, k)
+	}
+	return xs, ks, nil
+}
+
+// ExpectedFn evaluates the noise-free KPI surface (the testbed's Expected).
+type ExpectedFn func(core.Control) (core.KPIs, error)
+
+// Oracle exhaustively searches the expected-KPI surface for the cheapest
+// feasible control — the paper's offline benchmark, "unfeasible in practice"
+// but a lower bound on attainable cost.
+func Oracle(expected ExpectedFn, grid core.GridSpec, w core.CostWeights, cons core.Constraints) (core.Control, float64, error) {
+	ctls, err := grid.Enumerate()
+	if err != nil {
+		return core.Control{}, 0, err
+	}
+	best := core.Control{}
+	bestCost := math.Inf(1)
+	for _, x := range ctls {
+		k, err := expected(x)
+		if err != nil {
+			return core.Control{}, 0, err
+		}
+		if cons.Satisfied(k) && w.Cost(k) < bestCost {
+			bestCost = w.Cost(k)
+			best = x
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return core.Control{}, 0, fmt.Errorf("bandit: no feasible control on the grid")
+	}
+	return best, bestCost, nil
+}

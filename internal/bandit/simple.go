@@ -1,0 +1,124 @@
+package bandit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Random picks uniformly random grid controls — the weakest reference
+// point and a sanity floor for learning curves.
+type Random struct {
+	grid []core.Control
+	rng  *rand.Rand
+}
+
+// NewRandom builds a uniform-random policy over the grid.
+func NewRandom(grid core.GridSpec, seed int64) (*Random, error) {
+	ctls, err := grid.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	return &Random{grid: ctls, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Select implements Policy.
+func (r *Random) Select(core.Context) core.Control {
+	return r.grid[r.rng.Intn(len(r.grid))]
+}
+
+// Observe implements Policy (no learning).
+func (r *Random) Observe(core.Context, core.Control, core.KPIs) {}
+
+// EpsilonGreedy is a context-free ε-greedy bandit over the grid with a
+// violation-penalized cost, a classic tabular baseline that ignores both
+// context and structure.
+type EpsilonGreedy struct {
+	grid        []core.Control
+	weights     core.CostWeights
+	constraints core.Constraints
+	maxCost     float64
+	epsilon     float64
+	decay       float64
+
+	sum   []float64
+	count []int
+	index map[core.Control]int
+	rng   *rand.Rand
+}
+
+// NewEpsilonGreedy builds the baseline with initial exploration rate
+// epsilon decaying multiplicatively by decay per period.
+func NewEpsilonGreedy(grid core.GridSpec, w core.CostWeights, cons core.Constraints, epsilon, decay float64, seed int64) (*EpsilonGreedy, error) {
+	if epsilon < 0 || epsilon > 1 {
+		return nil, fmt.Errorf("bandit: epsilon %v outside [0,1]", epsilon)
+	}
+	if decay <= 0 || decay > 1 {
+		return nil, fmt.Errorf("bandit: decay %v outside (0,1]", decay)
+	}
+	if err := cons.Validate(); err != nil {
+		return nil, err
+	}
+	ctls, err := grid.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[core.Control]int, len(ctls))
+	for i, c := range ctls {
+		index[c] = i
+	}
+	return &EpsilonGreedy{
+		grid:        ctls,
+		weights:     w,
+		constraints: cons,
+		maxCost:     2 * core.DefaultNormalization(w).Cost.Center,
+		epsilon:     epsilon,
+		decay:       decay,
+		sum:         make([]float64, len(ctls)),
+		count:       make([]int, len(ctls)),
+		index:       index,
+		rng:         rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Select implements Policy.
+func (e *EpsilonGreedy) Select(core.Context) core.Control {
+	defer func() { e.epsilon *= e.decay }()
+	if e.rng.Float64() < e.epsilon {
+		return e.grid[e.rng.Intn(len(e.grid))]
+	}
+	best := 0
+	bestMean := math.Inf(1)
+	for i := range e.grid {
+		mean := e.maxCost // optimism is wrong here: unexplored = assumed worst-case safe cost
+		if e.count[i] > 0 {
+			mean = e.sum[i] / float64(e.count[i])
+		}
+		if mean < bestMean {
+			bestMean = mean
+			best = i
+		}
+	}
+	return e.grid[best]
+}
+
+// Observe implements Policy.
+func (e *EpsilonGreedy) Observe(_ core.Context, x core.Control, k core.KPIs) {
+	i, ok := e.index[x]
+	if !ok {
+		return
+	}
+	cost := e.weights.Cost(k)
+	if !e.constraints.Satisfied(k) {
+		cost = e.maxCost
+	}
+	e.sum[i] += cost
+	e.count[i]++
+}
+
+var (
+	_ Policy = (*Random)(nil)
+	_ Policy = (*EpsilonGreedy)(nil)
+)

@@ -1,0 +1,607 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gp"
+)
+
+// Affine maps a raw KPI y onto the GP's working units:
+// y_norm = (y − Center)/Scale.
+type Affine struct {
+	Center, Scale float64
+}
+
+// Norm applies the transform.
+func (a Affine) Norm(y float64) float64 { return (y - a.Center) / a.Scale }
+
+// Normalization holds the per-objective affine transforms applied to raw
+// targets before they enter the zero-mean, unit-prior-variance GPs. The
+// paper's "w.l.o.g. μ := 0, k(z,z′) < 1" hides exactly this bookkeeping:
+// data must be centered and scaled for the zero-mean unit prior to be
+// meaningful.
+//
+// These constants set the *statistical resolution* of the safe set. With
+// β = 2.5, an unobserved control enters S_t only when β·σ drops below its
+// constraint margin in normalized units, so each Scale should be
+// comparable to the smallest margin that still counts as comfortably safe
+// — not to the KPI's full range (oversized scales shrink every margin
+// below β·σ and pin the agent to S₀ forever). Each Center should be a
+// typical safe operating value, so the prior's pull toward zero is neither
+// optimistic nor catastrophic for unexplored regions.
+type Normalization struct {
+	Cost, Delay, MAP Affine
+	// ServerPower and BSPower are used only in decomposed-cost mode
+	// (Options.DecomposedCost), where the two power surfaces are learned
+	// separately.
+	ServerPower, BSPower Affine
+}
+
+// DefaultNormalization returns transforms suited to the testbed's
+// envelopes for the given cost weights: costs spanning roughly
+// δ₁·[75, 220] W + δ₂·[4.6, 8] W, delays near 0.25 s with constraint
+// margins of order 0.1 s, and mAPs near 0.55 with margins of order 0.1.
+func DefaultNormalization(w CostWeights) Normalization {
+	return Normalization{
+		Cost:        Affine{Center: w.Delta1*120 + w.Delta2*5.5, Scale: w.Delta1*35 + w.Delta2*1},
+		Delay:       Affine{Center: 0.25, Scale: 0.1},
+		MAP:         Affine{Center: 0.55, Scale: 0.1},
+		ServerPower: Affine{Center: 120, Scale: 35},
+		BSPower:     Affine{Center: 5.5, Scale: 1},
+	}
+}
+
+// Options configure an EdgeBOL agent.
+type Options struct {
+	// Grid is the discrete control space X.
+	Grid GridSpec
+	// Weights are the energy prices δ₁, δ₂ of eq. 1.
+	Weights CostWeights
+	// Constraints are the initial service requirements (changeable at
+	// runtime via SetConstraints, as exercised in Fig. 14).
+	Constraints Constraints
+	// SafeSeed is the initial safe set S₀. The paper seeds it with the
+	// lowest-delay, highest-mAP (and highest-power) configurations; empty
+	// defaults to maximum radio and compute resources at every resolution
+	// level — full resolution gives the highest mAP, lower resolutions the
+	// lowest delays, and all of them burn maximum power.
+	SafeSeed []Control
+	// SafeBeta is the σ multiplier β in the safe-set test (eq. 8) and
+	// AcqBeta the √β multiplier in the LCB acquisition (eq. 9). The paper
+	// reports β^½ = 2.5 working well; both default to 2.5 when zero.
+	SafeBeta, AcqBeta float64
+	// LengthScales are the per-dimension kernel length scales over the
+	// normalized (context, control) features. Safe-set expansion requires
+	// adjacent grid points to be strongly correlated (k ≳ 0.98) — otherwise
+	// the β-inflated confidence bound never certifies any unobserved
+	// control and the agent stays pinned to S₀ — so nil defaults to
+	// ≈10 grid steps on the control dimensions and 0.6 on the context
+	// dimensions. KernelFactory defaults to the paper's Matérn-3/2.
+	LengthScales  []float64
+	KernelFactory gp.KernelFactory
+	// LengthScalesPerGP optionally overrides LengthScales per objective
+	// (0 = cost, 1 = delay, 2 = mAP) — the paper fits hyperparameters for
+	// each function i separately on prior data (§5 "Kernel selection").
+	// Nil entries fall back to LengthScales.
+	LengthScalesPerGP [3][]float64
+	// NoiseVars are the observation-noise variances ζ² of the cost, delay,
+	// and mAP GPs over *normalized* targets; zero entries default to values
+	// matched to the testbed's measurement noise under
+	// DefaultNormalization.
+	NoiseVars [3]float64
+	// Norm maps raw targets to GP working units; zero-valued transforms
+	// default to DefaultNormalization(Weights).
+	Norm Normalization
+	// MaxObservations bounds each GP's retained history (0 = unlimited).
+	MaxObservations int
+	// DisableSafeSet turns off the eq. 8 safety filter, reducing EdgeBOL
+	// to plain contextual LCB minimization over the whole grid — the
+	// safe-set ablation of the evaluation suite.
+	DisableSafeSet bool
+	// Acquisition selects the per-period control picker: the paper's
+	// constrained LCB (eq. 9, default) or the SafeOpt-style
+	// uncertainty-in-maximizers-and-expanders rule the paper compared
+	// against and found "overly slow" (§5, citing Berkenkamp et al.).
+	Acquisition Acquisition
+	// DecomposedCost learns the two power surfaces p_s and p_b with
+	// separate GPs instead of the scalar cost u. The acquisition combines
+	// them with the current weights, so δ₁/δ₂ may change at runtime
+	// (SetWeights) without invalidating any learned knowledge — the §4.3
+	// scenario of energy prices varying between day and night.
+	DecomposedCost bool
+	// PowerNoiseVars are the observation-noise variances of the server
+	// and BS power GPs in decomposed mode; zeros default to the testbed's
+	// meter noise under DefaultNormalization.
+	PowerNoiseVars [2]float64
+}
+
+func (o *Options) applyDefaults() error {
+	if err := o.Grid.Validate(); err != nil {
+		return err
+	}
+	if err := o.Constraints.Validate(); err != nil {
+		return err
+	}
+	if o.Weights.Delta1 < 0 || o.Weights.Delta2 < 0 || (o.Weights.Delta1 == 0 && o.Weights.Delta2 == 0) {
+		return fmt.Errorf("core: cost weights %+v invalid", o.Weights)
+	}
+	if len(o.SafeSeed) == 0 {
+		for _, r := range levelsIn(o.Grid.MinResolution, 1, o.Grid.Levels) {
+			o.SafeSeed = append(o.SafeSeed, Control{Resolution: r, Airtime: 1, GPUSpeed: 1, MCS: 1})
+		}
+	}
+	for i, s := range o.SafeSeed {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("core: safe seed %d: %w", i, err)
+		}
+	}
+	if o.SafeBeta == 0 {
+		o.SafeBeta = 2.5
+	}
+	if o.AcqBeta == 0 {
+		o.AcqBeta = 2.5
+	}
+	if o.SafeBeta < 0 || o.AcqBeta < 0 {
+		return fmt.Errorf("core: negative beta")
+	}
+	dims := ContextDims + ControlDims
+	if o.LengthScales == nil {
+		o.LengthScales = make([]float64, dims)
+		for i := 0; i < ContextDims; i++ {
+			o.LengthScales[i] = 0.6
+		}
+		steps := []float64{
+			(1 - o.Grid.MinResolution) / float64(o.Grid.Levels-1),
+			(1 - o.Grid.MinAirtime) / float64(o.Grid.Levels-1),
+			1 / float64(o.Grid.Levels-1),
+			1 / float64(o.Grid.Levels-1),
+		}
+		for i, s := range steps {
+			ls := 12 * s
+			if ls < 0.5 {
+				ls = 0.5
+			}
+			if ls > 4 {
+				ls = 4
+			}
+			o.LengthScales[ContextDims+i] = ls
+		}
+	}
+	if len(o.LengthScales) != dims {
+		return fmt.Errorf("core: %d length scales, want %d", len(o.LengthScales), dims)
+	}
+	for i, ls := range o.LengthScalesPerGP {
+		if ls != nil && len(ls) != dims {
+			return fmt.Errorf("core: %d length scales for GP %d, want %d", len(ls), i, dims)
+		}
+	}
+	if o.KernelFactory == nil {
+		o.KernelFactory = gp.Matern32Factory
+	}
+	defNoise := [3]float64{1e-3, 2e-2, 6e-2}
+	for i := range o.NoiseVars {
+		if o.NoiseVars[i] == 0 {
+			o.NoiseVars[i] = defNoise[i]
+		}
+		if o.NoiseVars[i] < 0 {
+			return fmt.Errorf("core: negative noise variance")
+		}
+	}
+	def := DefaultNormalization(o.Weights)
+	if o.Norm.Cost == (Affine{}) {
+		o.Norm.Cost = def.Cost
+	}
+	if o.Norm.Delay == (Affine{}) {
+		o.Norm.Delay = def.Delay
+	}
+	if o.Norm.MAP == (Affine{}) {
+		o.Norm.MAP = def.MAP
+	}
+	if o.Norm.ServerPower == (Affine{}) {
+		o.Norm.ServerPower = def.ServerPower
+	}
+	if o.Norm.BSPower == (Affine{}) {
+		o.Norm.BSPower = def.BSPower
+	}
+	if o.Norm.Cost.Scale <= 0 || o.Norm.Delay.Scale <= 0 || o.Norm.MAP.Scale <= 0 ||
+		o.Norm.ServerPower.Scale <= 0 || o.Norm.BSPower.Scale <= 0 {
+		return fmt.Errorf("core: non-positive normalization scales %+v", o.Norm)
+	}
+	defPowerNoise := [2]float64{7e-3, 3e-2}
+	for i := range o.PowerNoiseVars {
+		if o.PowerNoiseVars[i] == 0 {
+			o.PowerNoiseVars[i] = defPowerNoise[i]
+		}
+		if o.PowerNoiseVars[i] < 0 {
+			return fmt.Errorf("core: negative power noise variance")
+		}
+	}
+	if o.MaxObservations < 0 {
+		return fmt.Errorf("core: negative observation bound")
+	}
+	return nil
+}
+
+// controlsClose reports approximate equality of two controls, tolerating
+// the floating-point error of grid-level arithmetic.
+func controlsClose(a, b Control) bool {
+	const eps = 1e-9
+	return math.Abs(a.Resolution-b.Resolution) < eps &&
+		math.Abs(a.Airtime-b.Airtime) < eps &&
+		math.Abs(a.GPUSpeed-b.GPUSpeed) < eps &&
+		math.Abs(a.MCS-b.MCS) < eps
+}
+
+// Acquisition identifies a control-selection rule.
+type Acquisition int
+
+const (
+	// AcquisitionLCB is the paper's constrained lower-confidence-bound
+	// rule (eq. 9).
+	AcquisitionLCB Acquisition = iota
+	// AcquisitionSafeOpt is the SafeOpt-style rule: sample the most
+	// uncertain point among the potential minimizers and the safe-set
+	// expanders. It carries exploration guarantees but converges slowly —
+	// the comparison that motivated the paper's choice of eq. 9.
+	AcquisitionSafeOpt
+)
+
+// gpCost, gpDelay, gpMAP index the agent's three GPs, matching the paper's
+// function indices i = 0 (cost), 1 (delay), 2 (mAP).
+const (
+	gpCost = iota
+	gpDelay
+	gpMAP
+	numGPs
+)
+
+// Agent is the EdgeBOL learner (Algorithm 1). It is not safe for
+// concurrent use.
+type Agent struct {
+	opts Options
+	grid []Control
+
+	gps [numGPs]*gp.GP
+	// powerGPs learn p_s (0) and p_b (1) in decomposed-cost mode.
+	powerGPs [2]*gp.GP
+
+	// Scratch buffers reused across periods.
+	feats      [][]float64
+	mu, sigma  [numGPs][]float64
+	powMu      [2][]float64
+	powSigma   [2][]float64
+	safe       []bool
+	safeSeedIx []int // indices of seed controls within the grid
+	t          int
+}
+
+// SelectionInfo reports diagnostics from one acquisition step.
+type SelectionInfo struct {
+	// SafeSetSize is |S_t| including the seed set.
+	SafeSetSize int
+	// FromSeed is true when no learned control passed the safety test and
+	// the acquisition fell back to the seed set S₀.
+	FromSeed bool
+	// LCB is the acquisition value of the selected control (normalized).
+	LCB float64
+}
+
+// NewAgent builds an EdgeBOL agent.
+func NewAgent(opts Options) (*Agent, error) {
+	if err := opts.applyDefaults(); err != nil {
+		return nil, err
+	}
+	grid, err := opts.Grid.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{opts: opts, grid: grid}
+	for i := range a.gps {
+		ls := opts.LengthScales
+		if perGP := opts.LengthScalesPerGP[i]; perGP != nil {
+			ls = perGP
+		}
+		a.gps[i] = gp.New(opts.KernelFactory(ls), opts.NoiseVars[i], opts.MaxObservations)
+		a.mu[i] = make([]float64, len(grid))
+		a.sigma[i] = make([]float64, len(grid))
+	}
+	if opts.DecomposedCost {
+		ls := opts.LengthScales
+		if perGP := opts.LengthScalesPerGP[gpCost]; perGP != nil {
+			ls = perGP
+		}
+		for i := range a.powerGPs {
+			a.powerGPs[i] = gp.New(opts.KernelFactory(ls), opts.PowerNoiseVars[i], opts.MaxObservations)
+			a.powMu[i] = make([]float64, len(grid))
+			a.powSigma[i] = make([]float64, len(grid))
+		}
+	}
+	a.feats = make([][]float64, len(grid))
+	for i := range a.feats {
+		a.feats[i] = make([]float64, ContextDims+ControlDims)
+	}
+	a.safe = make([]bool, len(grid))
+	// Locate seed controls on the grid (snap if off-grid).
+	for _, s := range opts.SafeSeed {
+		snapped := opts.Grid.Nearest(s)
+		for gi, g := range grid {
+			if controlsClose(g, snapped) {
+				a.safeSeedIx = append(a.safeSeedIx, gi)
+				break
+			}
+		}
+	}
+	if len(a.safeSeedIx) == 0 {
+		return nil, fmt.Errorf("core: no safe seed maps onto the grid")
+	}
+	return a, nil
+}
+
+// Grid returns the enumerated control space.
+func (a *Agent) Grid() []Control { return a.grid }
+
+// Constraints returns the active constraints.
+func (a *Agent) Constraints() Constraints { return a.opts.Constraints }
+
+// SetConstraints replaces the service constraints at runtime. Because the
+// agent models the delay and mAP surfaces (not the constraint itself), no
+// relearning is needed — the next safe set is computed against the new
+// thresholds from existing posteriors, the property Fig. 14 demonstrates.
+func (a *Agent) SetConstraints(c Constraints) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	a.opts.Constraints = c
+	return nil
+}
+
+// Weights returns the active cost weights.
+func (a *Agent) Weights() CostWeights { return a.opts.Weights }
+
+// SetWeights changes the energy prices δ₁, δ₂ at runtime. It requires
+// decomposed-cost mode: there the power surfaces are weight-independent
+// and nothing needs relearning, whereas a joint cost GP trained under the
+// old prices would silently poison the acquisition.
+func (a *Agent) SetWeights(w CostWeights) error {
+	if !a.opts.DecomposedCost {
+		return fmt.Errorf("core: SetWeights requires DecomposedCost mode")
+	}
+	if w.Delta1 < 0 || w.Delta2 < 0 || (w.Delta1 == 0 && w.Delta2 == 0) {
+		return fmt.Errorf("core: cost weights %+v invalid", w)
+	}
+	a.opts.Weights = w
+	return nil
+}
+
+// Observations returns the number of periods observed so far.
+func (a *Agent) Observations() int { return a.t }
+
+// SelectControl runs lines 4–7 of Algorithm 1 for the given context:
+// compute the three posteriors over the whole grid, build the safe set
+// (eq. 8, always including S₀), and minimize the constrained LCB (eq. 9).
+func (a *Agent) SelectControl(ctx Context) (Control, SelectionInfo) {
+	for i, x := range a.grid {
+		a.feats[i] = x.appendFeatures(ctx.appendFeatures(a.feats[i][:0]))
+	}
+	for i := range a.gps {
+		if i == gpCost && a.opts.DecomposedCost {
+			continue
+		}
+		a.gps[i].PosteriorBatch(a.feats, a.mu[i], a.sigma[i])
+	}
+	if a.opts.DecomposedCost {
+		for i := range a.powerGPs {
+			a.powerGPs[i].PosteriorBatch(a.feats, a.powMu[i], a.powSigma[i])
+		}
+		// Combine the power posteriors into a cost posterior in raw
+		// monetary units (only the ranking matters for the acquisition):
+		// μ_u = δ₁·p̂_s + δ₂·p̂_b and, with the two surfaces modeled as
+		// independent GPs, σ_u² = (δ₁·s_s·σ_s)² + (δ₂·s_b·σ_b)².
+		w := a.opts.Weights
+		n := a.opts.Norm
+		for i := range a.grid {
+			ps := a.powMu[0][i]*n.ServerPower.Scale + n.ServerPower.Center
+			pb := a.powMu[1][i]*n.BSPower.Scale + n.BSPower.Center
+			a.mu[gpCost][i] = w.Delta1*ps + w.Delta2*pb
+			ss := w.Delta1 * n.ServerPower.Scale * a.powSigma[0][i]
+			sb := w.Delta2 * n.BSPower.Scale * a.powSigma[1][i]
+			a.sigma[gpCost][i] = math.Sqrt(ss*ss + sb*sb)
+		}
+	}
+
+	cons := a.opts.Constraints
+	dmax := a.opts.Norm.Delay.Norm(cons.MaxDelay)
+	rmin := a.opts.Norm.MAP.Norm(cons.MinMAP)
+	meanViolates := func(i int) bool {
+		return a.mu[gpDelay][i] > dmax || a.mu[gpMAP][i] < rmin
+	}
+	// The delay constraint of eq. 2 bounds the *noisy per-period
+	// observations* d_t, so its safety test uses the predictive bound
+	// β·√(σ² + ζ²) — with the latent bound alone the agent legally rides
+	// the boundary and observation noise produces violations far beyond
+	// the paper's ≈2 %. The mAP constraint instead uses the latent bound:
+	// a finite-batch mAP estimate dipping below ρ^min is measurement
+	// noise, not a service failure, and the paper's own Fig. 9 inset shows
+	// observed mAP fluctuating below ρ^min at the optimum.
+	zetaD := math.Sqrt(a.gps[gpDelay].NoiseVar())
+	predSigma := func(s, zeta float64) float64 { return math.Sqrt(s*s + zeta*zeta) }
+	// A candidate is certified only when the posterior actually carries
+	// information about it: at prior uncertainty (σ ≈ 1) the bound test is
+	// vacuous whenever the thresholds are lax relative to the prior, and
+	// "unexplored" must not read as "safe".
+	const informedSigma = 0.95
+	nSafe := 0
+	for i := range a.grid {
+		ok := a.opts.DisableSafeSet
+		if !ok {
+			informed := a.sigma[gpDelay][i] < informedSigma && a.sigma[gpMAP][i] < informedSigma
+			ok = informed &&
+				a.mu[gpDelay][i]+a.opts.SafeBeta*predSigma(a.sigma[gpDelay][i], zetaD) <= dmax &&
+				a.mu[gpMAP][i]-a.opts.SafeBeta*a.sigma[gpMAP][i] >= rmin
+		}
+		a.safe[i] = ok
+		if ok {
+			nSafe++
+		}
+	}
+	// S_t always contains S₀ (eq. 8 / Algorithm 1 line 6). A seed is
+	// nevertheless *retired from selection* — though it still counts as
+	// safe — once the posterior has actually learned about it
+	// (σ well below the prior) and its mean violates a constraint:
+	// S₀ membership encodes the operator's prior belief, and repeatedly
+	// re-picking a seed that measurements show to be infeasible would lock
+	// the agent onto a violating configuration whenever that seed is also
+	// the cost minimizer.
+	const seedRetireSigma = 0.5
+	for _, gi := range a.safeSeedIx {
+		if a.safe[gi] {
+			continue
+		}
+		nSafe++
+		retired := meanViolates(gi) &&
+			a.sigma[gpDelay][gi] < seedRetireSigma && a.sigma[gpMAP][gi] < seedRetireSigma
+		a.safe[gi] = !retired
+	}
+
+	pick := func() (int, float64) {
+		if a.opts.Acquisition == AcquisitionSafeOpt {
+			return a.pickSafeOpt(dmax, rmin)
+		}
+		best := -1
+		bestLCB := math.Inf(1)
+		for i := range a.grid {
+			if !a.safe[i] {
+				continue
+			}
+			lcb := a.mu[gpCost][i] - a.opts.AcqBeta*a.sigma[gpCost][i]
+			if lcb < bestLCB {
+				bestLCB = lcb
+				best = i
+			}
+		}
+		return best, bestLCB
+	}
+	best, bestLCB := pick()
+	if best < 0 {
+		// Every seed retired and nothing certified: the problem looks
+		// infeasible. Fall back to the least-violating seed by posterior
+		// mean — the §5 "Practical Issues" behaviour of staying within S₀.
+		bestScore := math.Inf(1)
+		for _, gi := range a.safeSeedIx {
+			score := math.Max(a.mu[gpDelay][gi]-dmax, 0) + math.Max(rmin-a.mu[gpMAP][gi], 0)
+			if score < bestScore {
+				bestScore = score
+				best = gi
+			}
+		}
+		bestLCB = a.mu[gpCost][best] - a.opts.AcqBeta*a.sigma[gpCost][best]
+	}
+
+	// The winner came from the seed fallback when it fails the learned
+	// safety test on its own merits.
+	fromSeed := a.mu[gpDelay][best]+a.opts.SafeBeta*a.sigma[gpDelay][best] > dmax ||
+		a.mu[gpMAP][best]-a.opts.SafeBeta*a.sigma[gpMAP][best] < rmin
+	return a.grid[best], SelectionInfo{SafeSetSize: nSafe, FromSeed: fromSeed, LCB: bestLCB}
+}
+
+// pickSafeOpt implements the SafeOpt-style acquisition over the current
+// safe set: among the potential minimizers (points whose cost LCB beats
+// the best cost UCB) and the expanders (safe points whose confidence
+// interval straddles a constraint boundary neighbourhood), sample the one
+// with the largest overall uncertainty.
+func (a *Agent) pickSafeOpt(dmax, rmin float64) (int, float64) {
+	bestUCB := math.Inf(1)
+	for i := range a.grid {
+		if !a.safe[i] {
+			continue
+		}
+		if ucb := a.mu[gpCost][i] + a.opts.AcqBeta*a.sigma[gpCost][i]; ucb < bestUCB {
+			bestUCB = ucb
+		}
+	}
+	// Expander neighbourhood: within this many σ-units of a boundary.
+	const edge = 0.5
+	best := -1
+	bestUnc := -1.0
+	var bestLCB float64
+	for i := range a.grid {
+		if !a.safe[i] {
+			continue
+		}
+		minimizer := a.mu[gpCost][i]-a.opts.AcqBeta*a.sigma[gpCost][i] <= bestUCB
+		expander := a.mu[gpDelay][i]+a.opts.SafeBeta*a.sigma[gpDelay][i] >= dmax-edge ||
+			a.mu[gpMAP][i]-a.opts.SafeBeta*a.sigma[gpMAP][i] <= rmin+edge
+		if !minimizer && !expander {
+			continue
+		}
+		unc := math.Max(a.sigma[gpCost][i], math.Max(a.sigma[gpDelay][i], a.sigma[gpMAP][i]))
+		if unc > bestUnc {
+			bestUnc = unc
+			best = i
+			bestLCB = a.mu[gpCost][i] - a.opts.AcqBeta*a.sigma[gpCost][i]
+		}
+	}
+	return best, bestLCB
+}
+
+// Posterior is the agent's belief about one objective at a point.
+type Posterior struct {
+	Mean, Sigma float64
+}
+
+// PosteriorAt returns the normalized posterior beliefs (cost, delay, mAP)
+// at a context–control point, for diagnostics and visualization.
+func (a *Agent) PosteriorAt(ctx Context, x Control) (cost, delay, mAP Posterior) {
+	z := Features(ctx, x)
+	var out [numGPs]Posterior
+	for i := range a.gps {
+		m, s := a.gps[i].Posterior(z)
+		out[i] = Posterior{Mean: m, Sigma: s}
+	}
+	return out[gpCost], out[gpDelay], out[gpMAP]
+}
+
+// Observe runs lines 8–13 of Algorithm 1: it computes the cost from the
+// observed KPIs and appends the (context, control) → {u, d, ρ} samples to
+// the three GPs.
+func (a *Agent) Observe(ctx Context, x Control, k KPIs) error {
+	if err := x.Validate(); err != nil {
+		return err
+	}
+	z := Features(ctx, x)
+	if a.opts.DecomposedCost {
+		if err := a.powerGPs[0].Add(z, a.opts.Norm.ServerPower.Norm(k.ServerPower)); err != nil {
+			return fmt.Errorf("core: server power GP: %w", err)
+		}
+		if err := a.powerGPs[1].Add(z, a.opts.Norm.BSPower.Norm(k.BSPower)); err != nil {
+			return fmt.Errorf("core: BS power GP: %w", err)
+		}
+	} else if err := a.gps[gpCost].Add(z, a.opts.Norm.Cost.Norm(a.opts.Weights.Cost(k))); err != nil {
+		return fmt.Errorf("core: cost GP: %w", err)
+	}
+	if err := a.gps[gpDelay].Add(z, a.opts.Norm.Delay.Norm(k.Delay)); err != nil {
+		return fmt.Errorf("core: delay GP: %w", err)
+	}
+	if err := a.gps[gpMAP].Add(z, a.opts.Norm.MAP.Norm(k.MAP)); err != nil {
+		return fmt.Errorf("core: mAP GP: %w", err)
+	}
+	a.t++
+	return nil
+}
+
+// Step performs one full control period against an environment: observe
+// the context, select a control, measure, and learn. It returns the
+// selected control, the observed KPIs, and the selection diagnostics.
+func (a *Agent) Step(env Environment) (Control, KPIs, SelectionInfo, error) {
+	ctx := env.Context()
+	x, info := a.SelectControl(ctx)
+	k, err := env.Measure(x)
+	if err != nil {
+		return x, KPIs{}, info, err
+	}
+	if err := a.Observe(ctx, x, k); err != nil {
+		return x, k, info, err
+	}
+	return x, k, info, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// GridSpec defines the discrete control space X = H × A × Γ × M of §6.1.
+// The prototype used 11 levels per dimension (|X| = 11⁴ = 14 641); smaller
+// grids trade optimality for per-period compute and are used by the reduced
+// benchmark settings.
+type GridSpec struct {
+	// Levels is the number of evenly spaced levels per dimension.
+	Levels int
+	// MinResolution and MinAirtime are the lowest levels of the (0,1]
+	// dimensions (zero would disable the service entirely).
+	MinResolution, MinAirtime float64
+}
+
+// DefaultGridSpec matches the paper's 11-level grid.
+func DefaultGridSpec() GridSpec {
+	return GridSpec{Levels: 11, MinResolution: 0.1, MinAirtime: 0.1}
+}
+
+// Validate reports whether the spec is usable.
+func (g GridSpec) Validate() error {
+	if g.Levels < 2 {
+		return fmt.Errorf("core: grid needs at least 2 levels, got %d", g.Levels)
+	}
+	if g.MinResolution <= 0 || g.MinResolution >= 1 {
+		return fmt.Errorf("core: MinResolution %v outside (0,1)", g.MinResolution)
+	}
+	if g.MinAirtime <= 0 || g.MinAirtime >= 1 {
+		return fmt.Errorf("core: MinAirtime %v outside (0,1)", g.MinAirtime)
+	}
+	return nil
+}
+
+// Size returns |X| = Levels⁴.
+func (g GridSpec) Size() int {
+	n := g.Levels
+	return n * n * n * n
+}
+
+// levelsIn returns n evenly spaced values spanning [lo, hi], with both
+// endpoints exact so grid membership checks are reliable.
+func levelsIn(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	out[0], out[n-1] = lo, hi
+	return out
+}
+
+// Enumerate returns every control in the grid, in a deterministic order.
+func (g GridSpec) Enumerate() ([]Control, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	res := levelsIn(g.MinResolution, 1, g.Levels)
+	air := levelsIn(g.MinAirtime, 1, g.Levels)
+	gpu := levelsIn(0, 1, g.Levels)
+	mcs := levelsIn(0, 1, g.Levels)
+	out := make([]Control, 0, g.Size())
+	for _, r := range res {
+		for _, a := range air {
+			for _, s := range gpu {
+				for _, m := range mcs {
+					out = append(out, Control{Resolution: r, Airtime: a, GPUSpeed: s, MCS: m})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// MaxControl returns the most resource-rich control in the grid: full
+// resolution, airtime, GPU speed, and MCS. This is the canonical member of
+// the initial safe set S₀ — the paper seeds S₀ with the lowest-delay,
+// highest-mAP (and highest-power) configurations.
+func (g GridSpec) MaxControl() Control {
+	return Control{Resolution: 1, Airtime: 1, GPUSpeed: 1, MCS: 1}
+}
+
+// Nearest returns the grid control closest (in normalized L∞ distance) to
+// an arbitrary control, used to project continuous baseline actions (e.g.
+// DDPG outputs) onto the discrete action space.
+func (g GridSpec) Nearest(x Control) Control {
+	snap := func(v, lo float64) float64 {
+		if v < lo {
+			v = lo
+		}
+		if v > 1 {
+			v = 1
+		}
+		step := (1 - lo) / float64(g.Levels-1)
+		k := math.Round((v - lo) / step)
+		return lo + k*step
+	}
+	return Control{
+		Resolution: snap(x.Resolution, g.MinResolution),
+		Airtime:    snap(x.Airtime, g.MinAirtime),
+		GPUSpeed:   snap(x.GPUSpeed, 0),
+		MCS:        snap(x.MCS, 0),
+	}
+}

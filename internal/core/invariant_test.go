@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: relaxing the constraints can only grow the safe set — the
+// eq. 8 certification is monotone in (dmax, ρmin).
+func TestSafeSetMonotoneInConstraints(t *testing.T) {
+	env := &quadEnv{ctx: Context{NumUsers: 1, MeanCQI: 15}}
+	mkAgent := func(cons Constraints) *Agent {
+		a, err := NewAgent(Options{
+			Grid:        testGrid(),
+			Weights:     CostWeights{Delta1: 1, Delta2: 1},
+			Constraints: cons,
+			Norm:        quadNorm(),
+			NoiseVars:   [3]float64{1e-4, 1e-4, 1e-4},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	// Train one agent, then compare safe sets under different thresholds
+	// by mutating its constraints (the posteriors are threshold-free).
+	a := mkAgent(Constraints{MaxDelay: 0.9, MinMAP: 0.3})
+	for i := 0; i < 30; i++ {
+		if _, _, _, err := a.Step(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tight := Constraints{MaxDelay: 0.5 + rng.Float64()*0.5, MinMAP: 0.2 + rng.Float64()*0.3}
+		lax := Constraints{MaxDelay: tight.MaxDelay + rng.Float64()*0.5, MinMAP: tight.MinMAP * rng.Float64()}
+		if lax.MinMAP <= 0 {
+			lax.MinMAP = 0
+		}
+		if err := a.SetConstraints(tight); err != nil {
+			return false
+		}
+		_, tightInfo := a.SelectControl(env.Context())
+		if err := a.SetConstraints(lax); err != nil {
+			return false
+		}
+		_, laxInfo := a.SelectControl(env.Context())
+		return laxInfo.SafeSetSize >= tightInfo.SafeSetSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SelectControl always returns a grid member and never panics
+// across random contexts, trained or not.
+func TestSelectControlTotalOverContexts(t *testing.T) {
+	a := newTestAgent(t, Constraints{MaxDelay: 0.9, MinMAP: 0.3})
+	grid, err := testGrid().Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	onGrid := func(x Control) bool {
+		for _, g := range grid {
+			if controlsClose(g, x) {
+				return true
+			}
+		}
+		return false
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctx := Context{
+			NumUsers: 1 + rng.Intn(7),
+			MeanCQI:  1 + rng.Float64()*14,
+			VarCQI:   rng.Float64() * 10,
+		}
+		x, info := a.SelectControl(ctx)
+		if !onGrid(x) || info.SafeSetSize < 1 {
+			return false
+		}
+		// Learning from the synthetic observation must also succeed.
+		return a.Observe(ctx, x, KPIs{Delay: 0.5, MAP: 0.4, ServerPower: 100, BSPower: 5}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

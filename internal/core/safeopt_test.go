@@ -1,0 +1,83 @@
+package core
+
+import "testing"
+
+func newSafeOptAgent(t *testing.T, cons Constraints) *Agent {
+	t.Helper()
+	a, err := NewAgent(Options{
+		Grid:        testGrid(),
+		Weights:     CostWeights{Delta1: 1, Delta2: 1},
+		Constraints: cons,
+		Norm:        quadNorm(),
+		NoiseVars:   [3]float64{1e-4, 1e-4, 1e-4},
+		Acquisition: AcquisitionSafeOpt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSafeOptRunsAndStaysSafe(t *testing.T) {
+	env := &quadEnv{ctx: Context{NumUsers: 1, MeanCQI: 15}}
+	cons := Constraints{MaxDelay: 0.9, MinMAP: 0.3}
+	a := newSafeOptAgent(t, cons)
+	violations := 0
+	const steps, burnIn = 60, 10
+	for i := 0; i < steps; i++ {
+		_, k, info, err := a.Step(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.SafeSetSize < 1 {
+			t.Fatal("SafeOpt safe set collapsed")
+		}
+		if i >= burnIn && !cons.Satisfied(k) {
+			violations++
+		}
+	}
+	if violations > (steps-burnIn)/10 {
+		t.Fatalf("SafeOpt violated constraints %d times", violations)
+	}
+}
+
+// The paper's observation: the LCB acquisition reaches low cost faster
+// than SafeOpt's pure-uncertainty sampling, which keeps paying for
+// exploration long after the LCB has started exploiting.
+func TestLCBConvergesFasterThanSafeOpt(t *testing.T) {
+	env := &quadEnv{ctx: Context{NumUsers: 1, MeanCQI: 15}}
+	cons := Constraints{MaxDelay: 0.9, MinMAP: 0.3}
+	w := CostWeights{Delta1: 1, Delta2: 1}
+	tailCost := func(acq Acquisition) float64 {
+		a, err := NewAgent(Options{
+			Grid:        testGrid(),
+			Weights:     w,
+			Constraints: cons,
+			Norm:        quadNorm(),
+			NoiseVars:   [3]float64{1e-4, 1e-4, 1e-4},
+			Acquisition: acq,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		n := 0
+		for i := 0; i < 60; i++ {
+			_, k, _, err := a.Step(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i >= 40 {
+				sum += w.Cost(k)
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	lcb := tailCost(AcquisitionLCB)
+	safeopt := tailCost(AcquisitionSafeOpt)
+	t.Logf("tail cost: LCB %.1f, SafeOpt %.1f", lcb, safeopt)
+	if lcb > safeopt {
+		t.Fatalf("LCB (%v) should converge to lower cost than SafeOpt (%v)", lcb, safeopt)
+	}
+}

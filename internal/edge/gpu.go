@@ -1,0 +1,137 @@
+// Package edge models the GPU-powered edge server of the prototype (Intel
+// i7 host + NVIDIA RTX 2080 Ti running Detectron2): the GPU-speed policy of
+// §3 (Policy 3, a power-management limit between 100 and 280 W enforced by
+// the NVIDIA driver), the inference service time it induces, and the
+// server's power draw (Performance Indicator 3).
+package edge
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config holds the edge-server model parameters. Defaults (DefaultConfig)
+// are calibrated to Figs. 2–4: GPU delays of ≈150 ms (full speed) to
+// ≈300 ms (10 % speed) and server power between ≈75 W idle and ≈200 W under
+// full load.
+type Config struct {
+	// ServerIdleW is the host draw (CPU, board, fans) with the GPU idle.
+	ServerIdleW float64
+	// GPUIdleW is the GPU's idle draw.
+	GPUIdleW float64
+	// MinLimitW and MaxLimitW bound the GPU power-management limit swept by
+	// the GPU-speed policy (the prototype's driver exposes 100–280 W).
+	MinLimitW, MaxLimitW float64
+	// DutyFactor scales the power limit into sustained draw at full
+	// utilization (inference workloads don't pin the limit continuously).
+	DutyFactor float64
+	// BaseServiceTime is the per-image GPU service time in seconds at full
+	// speed and full resolution.
+	BaseServiceTime float64
+	// LowResWorkFactor inflates service time for low-resolution images:
+	// s(η) = BaseServiceTime·(1 + LowResWorkFactor·(1−η)). The prototype
+	// measured that high-resolution images *ease* the detection task
+	// (Fig. 3 bottom), so lower resolution means more GPU work per image.
+	LowResWorkFactor float64
+	// SpeedExponent shapes throughput vs power limit: speed ∝
+	// (limit/max)^SpeedExponent, the usual sublinear DVFS response.
+	SpeedExponent float64
+	// NumGPUs is the pool size behind the service (Policy 3 covers "a GPU
+	// or a pool of GPUs in a slice"); the power limit applies per GPU and
+	// requests are served by whichever GPU is free. Zero means 1.
+	NumGPUs int
+}
+
+// DefaultConfig returns the calibrated edge-server model.
+func DefaultConfig() Config {
+	return Config{
+		ServerIdleW:      60,
+		GPUIdleW:         15,
+		MinLimitW:        100,
+		MaxLimitW:        280,
+		DutyFactor:       0.55,
+		BaseServiceTime:  0.135,
+		LowResWorkFactor: 0.30,
+		SpeedExponent:    0.6,
+	}
+}
+
+// Validate reports whether the configuration is physically sensible.
+func (c Config) Validate() error {
+	if c.ServerIdleW < 0 || c.GPUIdleW < 0 {
+		return fmt.Errorf("edge: negative idle power")
+	}
+	if c.MinLimitW <= 0 || c.MaxLimitW <= c.MinLimitW {
+		return fmt.Errorf("edge: power limit bounds [%v,%v] invalid", c.MinLimitW, c.MaxLimitW)
+	}
+	if c.DutyFactor <= 0 || c.DutyFactor > 1 {
+		return fmt.Errorf("edge: duty factor %v outside (0,1]", c.DutyFactor)
+	}
+	if c.BaseServiceTime <= 0 {
+		return fmt.Errorf("edge: non-positive service time %v", c.BaseServiceTime)
+	}
+	if c.LowResWorkFactor < 0 {
+		return fmt.Errorf("edge: negative LowResWorkFactor")
+	}
+	if c.SpeedExponent <= 0 || c.SpeedExponent > 1 {
+		return fmt.Errorf("edge: speed exponent %v outside (0,1]", c.SpeedExponent)
+	}
+	if c.NumGPUs < 0 {
+		return fmt.Errorf("edge: negative GPU pool size %d", c.NumGPUs)
+	}
+	return nil
+}
+
+// PoolSize returns the effective number of GPUs (at least 1).
+func (c Config) PoolSize() int {
+	if c.NumGPUs < 1 {
+		return 1
+	}
+	return c.NumGPUs
+}
+
+// PowerLimit maps the normalized GPU-speed policy γ ∈ [0,1] to the driver's
+// power-management limit in watts.
+func (c Config) PowerLimit(gamma float64) float64 {
+	gamma = clamp01(gamma)
+	return c.MinLimitW + gamma*(c.MaxLimitW-c.MinLimitW)
+}
+
+// SpeedFactor returns the GPU's normalized throughput (1 at full limit)
+// under the policy γ.
+func (c Config) SpeedFactor(gamma float64) float64 {
+	return math.Pow(c.PowerLimit(gamma)/c.MaxLimitW, c.SpeedExponent)
+}
+
+// ServiceTime returns the per-image GPU service time in seconds for images
+// delivered at the given resolution fraction under GPU-speed policy γ.
+func (c Config) ServiceTime(resolution, gamma float64) float64 {
+	resolution = clamp01(resolution)
+	work := c.BaseServiceTime * (1 + c.LowResWorkFactor*(1-resolution))
+	return work / c.SpeedFactor(gamma)
+}
+
+// Power returns the server draw in watts at the given pool utilization
+// (fraction of time each GPU is busy, averaged over the pool) under policy
+// γ. Idle and dynamic GPU draw scale with the pool size.
+func (c Config) Power(gamma, utilization float64) float64 {
+	utilization = clamp01(utilization)
+	n := float64(c.PoolSize())
+	return c.ServerIdleW + n*(c.GPUIdleW+utilization*c.DutyFactor*c.PowerLimit(gamma))
+}
+
+// PowerRange returns the [min, max] envelope of the server power model.
+func (c Config) PowerRange() (min, max float64) {
+	n := float64(c.PoolSize())
+	return c.ServerIdleW + n*c.GPUIdleW, c.Power(1, 1)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,150 @@
+package edge
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.ServerIdleW = -1 },
+		func(c *Config) { c.MinLimitW = 0 },
+		func(c *Config) { c.MaxLimitW = c.MinLimitW },
+		func(c *Config) { c.DutyFactor = 0 },
+		func(c *Config) { c.DutyFactor = 1.5 },
+		func(c *Config) { c.BaseServiceTime = 0 },
+		func(c *Config) { c.LowResWorkFactor = -0.1 },
+		func(c *Config) { c.SpeedExponent = 0 },
+		func(c *Config) { c.SpeedExponent = 2 },
+	}
+	for i, m := range mut {
+		c := DefaultConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("mutation %d should fail validation", i)
+		}
+	}
+}
+
+func TestPowerLimitRange(t *testing.T) {
+	c := DefaultConfig()
+	if c.PowerLimit(0) != 100 || c.PowerLimit(1) != 280 {
+		t.Fatalf("limit endpoints (%v, %v) should be the driver's 100–280 W", c.PowerLimit(0), c.PowerLimit(1))
+	}
+	if c.PowerLimit(-1) != 100 || c.PowerLimit(2) != 280 {
+		t.Fatal("policy must clamp to [0,1]")
+	}
+}
+
+func TestSpeedFactorMonotone(t *testing.T) {
+	c := DefaultConfig()
+	prev := 0.0
+	for g := 0.0; g <= 1.0; g += 0.05 {
+		s := c.SpeedFactor(g)
+		if s <= prev {
+			t.Fatalf("speed factor not strictly increasing at γ=%v", g)
+		}
+		prev = s
+	}
+	if math.Abs(c.SpeedFactor(1)-1) > 1e-12 {
+		t.Fatalf("full-speed factor = %v, want 1", c.SpeedFactor(1))
+	}
+}
+
+// Fig. 3 (bottom) effects: GPU delay falls with resolution and with GPU
+// speed.
+func TestServiceTimeShape(t *testing.T) {
+	c := DefaultConfig()
+	if c.ServiceTime(0.25, 1) <= c.ServiceTime(1, 1) {
+		t.Fatal("low-res images should take longer on the GPU (Fig. 3 bottom)")
+	}
+	if c.ServiceTime(1, 0.1) <= c.ServiceTime(1, 1) {
+		t.Fatal("a throttled GPU should be slower")
+	}
+}
+
+func TestServiceTimeCalibration(t *testing.T) {
+	// Fig. 3 bottom: ≈130–180 ms at full speed, up to ≈300 ms at 10 % speed.
+	c := DefaultConfig()
+	full := c.ServiceTime(1, 1)
+	if full < 0.1 || full > 0.2 {
+		t.Fatalf("full-speed full-res service time %v s outside 0.10–0.20", full)
+	}
+	slow := c.ServiceTime(0.25, 0.1)
+	if slow < 0.2 || slow > 0.4 {
+		t.Fatalf("throttled low-res service time %v s outside 0.20–0.40", slow)
+	}
+}
+
+func TestPowerEnvelope(t *testing.T) {
+	c := DefaultConfig()
+	min, max := c.PowerRange()
+	if min < 60 || min > 100 {
+		t.Fatalf("idle power %v outside the prototype's ≈75 W", min)
+	}
+	if max < 180 || max > 240 {
+		t.Fatalf("max power %v outside the prototype's ≈200 W envelope", max)
+	}
+}
+
+func TestPowerMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := DefaultConfig()
+		g := rng.Float64()
+		u1 := rng.Float64()
+		u2 := u1 + (1-u1)*rng.Float64()
+		if c.Power(g, u2) < c.Power(g, u1)-1e-12 {
+			return false
+		}
+		g2 := g + (1-g)*rng.Float64()
+		return c.Power(g2, 0.5) >= c.Power(g, 0.5)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerClampsUtilization(t *testing.T) {
+	c := DefaultConfig()
+	if c.Power(0.5, -1) != c.Power(0.5, 0) || c.Power(0.5, 2) != c.Power(0.5, 1) {
+		t.Fatal("utilization must clamp to [0,1]")
+	}
+}
+
+func TestPoolSize(t *testing.T) {
+	c := DefaultConfig()
+	if c.PoolSize() != 1 {
+		t.Fatalf("default pool size %d, want 1", c.PoolSize())
+	}
+	c.NumGPUs = 4
+	if c.PoolSize() != 4 {
+		t.Fatal("explicit pool size ignored")
+	}
+	c.NumGPUs = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected error for negative pool size")
+	}
+}
+
+func TestPoolPowerScales(t *testing.T) {
+	single := DefaultConfig()
+	pool := DefaultConfig()
+	pool.NumGPUs = 3
+	if pool.Power(1, 0.5) <= single.Power(1, 0.5) {
+		t.Fatal("a GPU pool must draw more power at equal per-GPU utilization")
+	}
+	minS, _ := single.PowerRange()
+	minP, _ := pool.PowerRange()
+	if minP <= minS {
+		t.Fatal("pool idle power must exceed single-GPU idle power")
+	}
+}

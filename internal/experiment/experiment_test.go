@@ -1,0 +1,336 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func tinyScale() Scale {
+	return Scale{
+		GridLevels:      5,
+		Periods:         40,
+		Reps:            2,
+		SweepLevels:     3,
+		DynamicPeriods:  30,
+		PhasePeriods:    25,
+		Delta2s:         []float64{1, 8},
+		TailWindow:      10,
+		MaxObservations: 150,
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	if Median(xs) != 3 {
+		t.Fatalf("median = %v, want 3", Median(xs))
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatal("extreme percentiles wrong")
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Fatalf("p25 = %v, want 2", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestBandOf(t *testing.T) {
+	b := BandOf([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if b.P10 >= b.Median || b.Median >= b.P90 {
+		t.Fatalf("band ordering broken: %+v", b)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "x", Title: "test", Columns: []string{"a", "b"}}
+	tab.AddRow(1, 2)
+	tab.AddRow(3, 4)
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,b\n1,2\n3,4\n") {
+		t.Fatalf("CSV output wrong:\n%s", csv)
+	}
+	ascii := tab.ASCII(1)
+	if !strings.Contains(ascii, "1 more rows") {
+		t.Fatalf("ASCII truncation missing:\n%s", ascii)
+	}
+}
+
+func TestTableAddRowMismatchPanics(t *testing.T) {
+	tab := &Table{ID: "x", Columns: []string{"a"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tab.AddRow(1, 2)
+}
+
+func TestScaleValidate(t *testing.T) {
+	for _, s := range []Scale{PaperScale(), QuickScale(), tinyScale()} {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad := tinyScale()
+	bad.GridLevels = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for tiny grid")
+	}
+	bad = tinyScale()
+	bad.TailWindow = 1000
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for oversized tail window")
+	}
+}
+
+func col(tab *Table, name string) int {
+	for i, c := range tab.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestFig1Shape(t *testing.T) {
+	tab, err := Fig1(tinyScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, m := col(tab, "delay_s"), col(tab, "mAP")
+	for i := 1; i < len(tab.Rows); i++ {
+		if tab.Rows[i][d] <= tab.Rows[i-1][d] {
+			t.Fatal("fig1 delay not increasing with resolution")
+		}
+		if tab.Rows[i][m] <= tab.Rows[i-1][m] {
+			t.Fatal("fig1 mAP not increasing with resolution")
+		}
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tab, err := Fig2(tinyScale(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For the same resolution, delay at airtime 0.2 must exceed airtime 1.
+	a, r, d := col(tab, "airtime"), col(tab, "resolution"), col(tab, "delay_s")
+	byKey := map[[2]float64]float64{}
+	for _, row := range tab.Rows {
+		byKey[[2]float64{row[a], row[r]}] = row[d]
+	}
+	found := false
+	for key, slow := range byKey {
+		if key[0] == 0.2 {
+			if fast, ok := byKey[[2]float64{1.0, key[1]}]; ok {
+				found = true
+				if slow <= fast {
+					t.Fatalf("fig2: airtime 0.2 delay %v not above airtime 1 delay %v", slow, fast)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fig2 rows missing expected airtime pairs")
+	}
+}
+
+func TestFig5And6Inversion(t *testing.T) {
+	scale := tinyScale()
+	f5, err := Fig5(scale, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6, err := Fig6(scale, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope := func(tab *Table, airtime, res float64) float64 {
+		a, m, r, p := col(tab, "airtime"), col(tab, "mean_mcs"), col(tab, "resolution"), col(tab, "bs_power_w")
+		var loMCS, hiMCS, loP, hiP float64
+		loMCS, hiMCS = math.Inf(1), math.Inf(-1)
+		for _, row := range tab.Rows {
+			if row[a] != airtime || row[r] != res {
+				continue
+			}
+			if row[m] < loMCS {
+				loMCS, loP = row[m], row[p]
+			}
+			if row[m] > hiMCS {
+				hiMCS, hiP = row[m], row[p]
+			}
+		}
+		return hiP - loP
+	}
+	// Nominal load: higher MCS lowers BS power for full-res traffic.
+	if s := slope(f5, 1.0, 1.0); s >= 0 {
+		t.Fatalf("fig5: BS power should fall with MCS at nominal load, slope %v", s)
+	}
+	// 10x load with small airtime: higher MCS raises BS power.
+	if s := slope(f6, 0.2, 1.0); s <= 0 {
+		t.Fatalf("fig6: BS power should rise with MCS at 10x load, slope %v", s)
+	}
+}
+
+func TestFig9Converges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning experiment skipped in -short mode")
+	}
+	scale := tinyScale()
+	tab, err := Fig9(scale, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(scale.Delta2s)*scale.Periods {
+		t.Fatalf("fig9 rows %d, want %d", len(tab.Rows), len(scale.Delta2s)*scale.Periods)
+	}
+	d2c, tc, cc := col(tab, "delta2"), col(tab, "t"), col(tab, "cost_med")
+	var early, late []float64
+	for _, row := range tab.Rows {
+		if row[d2c] != 1 {
+			continue
+		}
+		if row[tc] < 5 {
+			early = append(early, row[cc])
+		}
+		if row[tc] >= float64(scale.Periods-10) {
+			late = append(late, row[cc])
+		}
+	}
+	if Mean(late) >= Mean(early) {
+		t.Fatalf("fig9 cost did not improve: early %v late %v", Mean(early), Mean(late))
+	}
+}
+
+func TestFig10And11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning experiment skipped in -short mode")
+	}
+	scale := tinyScale()
+	f10, f11, err := Fig10And11(scale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(fig10Settings) * len(scale.Delta2s)
+	if len(f10.Rows) != wantRows || len(f11.Rows) != wantRows {
+		t.Fatalf("rows %d/%d, want %d", len(f10.Rows), len(f11.Rows), wantRows)
+	}
+	nc, oc := col(f10, "norm_cost"), col(f10, "oracle_norm_cost")
+	for _, row := range f10.Rows {
+		if row[nc] <= 0 {
+			t.Fatalf("non-positive normalized cost %v", row[nc])
+		}
+		// Feasible oracles must not exceed the learned cost by much (the
+		// oracle is a lower bound up to measurement noise on the tail).
+		if row[oc] > 0 && row[nc] < row[oc]*0.9 {
+			t.Fatalf("EdgeBOL cost %v implausibly below oracle %v", row[nc], row[oc])
+		}
+	}
+	for _, row := range f11.Rows {
+		for c := 3; c < len(row); c++ {
+			if row[c] < 0 || row[c] > 1 {
+				t.Fatalf("fig11 policy out of range: %v", row[c])
+			}
+		}
+	}
+}
+
+func TestFig12GapSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning experiment skipped in -short mode")
+	}
+	scale := tinyScale()
+	tab, err := Fig12(scale, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, v := col(tab, "gap_frac"), col(tab, "violation_rate")
+	for _, row := range tab.Rows {
+		if row[g] < -0.15 {
+			t.Fatalf("fig12 gap %v below oracle: noise or oracle bug", row[g])
+		}
+		if row[v] > 0.4 {
+			t.Fatalf("fig12 violation rate %v too high", row[v])
+		}
+	}
+}
+
+func TestFig13Wellformed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning experiment skipped in -short mode")
+	}
+	scale := tinyScale()
+	tab, err := Fig13(scale, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != scale.DynamicPeriods {
+		t.Fatalf("fig13 rows %d, want %d", len(tab.Rows), scale.DynamicPeriods)
+	}
+	snr, safe := col(tab, "snr_db_med"), col(tab, "safe_size_med")
+	varied := false
+	for i, row := range tab.Rows {
+		if row[snr] < 5-1e-9 || row[snr] > 38+1e-9 {
+			t.Fatalf("fig13 SNR %v out of trace bounds", row[snr])
+		}
+		if row[safe] < 1 {
+			t.Fatal("fig13 safe set collapsed")
+		}
+		if i > 0 && row[snr] != tab.Rows[0][snr] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("fig13 SNR trace never moved")
+	}
+}
+
+func TestFig14BothAlgorithms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning experiment skipped in -short mode")
+	}
+	scale := tinyScale()
+	tab, err := Fig14(scale, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 2 * 3 * scale.PhasePeriods
+	if len(tab.Rows) != wantRows {
+		t.Fatalf("fig14 rows %d, want %d", len(tab.Rows), wantRows)
+	}
+	a, dv, mv := col(tab, "algo"), col(tab, "delay_violation"), col(tab, "map_violation")
+	sums := map[float64]float64{}
+	for _, row := range tab.Rows {
+		if row[dv] < 0 || row[mv] < 0 {
+			t.Fatal("negative violation magnitude")
+		}
+		sums[row[a]] += row[dv] + row[mv]
+	}
+	if _, ok := sums[0]; !ok {
+		t.Fatal("EdgeBOL rows missing")
+	}
+	if _, ok := sums[1]; !ok {
+		t.Fatal("DDPG rows missing")
+	}
+}

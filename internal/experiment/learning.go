@@ -1,0 +1,449 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/bandit"
+	"repro/internal/core"
+	"repro/internal/ran"
+	"repro/internal/testbed"
+)
+
+// fig9Constraints is the §6.2 constraint set (dmax = 0.4 s, ρmin = 0.5).
+var fig9Constraints = core.Constraints{MaxDelay: 0.4, MinMAP: 0.5}
+
+// fig10Settings are the three constraint settings of §6.3.
+var fig10Settings = []core.Constraints{
+	{MaxDelay: 0.5, MinMAP: 0.4}, // lax
+	{MaxDelay: 0.4, MinMAP: 0.5}, // medium
+	{MaxDelay: 0.3, MinMAP: 0.6}, // stringent
+}
+
+// record is one control period's outcome.
+type record struct {
+	x    core.Control
+	k    core.KPIs
+	info core.SelectionInfo
+}
+
+// grid returns the control grid for a scale.
+func (s Scale) grid() core.GridSpec {
+	return core.GridSpec{Levels: s.GridLevels, MinResolution: 0.1, MinAirtime: 0.1}
+}
+
+// newAgent builds an EdgeBOL agent for an experiment run.
+func newAgent(scale Scale, w core.CostWeights, cons core.Constraints) (*core.Agent, error) {
+	return core.NewAgent(core.Options{
+		Grid:            scale.grid(),
+		Weights:         w,
+		Constraints:     cons,
+		MaxObservations: scale.MaxObservations,
+	})
+}
+
+// runAgent drives an agent for the given number of periods.
+func runAgent(agent *core.Agent, env core.Environment, periods int) ([]record, error) {
+	out := make([]record, 0, periods)
+	for t := 0; t < periods; t++ {
+		x, k, info, err := agent.Step(env)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: period %d: %w", t, err)
+		}
+		out = append(out, record{x: x, k: k, info: info})
+	}
+	return out, nil
+}
+
+// Fig9 regenerates the §6.2 convergence experiment: per-period cost, mAP,
+// delay, and both powers for each δ₂, with median/P10/P90 bands over
+// repetitions. Steady 35 dB channel, δ₁ = 1, dmax = 0.4 s, ρmin = 0.5.
+func Fig9(scale Scale, seed int64) (*Table, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "fig9",
+		Title: "Convergence of cost, mAP, delay, BS power, server power vs t per delta2",
+		Columns: []string{
+			"delta2", "t",
+			"cost_med", "cost_p10", "cost_p90",
+			"map_med", "map_p10", "map_p90",
+			"delay_med", "delay_p10", "delay_p90",
+			"bs_med", "bs_p10", "bs_p90",
+			"server_med", "server_p10", "server_p90",
+		},
+	}
+	for _, d2 := range scale.Delta2s {
+		w := core.CostWeights{Delta1: 1, Delta2: d2}
+		runs := make([][]record, 0, scale.Reps)
+		for rep := 0; rep < scale.Reps; rep++ {
+			tb, err := testbed.New(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, seed+int64(rep)*101)
+			if err != nil {
+				return nil, err
+			}
+			agent, err := newAgent(scale, w, fig9Constraints)
+			if err != nil {
+				return nil, err
+			}
+			recs, err := runAgent(agent, tb, scale.Periods)
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, recs)
+		}
+		for tt := 0; tt < scale.Periods; tt++ {
+			var cost, mAP, delay, bs, server []float64
+			for _, recs := range runs {
+				k := recs[tt].k
+				cost = append(cost, w.Cost(k))
+				mAP = append(mAP, k.MAP)
+				delay = append(delay, k.Delay)
+				bs = append(bs, k.BSPower)
+				server = append(server, k.ServerPower)
+			}
+			c, m, d, b, s := BandOf(cost), BandOf(mAP), BandOf(delay), BandOf(bs), BandOf(server)
+			t.AddRow(d2, float64(tt),
+				c.Median, c.P10, c.P90,
+				m.Median, m.P10, m.P90,
+				d.Median, d.P10, d.P90,
+				b.Median, b.P10, b.P90,
+				s.Median, s.P10, s.P90,
+			)
+		}
+	}
+	return t, nil
+}
+
+// tailRecords returns the last TailWindow records of a run.
+func (s Scale) tail(recs []record) []record {
+	if len(recs) <= s.TailWindow {
+		return recs
+	}
+	return recs[len(recs)-s.TailWindow:]
+}
+
+// Fig10And11 regenerates the §6.3 static-scenario figures from shared
+// runs: converged powers and normalized cost vs δ₂ per constraint setting
+// with the exhaustive-search oracle (Fig. 10), and the corresponding
+// converged policies (Fig. 11). The normalized cost divides by the cost of
+// the maximum-resource configuration, making values comparable across δ₂
+// as in the paper.
+func Fig10And11(scale Scale, seed int64) (*Table, *Table, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	f10 := &Table{
+		ID:    "fig10",
+		Title: "Converged powers and normalized cost vs delta2 per constraint setting, with oracle",
+		Columns: []string{
+			"dmax", "rmin", "delta2",
+			"bs_power_w", "server_power_w", "norm_cost", "oracle_norm_cost",
+		},
+	}
+	f11 := &Table{
+		ID:    "fig11",
+		Title: "Converged policies vs delta2 per constraint setting",
+		Columns: []string{
+			"dmax", "rmin", "delta2",
+			"mean_gpu_speed", "mean_resolution", "mean_airtime", "mean_mcs",
+		},
+	}
+	for _, cons := range fig10Settings {
+		for _, d2 := range scale.Delta2s {
+			w := core.CostWeights{Delta1: 1, Delta2: d2}
+			var bs, server, cost []float64
+			var res, air, gpu, mcs []float64
+			var refCost float64
+			var oracleCost float64
+			oracleFeasible := true
+			for rep := 0; rep < scale.Reps; rep++ {
+				tb, err := testbed.New(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, seed+int64(rep)*131)
+				if err != nil {
+					return nil, nil, err
+				}
+				if rep == 0 {
+					maxK, err := tb.Expected(scale.grid().MaxControl())
+					if err != nil {
+						return nil, nil, err
+					}
+					refCost = w.Cost(maxK)
+					_, oc, err := bandit.Oracle(tb.Expected, scale.grid(), w, cons)
+					if err != nil {
+						oracleFeasible = false
+					} else {
+						oracleCost = oc
+					}
+				}
+				agent, err := newAgent(scale, w, cons)
+				if err != nil {
+					return nil, nil, err
+				}
+				recs, err := runAgent(agent, tb, scale.Periods)
+				if err != nil {
+					return nil, nil, err
+				}
+				for _, r := range scale.tail(recs) {
+					bs = append(bs, r.k.BSPower)
+					server = append(server, r.k.ServerPower)
+					cost = append(cost, w.Cost(r.k))
+					res = append(res, r.x.Resolution)
+					air = append(air, r.x.Airtime)
+					gpu = append(gpu, r.x.GPUSpeed)
+					mcs = append(mcs, r.x.MCS)
+				}
+			}
+			oracleNorm := -1.0 // sentinel for infeasible settings
+			if oracleFeasible {
+				oracleNorm = oracleCost / refCost
+			}
+			f10.AddRow(cons.MaxDelay, cons.MinMAP, d2,
+				Median(bs), Median(server), Median(cost)/refCost, oracleNorm)
+			f11.AddRow(cons.MaxDelay, cons.MinMAP, d2,
+				Mean(gpu), Mean(res), Mean(air), Mean(mcs))
+		}
+	}
+	return f10, f11, nil
+}
+
+// Fig12 regenerates the §6.4 multi-user optimality-gap experiment:
+// heterogeneous populations, dmax = 2 s, ρmin = 0.6, EdgeBOL's converged
+// cost against the exhaustive oracle for each δ₂. As in the paper, the
+// agent is trained before evaluation — each run lasts 3× the convergence
+// horizon and only the tail counts.
+func Fig12(scale Scale, seed int64) (*Table, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	cons := core.Constraints{MaxDelay: 2, MinMAP: 0.6}
+	t := &Table{
+		ID:    "fig12",
+		Title: "Multi-user cost vs oracle per delta2 (heterogeneous SNRs)",
+		Columns: []string{
+			"users", "delta2", "edgebol_cost", "oracle_cost", "gap_frac", "violation_rate",
+		},
+	}
+	for _, n := range []int{2, 4, 6} {
+		for _, d2 := range []float64{1, 2, 4, 8} {
+			w := core.CostWeights{Delta1: 1, Delta2: d2}
+			var cost []float64
+			violations, total := 0, 0
+			var oracleCost float64
+			for rep := 0; rep < scale.Reps; rep++ {
+				tb, err := testbed.New(testbed.DefaultConfig(), testbed.HeterogeneousUsers(n), seed+int64(rep)*151)
+				if err != nil {
+					return nil, err
+				}
+				if rep == 0 {
+					_, oc, err := bandit.Oracle(tb.Expected, scale.grid(), w, cons)
+					if err != nil {
+						return nil, fmt.Errorf("experiment: fig12 oracle n=%d: %w", n, err)
+					}
+					oracleCost = oc
+				}
+				agent, err := newAgent(scale, w, cons)
+				if err != nil {
+					return nil, err
+				}
+				recs, err := runAgent(agent, tb, 3*scale.Periods)
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range scale.tail(recs) {
+					cost = append(cost, w.Cost(r.k))
+					total++
+					if !cons.Satisfied(r.k) {
+						violations++
+					}
+				}
+			}
+			med := Median(cost)
+			t.AddRow(float64(n), d2, med, oracleCost, (med-oracleCost)/oracleCost, float64(violations)/float64(total))
+		}
+	}
+	return t, nil
+}
+
+// dynamicEnv drives the Fig. 13 scenario: the single user's SNR follows a
+// trace, advancing one step per context query.
+type dynamicEnv struct {
+	tb      *testbed.Testbed
+	trace   *ran.SNRTrace
+	lastSNR float64
+}
+
+func (d *dynamicEnv) Context() core.Context {
+	d.lastSNR = d.trace.Next()
+	d.tb.SetSNR(d.lastSNR)
+	return d.tb.Context()
+}
+
+func (d *dynamicEnv) Measure(x core.Control) (core.KPIs, error) { return d.tb.Measure(x) }
+
+// Fig13 regenerates the §6.5 dynamic-context experiment: an untrained
+// agent under fast 5–38 dB channel dynamics with δ₂ = 8, recording the SNR
+// trace, safe-set size, and the four policies over time (bands over
+// repetitions).
+func Fig13(scale Scale, seed int64) (*Table, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	w := core.CostWeights{Delta1: 1, Delta2: 8}
+	t := &Table{
+		ID:    "fig13",
+		Title: "Dynamic contexts: SNR, safe-set size, and policies vs t (delta2=8)",
+		Columns: []string{
+			"t", "snr_db_med", "safe_size_med",
+			"gpu_med", "res_med", "air_med", "mcs_med",
+			"cost_med", "delay_med", "map_med",
+		},
+	}
+	type dynRec struct {
+		snr float64
+		rec record
+	}
+	runs := make([][]dynRec, 0, scale.Reps)
+	for rep := 0; rep < scale.Reps; rep++ {
+		repSeed := seed + int64(rep)*171
+		tb, err := testbed.New(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, repSeed)
+		if err != nil {
+			return nil, err
+		}
+		trace, err := ran.NewSNRTrace(5, 38, 12, 5, newRand(repSeed+1))
+		if err != nil {
+			return nil, err
+		}
+		env := &dynamicEnv{tb: tb, trace: trace}
+		agent, err := newAgent(scale, w, fig9Constraints)
+		if err != nil {
+			return nil, err
+		}
+		recs := make([]dynRec, 0, scale.DynamicPeriods)
+		for tt := 0; tt < scale.DynamicPeriods; tt++ {
+			x, k, info, err := agent.Step(env)
+			if err != nil {
+				return nil, err
+			}
+			recs = append(recs, dynRec{snr: env.lastSNR, rec: record{x: x, k: k, info: info}})
+		}
+		runs = append(runs, recs)
+	}
+	for tt := 0; tt < scale.DynamicPeriods; tt++ {
+		var snr, safe, gpu, res, air, mcs, cost, delay, mAP []float64
+		for _, recs := range runs {
+			r := recs[tt]
+			snr = append(snr, r.snr)
+			safe = append(safe, float64(r.rec.info.SafeSetSize))
+			gpu = append(gpu, r.rec.x.GPUSpeed)
+			res = append(res, r.rec.x.Resolution)
+			air = append(air, r.rec.x.Airtime)
+			mcs = append(mcs, r.rec.x.MCS)
+			cost = append(cost, w.Cost(r.rec.k))
+			delay = append(delay, r.rec.k.Delay)
+			mAP = append(mAP, r.rec.k.MAP)
+		}
+		t.AddRow(float64(tt), Median(snr), Median(safe),
+			Median(gpu), Median(res), Median(air), Median(mcs),
+			Median(cost), Median(delay), Median(mAP))
+	}
+	return t, nil
+}
+
+// Fig14 regenerates the §6.5 EdgeBOL-vs-DDPG comparison under runtime
+// constraint changes: three phases with different (dmax, ρmin), per-period
+// cost/delay/mAP and cumulative violation magnitudes for both algorithms
+// (algo column: 0 = EdgeBOL, 1 = DDPG).
+func Fig14(scale Scale, seed int64) (*Table, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	phases := []core.Constraints{
+		{MaxDelay: 0.5, MinMAP: 0.4},
+		{MaxDelay: 0.4, MinMAP: 0.6},
+		{MaxDelay: 0.5, MinMAP: 0.5},
+	}
+	w := core.CostWeights{Delta1: 1, Delta2: 8}
+	t := &Table{
+		ID:    "fig14",
+		Title: "EdgeBOL vs DDPG under constraint changes (algo 0=EdgeBOL, 1=DDPG)",
+		Columns: []string{
+			"algo", "t", "dmax", "rmin",
+			"cost", "delay_s", "map", "delay_violation", "map_violation",
+		},
+	}
+
+	run := func(algo int) error {
+		tb, err := testbed.New(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, seed+int64(algo))
+		if err != nil {
+			return err
+		}
+		var agent *core.Agent
+		var ddpg *bandit.DDPG
+		if algo == 0 {
+			agent, err = newAgent(scale, w, phases[0])
+		} else {
+			ddpg, err = bandit.NewDDPG(bandit.DDPGOptions{
+				Grid:        scale.grid(),
+				Weights:     w,
+				Constraints: phases[0],
+				Seed:        seed + 77,
+			})
+		}
+		if err != nil {
+			return err
+		}
+		tt := 0
+		for phase, cons := range phases {
+			if phase > 0 {
+				if algo == 0 {
+					if err := agent.SetConstraints(cons); err != nil {
+						return err
+					}
+				} else {
+					if err := ddpg.SetConstraints(cons); err != nil {
+						return err
+					}
+				}
+			}
+			for p := 0; p < scale.PhasePeriods; p++ {
+				ctx := tb.Context()
+				var x core.Control
+				if algo == 0 {
+					x, _ = agent.SelectControl(ctx)
+				} else {
+					x = ddpg.Select(ctx)
+				}
+				k, err := tb.Measure(x)
+				if err != nil {
+					return err
+				}
+				if algo == 0 {
+					if err := agent.Observe(ctx, x, k); err != nil {
+						return err
+					}
+				} else {
+					ddpg.Observe(ctx, x, k)
+				}
+				dv := maxf(k.Delay-cons.MaxDelay, 0)
+				mv := maxf(cons.MinMAP-k.MAP, 0)
+				t.AddRow(float64(algo), float64(tt), cons.MaxDelay, cons.MinMAP,
+					w.Cost(k), k.Delay, k.MAP, dv, mv)
+				tt++
+			}
+		}
+		return nil
+	}
+	if err := run(0); err != nil {
+		return nil, fmt.Errorf("experiment: fig14 EdgeBOL: %w", err)
+	}
+	if err := run(1); err != nil {
+		return nil, fmt.Errorf("experiment: fig14 DDPG: %w", err)
+	}
+	return t, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

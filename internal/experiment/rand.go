@@ -1,0 +1,6 @@
+package experiment
+
+import "math/rand"
+
+// newRand returns a seeded random source for experiment components.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

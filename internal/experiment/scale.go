@@ -1,0 +1,83 @@
+package experiment
+
+import "fmt"
+
+// Scale sets the experiment sizes. PaperScale matches the paper's settings
+// (11-level grids, 150-period convergence runs, 10 repetitions, 3000-period
+// DDPG comparisons); QuickScale trades fidelity for wall-clock time and is
+// what the benchmark suite uses.
+type Scale struct {
+	// GridLevels is the per-dimension control-grid resolution.
+	GridLevels int
+	// Periods is the horizon of convergence/static experiments (Figs. 9–12).
+	Periods int
+	// Reps is the number of independent repetitions.
+	Reps int
+	// SweepLevels is the number of policy levels in the §3 measurement
+	// sweeps (Figs. 1–6).
+	SweepLevels int
+	// DynamicPeriods is the horizon of the Fig. 13 dynamic-context run.
+	DynamicPeriods int
+	// PhasePeriods is the length of each of the three constraint phases of
+	// the Fig. 14 comparison.
+	PhasePeriods int
+	// Delta2s is the δ₂ sweep of Figs. 9–11.
+	Delta2s []float64
+	// TailWindow is how many trailing periods define "converged" values.
+	TailWindow int
+	// MaxObservations caps GP history on long runs (0 = unlimited).
+	MaxObservations int
+}
+
+// PaperScale reproduces the paper's experiment sizes. Expect long runtimes:
+// the per-period cost of exact GP posteriors over the full 14 641-control
+// grid is what the paper's §5 O(N³) remark alludes to.
+func PaperScale() Scale {
+	return Scale{
+		GridLevels:      11,
+		Periods:         150,
+		Reps:            10,
+		SweepLevels:     11,
+		DynamicPeriods:  150,
+		PhasePeriods:    1000,
+		Delta2s:         []float64{1, 2, 4, 8, 16, 32, 64},
+		TailWindow:      25,
+		MaxObservations: 400,
+	}
+}
+
+// QuickScale is a reduced setting that preserves every qualitative effect
+// while running orders of magnitude faster.
+func QuickScale() Scale {
+	return Scale{
+		GridLevels:      5,
+		Periods:         90,
+		Reps:            2,
+		SweepLevels:     5,
+		DynamicPeriods:  90,
+		PhasePeriods:    120,
+		Delta2s:         []float64{1, 4, 16, 64},
+		TailWindow:      20,
+		MaxObservations: 180,
+	}
+}
+
+// Validate reports whether the scale is usable.
+func (s Scale) Validate() error {
+	if s.GridLevels < 2 {
+		return fmt.Errorf("experiment: GridLevels %d too small", s.GridLevels)
+	}
+	if s.Periods < 2 || s.Reps < 1 || s.SweepLevels < 2 || s.DynamicPeriods < 2 || s.PhasePeriods < 2 {
+		return fmt.Errorf("experiment: degenerate scale %+v", s)
+	}
+	if len(s.Delta2s) == 0 {
+		return fmt.Errorf("experiment: empty δ₂ sweep")
+	}
+	if s.TailWindow < 1 || s.TailWindow > s.Periods {
+		return fmt.Errorf("experiment: TailWindow %d invalid for %d periods", s.TailWindow, s.Periods)
+	}
+	if s.MaxObservations < 0 {
+		return fmt.Errorf("experiment: negative MaxObservations")
+	}
+	return nil
+}

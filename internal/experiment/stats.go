@@ -1,0 +1,132 @@
+// Package experiment regenerates every figure of the paper's evaluation
+// (§3 measurement sweeps, Figs. 1–6, and §6 learning experiments,
+// Figs. 9–14) against the simulated prototype, reporting — as the paper
+// does — medians with 10th/90th percentile bands over independent
+// repetitions.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs by linear
+// interpolation. It panics on empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("experiment: percentile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Band summarizes repetitions at one point: median with the paper's
+// 10th/90th percentile shading.
+type Band struct {
+	Median, P10, P90 float64
+}
+
+// BandOf computes a Band from samples.
+func BandOf(xs []float64) Band {
+	return Band{Median: Median(xs), P10: Percentile(xs, 10), P90: Percentile(xs, 90)}
+}
+
+// Table is one regenerated figure as tabular data: rows of float columns
+// that plot the same series the paper's figure shows.
+type Table struct {
+	// ID is the experiment identifier ("fig9", ...).
+	ID string
+	// Title describes the figure.
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows hold the data.
+	Rows [][]float64
+}
+
+// AddRow appends a row, which must match the column count.
+func (t *Table) AddRow(vals ...float64) {
+	if len(vals) != len(t.Columns) {
+		panic(fmt.Sprintf("experiment: row of %d values for %d columns in %s", len(vals), len(t.Columns), t.ID))
+	}
+	t.Rows = append(t.Rows, vals)
+}
+
+// CSV renders the table as CSV.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%.6g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ASCII renders the table for terminal display, truncating long tables.
+func (t *Table) ASCII(maxRows int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%12s", c)
+	}
+	b.WriteByte('\n')
+	rows := t.Rows
+	truncated := false
+	if maxRows > 0 && len(rows) > maxRows {
+		rows = rows[:maxRows]
+		truncated = true
+	}
+	for _, row := range rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%12.4g", v)
+		}
+		b.WriteByte('\n')
+	}
+	if truncated {
+		fmt.Fprintf(&b, "... (%d more rows)\n", len(t.Rows)-maxRows)
+	}
+	return b.String()
+}

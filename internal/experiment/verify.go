@@ -1,0 +1,370 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+)
+
+// Check is one verified qualitative claim: the paper's stated effect and
+// whether the regenerated data reproduces it.
+type Check struct {
+	// Figure is the experiment id the claim belongs to.
+	Figure string
+	// Claim restates the paper's qualitative finding.
+	Claim string
+	// OK reports whether the regenerated table shows the effect.
+	OK bool
+	// Detail quantifies the observation.
+	Detail string
+}
+
+func check(figure, claim string, ok bool, format string, args ...any) Check {
+	return Check{Figure: figure, Claim: claim, OK: ok, Detail: fmt.Sprintf(format, args...)}
+}
+
+func colIndex(t *Table, name string) (int, error) {
+	for i, c := range t.Columns {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("experiment: table %s has no column %q", t.ID, name)
+}
+
+// column extracts one column, optionally filtered by an equality predicate
+// on another column.
+func column(t *Table, name string, filters map[string]float64) ([]float64, error) {
+	ci, err := colIndex(t, name)
+	if err != nil {
+		return nil, err
+	}
+	type f struct {
+		idx int
+		val float64
+	}
+	var fs []f
+	for fname, fval := range filters {
+		fi, err := colIndex(t, fname)
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f{fi, fval})
+	}
+	var out []float64
+	for _, row := range t.Rows {
+		keep := true
+		for _, flt := range fs {
+			if math.Abs(row[flt.idx]-flt.val) > 1e-9 {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, row[ci])
+		}
+	}
+	return out, nil
+}
+
+func monotone(xs []float64, increasing bool) bool {
+	for i := 1; i < len(xs); i++ {
+		if increasing && xs[i] < xs[i-1] {
+			return false
+		}
+		if !increasing && xs[i] > xs[i-1] {
+			return false
+		}
+	}
+	return len(xs) > 1
+}
+
+// VerifyFig1 checks the resolution↔delay/mAP trade-off.
+func VerifyFig1(t *Table) ([]Check, error) {
+	delay, err := column(t, "delay_s", nil)
+	if err != nil {
+		return nil, err
+	}
+	mAP, err := column(t, "mAP", nil)
+	if err != nil {
+		return nil, err
+	}
+	return []Check{
+		check("fig1", "higher-resolution images incur higher delay",
+			monotone(delay, true), "delay %.0f→%.0f ms across the sweep", 1000*delay[0], 1000*delay[len(delay)-1]),
+		check("fig1", "lower-resolution images yield lower mAP",
+			monotone(mAP, true), "mAP %.2f→%.2f across the sweep", mAP[0], mAP[len(mAP)-1]),
+	}, nil
+}
+
+// VerifyFig2 checks the airtime↔delay/server-power trade-off.
+func VerifyFig2(t *Table) ([]Check, error) {
+	fullRes := map[string]float64{"resolution": 1}
+	var delays, powers []float64
+	for _, air := range []float64{0.2, 0.5, 1.0} {
+		f := map[string]float64{"resolution": 1, "airtime": air}
+		d, err := column(t, "delay_s", f)
+		if err != nil {
+			return nil, err
+		}
+		p, err := column(t, "server_power_w", f)
+		if err != nil {
+			return nil, err
+		}
+		delays = append(delays, Mean(d))
+		powers = append(powers, Mean(p))
+	}
+	_ = fullRes
+	return []Check{
+		check("fig2", "more airtime lowers the service delay",
+			monotone(delays, false), "delay %.0f/%.0f/%.0f ms at airtime 20/50/100%%", 1000*delays[0], 1000*delays[1], 1000*delays[2]),
+		check("fig2", "more airtime raises server power (higher request rate)",
+			monotone(powers, true), "server %.0f/%.0f/%.0f W at airtime 20/50/100%%", powers[0], powers[1], powers[2]),
+	}, nil
+}
+
+// VerifyFig3 checks the GPU-speed effects.
+func VerifyFig3(t *Table) ([]Check, error) {
+	var delays, gpuDelays []float64
+	for _, g := range []float64{0.1, 0.45, 1.0} {
+		f := map[string]float64{"resolution": 1, "gpu_speed": g}
+		d, err := column(t, "delay_s", f)
+		if err != nil {
+			return nil, err
+		}
+		gd, err := column(t, "gpu_delay_s", f)
+		if err != nil {
+			return nil, err
+		}
+		delays = append(delays, Mean(d))
+		gpuDelays = append(gpuDelays, Mean(gd))
+	}
+	lowRes, err := column(t, "gpu_delay_s", map[string]float64{"gpu_speed": 1.0, "resolution": 0.25})
+	if err != nil {
+		return nil, err
+	}
+	highRes, err := column(t, "gpu_delay_s", map[string]float64{"gpu_speed": 1.0, "resolution": 1.0})
+	if err != nil {
+		return nil, err
+	}
+	return []Check{
+		check("fig3", "higher GPU speed lowers delay",
+			monotone(delays, false), "delay %.0f/%.0f/%.0f ms at speed 10/45/100%%", 1000*delays[0], 1000*delays[1], 1000*delays[2]),
+		check("fig3", "higher GPU speed lowers GPU delay",
+			monotone(gpuDelays, false), "GPU delay %.0f/%.0f/%.0f ms", 1000*gpuDelays[0], 1000*gpuDelays[1], 1000*gpuDelays[2]),
+		check("fig3", "higher-resolution images ease the GPU's work",
+			Mean(highRes) < Mean(lowRes), "GPU delay %.0f ms (res 100%%) vs %.0f ms (res 25%%)", 1000*Mean(highRes), 1000*Mean(lowRes)),
+	}, nil
+}
+
+// VerifyFig4 checks the mAP↔server-power inversion.
+func VerifyFig4(t *Table) ([]Check, error) {
+	mAP, err := column(t, "mAP", nil)
+	if err != nil {
+		return nil, err
+	}
+	power, err := column(t, "server_power_w", nil)
+	if err != nil {
+		return nil, err
+	}
+	// Rows are ordered by rising resolution: mAP rises, power falls.
+	return []Check{
+		check("fig4", "higher mAP coincides with lower server power",
+			monotone(mAP, true) && monotone(power, false),
+			"mAP %.2f→%.2f while power %.0f→%.0f W", mAP[0], mAP[len(mAP)-1], power[0], power[len(power)-1]),
+	}, nil
+}
+
+// mcsSlope returns (power at max MCS − power at min MCS) for a panel.
+func mcsSlope(t *Table, airtime, res float64) (float64, error) {
+	m, err := colIndex(t, "mean_mcs")
+	if err != nil {
+		return 0, err
+	}
+	p, err := colIndex(t, "bs_power_w")
+	if err != nil {
+		return 0, err
+	}
+	a, err := colIndex(t, "airtime")
+	if err != nil {
+		return 0, err
+	}
+	r, err := colIndex(t, "resolution")
+	if err != nil {
+		return 0, err
+	}
+	loMCS, hiMCS := math.Inf(1), math.Inf(-1)
+	var loP, hiP float64
+	for _, row := range t.Rows {
+		if math.Abs(row[a]-airtime) > 1e-9 || math.Abs(row[r]-res) > 1e-9 {
+			continue
+		}
+		if row[m] < loMCS {
+			loMCS, loP = row[m], row[p]
+		}
+		if row[m] > hiMCS {
+			hiMCS, hiP = row[m], row[p]
+		}
+	}
+	if math.IsInf(loMCS, 1) {
+		return 0, fmt.Errorf("experiment: no rows for airtime %v res %v in %s", airtime, res, t.ID)
+	}
+	return hiP - loP, nil
+}
+
+// VerifyFig5 checks the nominal-load radio-power shape.
+func VerifyFig5(t *Table) ([]Check, error) {
+	slope, err := mcsSlope(t, 1.0, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	lowAir, err := column(t, "bs_power_w", map[string]float64{"airtime": 0.2, "resolution": 1})
+	if err != nil {
+		return nil, err
+	}
+	highAir, err := column(t, "bs_power_w", map[string]float64{"airtime": 1.0, "resolution": 1})
+	if err != nil {
+		return nil, err
+	}
+	return []Check{
+		check("fig5", "higher MCS lowers BS power at nominal load",
+			slope < 0, "power(maxMCS) − power(minMCS) = %.2f W", slope),
+		check("fig5", "more airtime raises BS power",
+			Mean(highAir) > Mean(lowAir), "%.2f W at 100%% vs %.2f W at 20%% airtime", Mean(highAir), Mean(lowAir)),
+	}, nil
+}
+
+// VerifyFig6 checks the 10x-load inversion.
+func VerifyFig6(t *Table) ([]Check, error) {
+	slope, err := mcsSlope(t, 0.2, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	return []Check{
+		check("fig6", "at 10x load, higher MCS raises BS power for high-res traffic",
+			slope > 0, "power(maxMCS) − power(minMCS) = %.2f W at airtime 20%%", slope),
+	}, nil
+}
+
+// VerifyFig9 checks convergence of the online loop.
+func VerifyFig9(t *Table, scale Scale) ([]Check, error) {
+	var checks []Check
+	for _, d2 := range scale.Delta2s {
+		cost, err := column(t, "cost_med", map[string]float64{"delta2": d2})
+		if err != nil {
+			return nil, err
+		}
+		early := Mean(cost[:5])
+		late := Mean(cost[len(cost)-10:])
+		checks = append(checks, check("fig9",
+			fmt.Sprintf("cost converges downward (δ₂=%g)", d2),
+			late < early, "median cost %.0f→%.0f mu", early, late))
+	}
+	return checks, nil
+}
+
+// VerifyFig10 checks near-oracle operation.
+func VerifyFig10(t *Table) ([]Check, error) {
+	nc, err := colIndex(t, "norm_cost")
+	if err != nil {
+		return nil, err
+	}
+	oc, err := colIndex(t, "oracle_norm_cost")
+	if err != nil {
+		return nil, err
+	}
+	worst := 0.0
+	n := 0
+	for _, row := range t.Rows {
+		if row[oc] <= 0 {
+			continue // infeasible oracle (stringent settings)
+		}
+		gap := (row[nc] - row[oc]) / row[oc]
+		if gap > worst {
+			worst = gap
+		}
+		n++
+	}
+	return []Check{
+		check("fig10", "EdgeBOL operates near the offline oracle",
+			n > 0 && worst < 0.35, "worst normalized-cost gap %.0f%% over %d feasible settings", 100*worst, n),
+	}, nil
+}
+
+// VerifyFig12 checks the multi-user optimality gap and satisfaction.
+func VerifyFig12(t *Table) ([]Check, error) {
+	gaps, err := column(t, "gap_frac", nil)
+	if err != nil {
+		return nil, err
+	}
+	viols, err := column(t, "violation_rate", nil)
+	if err != nil {
+		return nil, err
+	}
+	maxGap, maxViol := 0.0, 0.0
+	for i := range gaps {
+		maxGap = math.Max(maxGap, gaps[i])
+		maxViol = math.Max(maxViol, viols[i])
+	}
+	return []Check{
+		check("fig12", "multi-user cost stays close to the oracle",
+			maxGap < 0.25, "worst gap %.1f%%", 100*maxGap),
+		check("fig12", "service constraints hold with high probability",
+			maxViol < 0.15, "worst violation rate %.1f%%", 100*maxViol),
+	}, nil
+}
+
+// VerifyFig13 checks the dynamic-context behaviour.
+func VerifyFig13(t *Table) ([]Check, error) {
+	snr, err := column(t, "snr_db_med", nil)
+	if err != nil {
+		return nil, err
+	}
+	safe, err := column(t, "safe_size_med", nil)
+	if err != nil {
+		return nil, err
+	}
+	varied := false
+	for i := 1; i < len(snr); i++ {
+		if math.Abs(snr[i]-snr[0]) > 2 {
+			varied = true
+		}
+	}
+	minSafe := math.Inf(1)
+	lateMax := 0.0
+	for i, s := range safe {
+		minSafe = math.Min(minSafe, s)
+		if i > len(safe)/3 {
+			lateMax = math.Max(lateMax, s)
+		}
+	}
+	return []Check{
+		check("fig13", "the channel context varies substantially", varied,
+			"SNR median span includes ±2 dB moves"),
+		check("fig13", "the safe set never collapses and grows past S₀ after warm-up",
+			minSafe >= 1 && lateMax > safe[0], "initial |S| %.0f, min %.0f, late max %.0f", safe[0], minSafe, lateMax),
+	}, nil
+}
+
+// VerifyFig14 checks the EdgeBOL-vs-DDPG comparison.
+func VerifyFig14(t *Table) ([]Check, error) {
+	a, err := colIndex(t, "algo")
+	if err != nil {
+		return nil, err
+	}
+	dv, err := colIndex(t, "delay_violation")
+	if err != nil {
+		return nil, err
+	}
+	mv, err := colIndex(t, "map_violation")
+	if err != nil {
+		return nil, err
+	}
+	var sums [2]float64
+	for _, row := range t.Rows {
+		sums[int(row[a])] += row[dv] + row[mv]
+	}
+	return []Check{
+		check("fig14", "EdgeBOL accumulates less constraint violation than DDPG",
+			sums[0] < sums[1], "cumulative violation %.1f (EdgeBOL) vs %.1f (DDPG)", sums[0], sums[1]),
+	}, nil
+}

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifySweepFigures(t *testing.T) {
+	scale := tinyScale()
+	type vf func(*Table) ([]Check, error)
+	cases := []struct {
+		gen func(Scale, int64) (*Table, error)
+		vf  vf
+	}{
+		{Fig1, VerifyFig1},
+		{Fig2, VerifyFig2},
+		{Fig3, VerifyFig3},
+		{Fig4, VerifyFig4},
+		{Fig5, VerifyFig5},
+		{Fig6, VerifyFig6},
+	}
+	for _, c := range cases {
+		tab, err := c.gen(scale, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checks, err := c.vf(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(checks) == 0 {
+			t.Fatalf("%s produced no checks", tab.ID)
+		}
+		for _, ck := range checks {
+			if !ck.OK {
+				t.Errorf("[%s] %s failed: %s", ck.Figure, ck.Claim, ck.Detail)
+			}
+			if ck.Detail == "" || ck.Claim == "" {
+				t.Errorf("%s: check missing text", ck.Figure)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsMissingColumns(t *testing.T) {
+	bad := &Table{ID: "fig1", Columns: []string{"nope"}, Rows: [][]float64{{1}}}
+	if _, err := VerifyFig1(bad); err == nil {
+		t.Fatal("expected error for missing columns")
+	}
+	if _, err := VerifyFig5(bad); err == nil {
+		t.Fatal("expected error for missing columns")
+	}
+}
+
+func TestVerifyFig9OnGeneratedData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning experiment skipped in -short mode")
+	}
+	scale := tinyScale()
+	tab, err := Fig9(scale, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks, err := VerifyFig9(tab, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != len(scale.Delta2s) {
+		t.Fatalf("%d checks, want %d", len(checks), len(scale.Delta2s))
+	}
+	okCount := 0
+	for _, c := range checks {
+		if c.OK {
+			okCount++
+		}
+	}
+	// At tiny scale a single δ₂ cell can be noisy; the bulk must converge.
+	if okCount < len(checks)-1 {
+		t.Fatalf("only %d/%d convergence checks passed", okCount, len(checks))
+	}
+}
+
+func TestVerifyFig14OnGeneratedData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning experiment skipped in -short mode")
+	}
+	tab, err := Fig14(tinyScale(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks, err := VerifyFig14(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != 1 || !strings.Contains(checks[0].Detail, "EdgeBOL") {
+		t.Fatalf("unexpected fig14 checks: %+v", checks)
+	}
+}

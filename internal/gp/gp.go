@@ -1,0 +1,200 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// GP is a Gaussian-process regressor with zero prior mean and i.i.d.
+// Gaussian observation noise of variance NoiseVar (the paper's ζ²).
+//
+// Observations are added one at a time (Add); the Cholesky factor of
+// K_T + ζ²·I grows incrementally in O(t²) per observation. An optional
+// sliding window (MaxObservations) bounds memory and per-step cost for long
+// runs by discarding the oldest observations.
+//
+// The zero value is not usable; construct with New.
+type GP struct {
+	kernel   Kernel
+	noiseVar float64
+
+	xs    [][]float64 // observed inputs, owned copies
+	ys    []float64   // observed targets
+	chol  *linalg.Cholesky
+	alpha []float64 // (K + ζ²I)⁻¹ y
+
+	maxObs int
+	// scratch buffers reused across calls
+	kbuf []float64
+}
+
+// New returns a GP with the given kernel and observation-noise variance.
+// maxObservations bounds the retained history (0 means unlimited); when the
+// bound is hit the oldest half of the observations is discarded and the
+// factor rebuilt, amortizing to O(t²) per step.
+func New(kernel Kernel, noiseVar float64, maxObservations int) *GP {
+	if kernel == nil {
+		panic("gp: nil kernel")
+	}
+	if noiseVar <= 0 {
+		panic(fmt.Sprintf("gp: noise variance %v must be positive", noiseVar))
+	}
+	if maxObservations < 0 {
+		panic("gp: negative observation bound")
+	}
+	if maxObservations > 0 && maxObservations < 2 {
+		panic("gp: observation bound must be at least 2")
+	}
+	return &GP{kernel: kernel, noiseVar: noiseVar, maxObs: maxObservations}
+}
+
+// Kernel returns the kernel in use.
+func (g *GP) Kernel() Kernel { return g.kernel }
+
+// NoiseVar returns the observation-noise variance ζ².
+func (g *GP) NoiseVar() float64 { return g.noiseVar }
+
+// Len returns the number of retained observations.
+func (g *GP) Len() int { return len(g.xs) }
+
+// Add incorporates the observation (x, y). The input is copied.
+func (g *GP) Add(x []float64, y float64) error {
+	if len(x) != g.kernel.Dim() {
+		return fmt.Errorf("gp: input dimension %d does not match kernel dimension %d", len(x), g.kernel.Dim())
+	}
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return fmt.Errorf("gp: non-finite observation %v", y)
+	}
+	if g.maxObs > 0 && len(g.xs) >= g.maxObs {
+		g.evict(g.maxObs / 2)
+	}
+	xc := append([]float64(nil), x...)
+	n := len(g.xs)
+	if n == 0 {
+		k00 := g.kernel.Eval(xc, xc) + g.noiseVar
+		chol, err := linalg.NewCholesky(linalg.NewMatrixFrom(1, 1, []float64{k00}))
+		if err != nil {
+			return err
+		}
+		g.chol = chol
+	} else {
+		b := make([]float64, n)
+		for i, xi := range g.xs {
+			b[i] = g.kernel.Eval(xi, xc)
+		}
+		if err := g.chol.Append(b, g.kernel.Eval(xc, xc)+g.noiseVar); err != nil {
+			return err
+		}
+	}
+	g.xs = append(g.xs, xc)
+	g.ys = append(g.ys, y)
+	g.refreshAlpha()
+	return nil
+}
+
+// evict drops the oldest keepFrom observations and rebuilds the factor.
+func (g *GP) evict(dropCount int) {
+	g.xs = append([][]float64(nil), g.xs[dropCount:]...)
+	g.ys = append([]float64(nil), g.ys[dropCount:]...)
+	n := len(g.xs)
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := g.kernel.Eval(g.xs[i], g.xs[j])
+			if i == j {
+				v += g.noiseVar
+			}
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	chol, err := linalg.NewCholesky(k)
+	if err != nil {
+		// The kernel matrix with ζ² on the diagonal is positive definite by
+		// construction; a failure here indicates corrupted state.
+		panic(fmt.Sprintf("gp: rebuild after eviction failed: %v", err))
+	}
+	g.chol = chol
+}
+
+func (g *GP) refreshAlpha() {
+	g.alpha = append(g.alpha[:0], g.ys...)
+	g.chol.SolveVec(g.alpha)
+}
+
+// Posterior returns the posterior mean and standard deviation at x
+// (paper eq. 3–4). With no observations it returns the prior (0, √k(x,x)).
+func (g *GP) Posterior(x []float64) (mu, sigma float64) {
+	if len(x) != g.kernel.Dim() {
+		panic(fmt.Sprintf("gp: input dimension %d does not match kernel dimension %d", len(x), g.kernel.Dim()))
+	}
+	prior := g.kernel.Eval(x, x)
+	if len(g.xs) == 0 {
+		return 0, math.Sqrt(prior)
+	}
+	n := len(g.xs)
+	if cap(g.kbuf) < n {
+		g.kbuf = make([]float64, n)
+	}
+	k := g.kbuf[:n]
+	for i, xi := range g.xs {
+		k[i] = g.kernel.Eval(xi, x)
+	}
+	mu = linalg.Dot(k, g.alpha)
+	// v = L⁻¹ k; var = k(x,x) − ‖v‖².
+	g.chol.ForwardSolve(k)
+	v := prior - linalg.Dot(k, k)
+	if v < 0 {
+		v = 0
+	}
+	return mu, math.Sqrt(v)
+}
+
+// PosteriorBatch evaluates the posterior over a candidate set, writing the
+// results into mu and sigma (each of length len(candidates)). It is the hot
+// path of EdgeBOL's per-period safe-set and acquisition computation and runs
+// in O(B·t²) for B candidates and t observations.
+func (g *GP) PosteriorBatch(candidates [][]float64, mu, sigma []float64) {
+	if len(mu) != len(candidates) || len(sigma) != len(candidates) {
+		panic("gp: PosteriorBatch output length mismatch")
+	}
+	n := len(g.xs)
+	if n == 0 {
+		for i, c := range candidates {
+			mu[i] = 0
+			sigma[i] = math.Sqrt(g.kernel.Eval(c, c))
+		}
+		return
+	}
+	if cap(g.kbuf) < n {
+		g.kbuf = make([]float64, n)
+	}
+	k := g.kbuf[:n]
+	for ci, c := range candidates {
+		prior := g.kernel.Eval(c, c)
+		for i, xi := range g.xs {
+			k[i] = g.kernel.Eval(xi, c)
+		}
+		mu[ci] = linalg.Dot(k, g.alpha)
+		g.chol.ForwardSolve(k)
+		v := prior - linalg.Dot(k, k)
+		if v < 0 {
+			v = 0
+		}
+		sigma[ci] = math.Sqrt(v)
+	}
+}
+
+// LogMarginalLikelihood returns the log evidence of the retained
+// observations under the current kernel and noise:
+//
+//	log p(y|X) = −½ yᵀα − ½ log det(K+ζ²I) − (n/2) log 2π.
+func (g *GP) LogMarginalLikelihood() float64 {
+	n := len(g.xs)
+	if n == 0 {
+		return 0
+	}
+	return -0.5*linalg.Dot(g.ys, g.alpha) - 0.5*g.chol.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi)
+}

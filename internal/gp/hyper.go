@@ -1,0 +1,111 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Hyperparams bundles the tunables of a GP model: per-dimension length
+// scales and the observation-noise variance ζ². The paper (§5 "Kernel
+// selection") fits these by maximizing the likelihood of prior data and then
+// freezes them for the online run.
+type Hyperparams struct {
+	LengthScales []float64
+	NoiseVar     float64
+}
+
+// KernelFactory builds a kernel from fitted length scales, letting the
+// hyperparameter search be reused across kernel families.
+type KernelFactory func(lengthScales []float64) Kernel
+
+// Matern32Factory builds Matérn-3/2 kernels (the paper's choice).
+func Matern32Factory(ls []float64) Kernel { return NewMatern32(ls) }
+
+// Matern52Factory builds Matérn-5/2 kernels.
+func Matern52Factory(ls []float64) Kernel { return NewMatern52(ls) }
+
+// RBFFactory builds squared-exponential kernels.
+func RBFFactory(ls []float64) Kernel { return NewRBF(ls) }
+
+// FitOptions controls the random-search hyperparameter fit.
+type FitOptions struct {
+	// Iterations is the number of random candidates evaluated.
+	Iterations int
+	// LengthScaleMin/Max bound the log-uniform length-scale search.
+	LengthScaleMin, LengthScaleMax float64
+	// NoiseVarMin/Max bound the log-uniform noise search.
+	NoiseVarMin, NoiseVarMax float64
+	// Rand supplies randomness; required.
+	Rand *rand.Rand
+}
+
+// DefaultFitOptions returns bounds suited to inputs normalized to [0,1].
+func DefaultFitOptions(rng *rand.Rand) FitOptions {
+	return FitOptions{
+		Iterations:     60,
+		LengthScaleMin: 0.05,
+		LengthScaleMax: 3.0,
+		NoiseVarMin:    1e-6,
+		NoiseVarMax:    1e-1,
+		Rand:           rng,
+	}
+}
+
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+}
+
+// Fit searches hyperparameters maximizing the log marginal likelihood of
+// the prior dataset (xs, ys) via random search. It returns the best
+// hyperparameters found and their likelihood.
+//
+// Random search is deliberate: the likelihood surface over a handful of
+// length scales is cheap to probe, derivative-free search is robust to its
+// multi-modality, and the paper freezes hyperparameters after this offline
+// phase anyway.
+func Fit(factory KernelFactory, xs [][]float64, ys []float64, opts FitOptions) (Hyperparams, float64, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return Hyperparams{}, 0, fmt.Errorf("gp: Fit needs matching non-empty data, got %d inputs and %d targets", len(xs), len(ys))
+	}
+	if opts.Rand == nil {
+		return Hyperparams{}, 0, fmt.Errorf("gp: FitOptions.Rand is required")
+	}
+	if opts.Iterations <= 0 {
+		return Hyperparams{}, 0, fmt.Errorf("gp: FitOptions.Iterations must be positive")
+	}
+	dim := len(xs[0])
+	best := Hyperparams{}
+	bestLL := math.Inf(-1)
+	for it := 0; it < opts.Iterations; it++ {
+		ls := make([]float64, dim)
+		for d := range ls {
+			ls[d] = logUniform(opts.Rand, opts.LengthScaleMin, opts.LengthScaleMax)
+		}
+		noise := logUniform(opts.Rand, opts.NoiseVarMin, opts.NoiseVarMax)
+		ll, err := evidence(factory(ls), noise, xs, ys)
+		if err != nil {
+			continue
+		}
+		if ll > bestLL {
+			bestLL = ll
+			best = Hyperparams{LengthScales: ls, NoiseVar: noise}
+		}
+	}
+	if math.IsInf(bestLL, -1) {
+		return Hyperparams{}, 0, fmt.Errorf("gp: hyperparameter search failed for all %d candidates", opts.Iterations)
+	}
+	return best, bestLL, nil
+}
+
+// evidence computes the log marginal likelihood of (xs, ys) under the given
+// kernel and noise by fitting a throwaway GP.
+func evidence(k Kernel, noiseVar float64, xs [][]float64, ys []float64) (float64, error) {
+	g := New(k, noiseVar, 0)
+	for i, x := range xs {
+		if err := g.Add(x, ys[i]); err != nil {
+			return 0, err
+		}
+	}
+	return g.LogMarginalLikelihood(), nil
+}

@@ -1,0 +1,153 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func kernels(ls []float64) []Kernel {
+	return []Kernel{NewMatern32(ls), NewMatern52(ls), NewRBF(ls)}
+}
+
+func randVec(rng *rand.Rand, d int) []float64 {
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestKernelSelfCovarianceIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range kernels([]float64{0.5, 1.5, 2}) {
+		for trial := 0; trial < 20; trial++ {
+			x := randVec(rng, 3)
+			if v := k.Eval(x, x); math.Abs(v-1) > 1e-12 {
+				t.Fatalf("%T: k(x,x) = %v, want 1", k, v)
+			}
+		}
+	}
+}
+
+func TestKernelSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ls := []float64{0.3, 0.7, 1.1, 2.2}
+		a, b := randVec(rng, 4), randVec(rng, 4)
+		for _, k := range kernels(ls) {
+			if math.Abs(k.Eval(a, b)-k.Eval(b, a)) > 1e-14 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randVec(rng, 2), randVec(rng, 2)
+		for _, k := range kernels([]float64{0.4, 0.9}) {
+			v := k.Eval(a, b)
+			if v < 0 || v > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelMonotoneDecayWithDistance(t *testing.T) {
+	// Along a ray from the origin, covariance must decrease.
+	for _, k := range kernels([]float64{1}) {
+		prev := math.Inf(1)
+		for d := 0.0; d <= 5; d += 0.25 {
+			v := k.Eval([]float64{0}, []float64{d})
+			if v > prev+1e-12 {
+				t.Fatalf("%T: covariance not monotone at distance %v", k, d)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestKernelAnisotropy(t *testing.T) {
+	// A short length scale on dim 0 makes displacement there decay faster
+	// than the same displacement on dim 1.
+	k := NewMatern32([]float64{0.1, 10})
+	near := k.Eval([]float64{0, 0}, []float64{0, 1})
+	far := k.Eval([]float64{0, 0}, []float64{1, 0})
+	if far >= near {
+		t.Fatalf("anisotropy broken: along-short-scale %v >= along-long-scale %v", far, near)
+	}
+}
+
+func TestKernelStationarity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, shift := randVec(rng, 3), randVec(rng, 3), randVec(rng, 3)
+		as, bs := make([]float64, 3), make([]float64, 3)
+		for i := range shift {
+			as[i], bs[i] = a[i]+shift[i], b[i]+shift[i]
+		}
+		for _, k := range kernels([]float64{0.5, 1, 2}) {
+			if math.Abs(k.Eval(a, b)-k.Eval(as, bs)) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatern32MatchesClosedForm(t *testing.T) {
+	k := NewMatern32([]float64{2})
+	// distance d = |a-b|/l = 1.5
+	a, b := []float64{0}, []float64{3}
+	d := math.Sqrt(3) * 1.5
+	want := (1 + d) * math.Exp(-d)
+	if got := k.Eval(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Matern32 = %v, want %v", got, want)
+	}
+}
+
+func TestKernelBadLengthScalesPanic(t *testing.T) {
+	for _, bad := range [][]float64{nil, {}, {0}, {-1}, {math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for length scales %v", bad)
+				}
+			}()
+			NewMatern32(bad)
+		}()
+	}
+}
+
+func TestKernelDim(t *testing.T) {
+	for _, k := range kernels([]float64{1, 2, 3}) {
+		if k.Dim() != 3 {
+			t.Fatalf("%T: Dim = %d, want 3", k, k.Dim())
+		}
+	}
+}
+
+func TestMatern52SmootherThanMatern32(t *testing.T) {
+	// Near the origin the smoother kernel stays closer to 1.
+	m32 := NewMatern32([]float64{1})
+	m52 := NewMatern52([]float64{1})
+	a, b := []float64{0}, []float64{0.2}
+	if m52.Eval(a, b) <= m32.Eval(a, b) {
+		t.Fatal("Matern52 should decay slower near zero than Matern32")
+	}
+}

@@ -1,0 +1,84 @@
+package gp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+// Property: every kernel produces positive semi-definite Gram matrices —
+// the factorization with jitter must always succeed on random point sets.
+func TestKernelGramMatricesPSD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(5)
+		ls := make([]float64, dim)
+		for i := range ls {
+			ls[i] = 0.1 + rng.Float64()*2
+		}
+		n := 2 + rng.Intn(12)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = randVec(rng, dim)
+		}
+		for _, k := range kernels(ls) {
+			gram := linalg.NewMatrix(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j <= i; j++ {
+					v := k.Eval(pts[i], pts[j])
+					gram.Set(i, j, v)
+					gram.Set(j, i, v)
+				}
+			}
+			if _, err := linalg.NewCholesky(gram); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the posterior survives eviction cycles — batch and single
+// evaluations stay consistent after the sliding window has triggered
+// multiple rebuilds.
+func TestPosteriorBatchConsistentAfterEvictions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(NewMatern32([]float64{0.5, 0.7}), 1e-3, 8)
+		for i := 0; i < 30; i++ {
+			if err := g.Add([]float64{rng.Float64(), rng.Float64()}, rng.NormFloat64()); err != nil {
+				return false
+			}
+		}
+		cands := [][]float64{
+			{rng.Float64(), rng.Float64()},
+			{rng.Float64(), rng.Float64()},
+			{rng.Float64(), rng.Float64()},
+		}
+		mu := make([]float64, len(cands))
+		sigma := make([]float64, len(cands))
+		g.PosteriorBatch(cands, mu, sigma)
+		for i, c := range cands {
+			m, s := g.Posterior(c)
+			if diff(m, mu[i]) > 1e-9 || diff(s, sigma[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func diff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

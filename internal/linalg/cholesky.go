@@ -1,0 +1,204 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a matrix cannot be factorized even
+// after the maximum jitter has been applied to its diagonal.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds a lower-triangular Cholesky factor L with A = L·Lᵀ.
+//
+// It supports incremental growth: Append extends the factor by one row and
+// column in O(n²), which is what lets the GP add one observation per control
+// period without refactorizing its whole kernel matrix.
+type Cholesky struct {
+	n int
+	// l stores the lower triangle row-major: row i occupies
+	// l[i*(i+1)/2 : i*(i+1)/2 + i + 1].
+	l []float64
+	// jitter actually applied to the diagonal during factorization.
+	jitter float64
+}
+
+// DefaultJitter is the initial diagonal regularization tried when a matrix
+// is numerically semi-definite.
+const DefaultJitter = 1e-10
+
+// maxJitter bounds the progressive jitter escalation.
+const maxJitter = 1e-2
+
+// NewCholesky factorizes the symmetric positive-definite matrix a
+// (only its lower triangle is read). If the factorization encounters a
+// non-positive pivot, it retries with progressively larger diagonal jitter,
+// up to a limit, and records the jitter used.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	c := &Cholesky{n: n, l: make([]float64, n*(n+1)/2)}
+	jitter := 0.0
+	for {
+		if err := c.factorize(a, jitter); err == nil {
+			c.jitter = jitter
+			return c, nil
+		}
+		if jitter == 0 {
+			jitter = DefaultJitter
+		} else {
+			jitter *= 100
+		}
+		if jitter > maxJitter {
+			return nil, ErrNotPositiveDefinite
+		}
+	}
+}
+
+func (c *Cholesky) factorize(a *Matrix, jitter float64) error {
+	n := c.n
+	for i := 0; i < n; i++ {
+		ri := c.rowStart(i)
+		for j := 0; j <= i; j++ {
+			rj := c.rowStart(j)
+			sum := a.At(i, j)
+			if i == j {
+				sum += jitter
+			}
+			for k := 0; k < j; k++ {
+				sum -= c.l[ri+k] * c.l[rj+k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return ErrNotPositiveDefinite
+				}
+				c.l[ri+j] = math.Sqrt(sum)
+			} else {
+				c.l[ri+j] = sum / c.l[rj+j]
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Cholesky) rowStart(i int) int { return i * (i + 1) / 2 }
+
+// Size returns the dimension of the factorized matrix.
+func (c *Cholesky) Size() int { return c.n }
+
+// Jitter returns the diagonal jitter that was applied during factorization.
+func (c *Cholesky) Jitter() float64 { return c.jitter }
+
+// LAt returns element (i,j) of the lower-triangular factor (zero for j > i).
+func (c *Cholesky) LAt(i, j int) float64 {
+	if j > i {
+		return 0
+	}
+	return c.l[c.rowStart(i)+j]
+}
+
+// Append grows the factor by one row/column for the bordered matrix
+//
+//	A' = [ A  b ]
+//	     [ bᵀ d ]
+//
+// where b has length Size() and d is the new diagonal entry. It runs in
+// O(n²). If the implied new pivot is non-positive, jitter is added to d up
+// to the package limit; beyond that ErrNotPositiveDefinite is returned and
+// the factor is unchanged.
+func (c *Cholesky) Append(b []float64, d float64) error {
+	if len(b) != c.n {
+		return fmt.Errorf("linalg: Append vector length %d does not match size %d", len(b), c.n)
+	}
+	// Solve L·w = b for w: the new row of the factor.
+	w := make([]float64, c.n+1)
+	for i := 0; i < c.n; i++ {
+		ri := c.rowStart(i)
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= c.l[ri+k] * w[k]
+		}
+		w[i] = sum / c.l[ri+i]
+	}
+	pivot := d + c.jitter - Dot(w[:c.n], w[:c.n])
+	jitter := c.jitter
+	for pivot <= 0 || math.IsNaN(pivot) {
+		if jitter == 0 {
+			jitter = DefaultJitter
+		} else {
+			jitter *= 100
+		}
+		if jitter > maxJitter {
+			return ErrNotPositiveDefinite
+		}
+		pivot = d + jitter - Dot(w[:c.n], w[:c.n])
+	}
+	// Note: escalating jitter here only regularizes the appended diagonal
+	// entry; earlier pivots keep the jitter recorded at factorization time.
+	w[c.n] = math.Sqrt(pivot)
+	c.l = append(c.l, w...)
+	c.n++
+	return nil
+}
+
+// SolveVec solves A·x = y in place using the factorization
+// (forward then backward substitution). It returns x (same slice as y).
+func (c *Cholesky) SolveVec(y []float64) []float64 {
+	if len(y) != c.n {
+		panic(fmt.Sprintf("linalg: SolveVec length %d does not match size %d", len(y), c.n))
+	}
+	c.ForwardSolve(y)
+	c.BackwardSolve(y)
+	return y
+}
+
+// ForwardSolve solves L·x = y in place.
+func (c *Cholesky) ForwardSolve(y []float64) {
+	for i := 0; i < c.n; i++ {
+		ri := c.rowStart(i)
+		sum := y[i]
+		for k := 0; k < i; k++ {
+			sum -= c.l[ri+k] * y[k]
+		}
+		y[i] = sum / c.l[ri+i]
+	}
+}
+
+// BackwardSolve solves Lᵀ·x = y in place.
+func (c *Cholesky) BackwardSolve(y []float64) {
+	for i := c.n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < c.n; k++ {
+			sum -= c.l[c.rowStart(k)+i] * y[k]
+		}
+		y[i] = sum / c.l[c.rowStart(i)+i]
+	}
+}
+
+// LogDet returns log det(A) = 2·Σ log L[i,i].
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.l[c.rowStart(i)+i])
+	}
+	return 2 * s
+}
+
+// Reconstruct returns L·Lᵀ, mainly for tests.
+func (c *Cholesky) Reconstruct() *Matrix {
+	a := NewMatrix(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += c.LAt(i, k) * c.LAt(j, k)
+			}
+			a.Set(i, j, s)
+			a.Set(j, i, s)
+		}
+	}
+	return a
+}

@@ -1,0 +1,246 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randSPD returns a random symmetric positive-definite n×n matrix
+// A = Mᵀ·M + n·I.
+func randSPD(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	a := Mul(m.Transpose(), m)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestCholeskyReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 1; n <= 12; n++ {
+		a := randSPD(rng, n)
+		c, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := MaxAbsDiff(c.Reconstruct(), a); d > 1e-9 {
+			t.Fatalf("n=%d: reconstruction error %g", n, d)
+		}
+	}
+}
+
+func TestCholeskyNonSquare(t *testing.T) {
+	if _, err := NewCholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestCholeskyIndefinite(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 0, 0, -5})
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("expected failure on an indefinite matrix")
+	}
+}
+
+func TestCholeskySemidefiniteJitter(t *testing.T) {
+	// Rank-1 matrix; needs jitter but should succeed.
+	a := NewMatrixFrom(2, 2, []float64{1, 1, 1, 1})
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatalf("semidefinite matrix should factorize with jitter: %v", err)
+	}
+	if c.Jitter() == 0 {
+		t.Fatal("expected nonzero jitter to be recorded")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 1; n <= 10; n++ {
+		a := randSPD(rng, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := a.MulVec(x)
+		c, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := c.SolveVec(y)
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-8 {
+				t.Fatalf("n=%d: solve mismatch at %d: got %v want %v", n, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyLogDet(t *testing.T) {
+	// diag(4, 9): det = 36, log det = log 36.
+	a := NewMatrixFrom(2, 2, []float64{4, 0, 0, 9})
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.LogDet()-math.Log(36)) > 1e-12 {
+		t.Fatalf("LogDet = %v, want %v", c.LogDet(), math.Log(36))
+	}
+}
+
+func TestCholeskyAppendMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 8
+	a := randSPD(rng, n)
+
+	// Incremental: factorize the 1x1 leading block and append the rest.
+	inc, err := NewCholesky(NewMatrixFrom(1, 1, []float64{a.At(0, 0)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < n; k++ {
+		b := make([]float64, k)
+		for i := 0; i < k; i++ {
+			b[i] = a.At(k, i)
+		}
+		if err := inc.Append(b, a.At(k, k)); err != nil {
+			t.Fatalf("Append k=%d: %v", k, err)
+		}
+	}
+	full, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Abs(inc.LAt(i, j)-full.LAt(i, j)) > 1e-9 {
+				t.Fatalf("factor mismatch at (%d,%d): inc %v full %v", i, j, inc.LAt(i, j), full.LAt(i, j))
+			}
+		}
+	}
+}
+
+func TestCholeskyAppendBadLength(t *testing.T) {
+	c, _ := NewCholesky(NewMatrixFrom(1, 1, []float64{1}))
+	if err := c.Append([]float64{1, 2}, 3); err == nil {
+		t.Fatal("expected error for wrong border length")
+	}
+}
+
+func TestCholeskyAppendSemidefinite(t *testing.T) {
+	// Appending a duplicate row makes the bordered matrix singular; jitter on
+	// the new pivot should rescue it.
+	c, err := NewCholesky(NewMatrixFrom(1, 1, []float64{2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append([]float64{2}, 2); err != nil {
+		t.Fatalf("expected jittered append to succeed: %v", err)
+	}
+	if c.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", c.Size())
+	}
+}
+
+// Property: for random SPD systems, solving then multiplying returns the RHS.
+func TestCholeskySolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := randSPD(rng, n)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		yOrig := append([]float64(nil), y...)
+		c, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		x := c.SolveVec(y)
+		back := a.MulVec(x)
+		for i := range back {
+			if math.Abs(back[i]-yOrig[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: incremental append keeps LogDet consistent with a fresh
+// factorization of the same matrix.
+func TestCholeskyAppendLogDetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := randSPD(rng, n)
+		inc, err := NewCholesky(NewMatrixFrom(1, 1, []float64{a.At(0, 0)}))
+		if err != nil {
+			return false
+		}
+		for k := 1; k < n; k++ {
+			b := make([]float64, k)
+			for i := 0; i < k; i++ {
+				b[i] = a.At(k, i)
+			}
+			if err := inc.Append(b, a.At(k, k)); err != nil {
+				return false
+			}
+		}
+		full, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		return math.Abs(inc.LogDet()-full.LogDet()) < 1e-7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCholeskyFull200(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := randSPD(rng, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholeskyAppend200(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := randSPD(rng, 201)
+	base := NewMatrix(200, 200)
+	for i := 0; i < 200; i++ {
+		for j := 0; j < 200; j++ {
+			base.Set(i, j, a.At(i, j))
+		}
+	}
+	border := make([]float64, 200)
+	for i := range border {
+		border[i] = a.At(200, i)
+	}
+	c0, err := NewCholesky(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := &Cholesky{n: c0.n, l: append([]float64(nil), c0.l...), jitter: c0.jitter}
+		if err := c.Append(border, a.At(200, 200)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewMatrixFrom(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if m.At(0, 2) != 3 || m.At(1, 0) != 4 {
+		t.Fatalf("row-major layout broken: %v", m)
+	}
+}
+
+func TestNewMatrixFromBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched data length")
+		}
+	}()
+	NewMatrixFrom(2, 2, []float64{1, 2, 3})
+}
+
+func TestSetAt(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(1, 0, 7.5)
+	if m.At(1, 0) != 7.5 {
+		t.Fatalf("Set/At roundtrip failed")
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestRowAliases(t *testing.T) {
+	m := NewMatrix(2, 2)
+	r := m.Row(1)
+	r[1] = 9
+	if m.At(1, 1) != 9 {
+		t.Fatal("Row must alias matrix storage")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewMatrixFrom(1, 2, []float64{1, 2})
+	c := m.Clone()
+	c.Set(0, 0, 100)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestResizeZeroes(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	m.Resize(1, 2)
+	if m.At(0, 0) != 0 || m.At(0, 1) != 0 {
+		t.Fatal("Resize must zero contents")
+	}
+	if m.Rows() != 1 || m.Cols() != 2 {
+		t.Fatal("Resize dimensions wrong")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 0, 2, 0, 3, 0})
+	y := m.MulVec([]float64{1, 1, 1})
+	if y[0] != 3 || y[1] != 3 {
+		t.Fatalf("MulVec = %v, want [3 3]", y)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewMatrixFrom(2, 2, []float64{5, 6, 7, 8})
+	c := Mul(a, b)
+	want := NewMatrixFrom(2, 2, []float64{19, 22, 43, 50})
+	if MaxAbsDiff(c, want) > 1e-12 {
+		t.Fatalf("Mul = %v, want %v", c, want)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := a.Transpose()
+	if at.Rows() != 3 || at.Cols() != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("Transpose wrong: %v", at)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := NewMatrix(r, c)
+		for i := range m.data {
+			m.data[i] = rng.NormFloat64()
+		}
+		return MaxAbsDiff(m.Transpose().Transpose(), m) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-15 {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m, p := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a, b := NewMatrix(n, m), NewMatrix(m, p)
+		for i := range a.data {
+			a.data[i] = rng.NormFloat64()
+		}
+		for i := range b.data {
+			b.data[i] = rng.NormFloat64()
+		}
+		lhs := Mul(a, b).Transpose()
+		rhs := Mul(b.Transpose(), a.Transpose())
+		return MaxAbsDiff(lhs, rhs) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package multislice
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ran"
+	"repro/internal/testbed"
+)
+
+func twoSlices() []SliceConfig {
+	return []SliceConfig{
+		{
+			Name:          "surveillance",
+			AirtimeBudget: 0.6,
+			GPUShare:      0.6,
+			Users:         []ran.User{{SNRdB: 35}},
+			Weights:       core.CostWeights{Delta1: 1, Delta2: 1},
+			Constraints:   core.Constraints{MaxDelay: 0.6, MinMAP: 0.5},
+		},
+		{
+			Name:          "inspection",
+			AirtimeBudget: 0.4,
+			GPUShare:      0.4,
+			Users:         []ran.User{{SNRdB: 30}},
+			Weights:       core.CostWeights{Delta1: 1, Delta2: 4},
+			Constraints:   core.Constraints{MaxDelay: 1.0, MinMAP: 0.4},
+		},
+	}
+}
+
+func grid() core.GridSpec {
+	return core.GridSpec{Levels: 5, MinResolution: 0.1, MinAirtime: 0.1}
+}
+
+func TestNewValidation(t *testing.T) {
+	base := testbed.DefaultConfig()
+	if _, err := New(base, grid(), nil, 1); err == nil {
+		t.Fatal("expected error for no slices")
+	}
+	bad := twoSlices()
+	bad[0].AirtimeBudget = 0.9 // sums to 1.3
+	if _, err := New(base, grid(), bad, 1); err == nil {
+		t.Fatal("expected error for oversubscribed airtime")
+	}
+	bad = twoSlices()
+	bad[1].GPUShare = 0.7 // sums to 1.3
+	if _, err := New(base, grid(), bad, 1); err == nil {
+		t.Fatal("expected error for oversubscribed GPU")
+	}
+	bad = twoSlices()
+	bad[0].Name = ""
+	if _, err := New(base, grid(), bad, 1); err == nil {
+		t.Fatal("expected error for unnamed slice")
+	}
+	bad = twoSlices()
+	bad[0].Users = nil
+	if _, err := New(base, grid(), bad, 1); err == nil {
+		t.Fatal("expected error for userless slice")
+	}
+}
+
+func TestSliceEnvScalesAirtime(t *testing.T) {
+	sys, err := New(testbed.DefaultConfig(), grid(), twoSlices(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sys.Slices[1].Env // 40% budget
+	full, err := env.Expected(core.Control{Resolution: 0.8, Airtime: 1, GPUSpeed: 1, MCS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Against a raw testbed with the same users, the slice's "full
+	// airtime" must behave like 40% machine airtime: higher delay.
+	raw, err := testbed.New(testbed.DefaultConfig(), []ran.User{{SNRdB: 30}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machineFull, err := raw.Expected(core.Control{Resolution: 0.8, Airtime: 1, GPUSpeed: 1, MCS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Delay <= machineFull.Delay {
+		t.Fatalf("slice-relative airtime not scaled: slice %v vs machine %v", full.Delay, machineFull.Delay)
+	}
+}
+
+func TestSliceGPUShareSlowsService(t *testing.T) {
+	sys, err := New(testbed.DefaultConfig(), grid(), twoSlices(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := core.Control{Resolution: 0.8, Airtime: 1, GPUSpeed: 1, MCS: 1}
+	big, err := sys.Slices[0].Env.Expected(x) // 60% GPU
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := sys.Slices[1].Env.Expected(x) // 40% GPU
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.GPUDelay <= big.GPUDelay {
+		t.Fatalf("smaller GPU share should mean slower service: %v vs %v", small.GPUDelay, big.GPUDelay)
+	}
+}
+
+func TestPowerAttributionSumsSensibly(t *testing.T) {
+	sys, err := New(testbed.DefaultConfig(), grid(), twoSlices(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := core.Control{Resolution: 0.8, Airtime: 1, GPUSpeed: 1, MCS: 1}
+	var bsSum, serverSum float64
+	for _, sl := range sys.Slices {
+		k, err := sl.Env.Expected(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bsSum += k.BSPower
+		serverSum += k.ServerPower
+	}
+	// Slice-attributed powers must total within the machine envelope: at
+	// least one idle draw, at most idle + both dynamic components.
+	if bsSum < 4 || bsSum > 9 {
+		t.Fatalf("attributed BS power total %v outside the machine envelope", bsSum)
+	}
+	if serverSum < 75 || serverSum > 250 {
+		t.Fatalf("attributed server power total %v outside the machine envelope", serverSum)
+	}
+}
+
+func TestBothSlicesConverge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-slice convergence skipped in -short mode")
+	}
+	sys, err := New(testbed.DefaultConfig(), grid(), twoSlices(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const periods = 70
+	early := make([]float64, len(sys.Slices))
+	late := make([]float64, len(sys.Slices))
+	lateViolations := 0
+	for t2 := 0; t2 < periods; t2++ {
+		results, err := sys.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range results {
+			c := sys.Slices[i].Config.Weights.Cost(r.KPIs)
+			if t2 < 10 {
+				early[i] += c / 10
+			}
+			if t2 >= periods-15 {
+				late[i] += c / 15
+				cons := sys.Slices[i].Config.Constraints
+				if r.KPIs.Delay > cons.MaxDelay*1.05 || r.KPIs.MAP < cons.MinMAP-0.05 {
+					lateViolations++
+				}
+			}
+		}
+	}
+	for i := range sys.Slices {
+		t.Logf("slice %s: early %.1f late %.1f", sys.Slices[i].Config.Name, early[i], late[i])
+		if late[i] >= early[i] {
+			t.Errorf("slice %s did not improve: %.1f -> %.1f", sys.Slices[i].Config.Name, early[i], late[i])
+		}
+	}
+	if lateViolations > 4 {
+		t.Fatalf("%d late violations across slices", lateViolations)
+	}
+}

@@ -1,0 +1,55 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Adam is the Adam optimizer (Kingma & Ba) over a Net's parameters.
+type Adam struct {
+	// LR is the learning rate.
+	LR float64
+	// Beta1, Beta2, Eps are the standard Adam moments parameters.
+	Beta1, Beta2, Eps float64
+
+	t int
+	m [][]float64
+	v [][]float64
+}
+
+// NewAdam returns an Adam optimizer with the given learning rate and
+// standard defaults (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+func NewAdam(lr float64) (*Adam, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("nn: non-positive learning rate %v", lr)
+	}
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}, nil
+}
+
+// Step applies one Adam update using the network's accumulated gradients,
+// then zeroes them.
+func (a *Adam) Step(n *Net) {
+	// Lazily size the moment buffers on first use.
+	if a.m == nil {
+		n.params(func(p, _ []float64) {
+			a.m = append(a.m, make([]float64, len(p)))
+			a.v = append(a.v, make([]float64, len(p)))
+		})
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	idx := 0
+	n.params(func(p, g []float64) {
+		m, v := a.m[idx], a.v[idx]
+		idx++
+		for i := range p {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g[i]
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g[i]*g[i]
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			p[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	})
+	n.ZeroGrad()
+}

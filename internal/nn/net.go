@@ -1,0 +1,248 @@
+// Package nn implements the small neural-network stack needed by the DDPG
+// benchmark of §6.5 (the vrAIn-inspired actor-critic baseline): dense
+// feed-forward networks with manual backpropagation and an Adam optimizer.
+//
+// The implementation favours clarity and determinism (seeded init, no
+// global state) over raw speed — the DDPG baseline trains on a few thousand
+// minibatches per run.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Linear Activation = iota
+	ReLU
+	Tanh
+	Sigmoid
+)
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Tanh:
+		return math.Tanh(x)
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	default:
+		return x
+	}
+}
+
+// derivFromOut returns dσ/dx expressed via the activation output y = σ(x).
+func (a Activation) derivFromOut(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	case Sigmoid:
+		return y * (1 - y)
+	default:
+		return 1
+	}
+}
+
+// dense is one fully connected layer.
+type dense struct {
+	in, out int
+	act     Activation
+	w       []float64 // out×in, row-major
+	b       []float64
+	gw      []float64
+	gb      []float64
+
+	// forward caches
+	x []float64 // last input
+	y []float64 // last activated output
+}
+
+func newDense(in, out int, act Activation, rng *rand.Rand) *dense {
+	d := &dense{
+		in: in, out: out, act: act,
+		w:  make([]float64, in*out),
+		b:  make([]float64, out),
+		gw: make([]float64, in*out),
+		gb: make([]float64, out),
+		x:  make([]float64, in),
+		y:  make([]float64, out),
+	}
+	// Xavier/Glorot initialization.
+	scale := math.Sqrt(2.0 / float64(in+out))
+	for i := range d.w {
+		d.w[i] = rng.NormFloat64() * scale
+	}
+	return d
+}
+
+func (d *dense) forward(x []float64) []float64 {
+	copy(d.x, x)
+	for o := 0; o < d.out; o++ {
+		s := d.b[o]
+		row := d.w[o*d.in : (o+1)*d.in]
+		for i, v := range x {
+			s += row[i] * v
+		}
+		d.y[o] = d.act.apply(s)
+	}
+	return d.y
+}
+
+// backward accumulates parameter gradients for the cached forward pass and
+// returns the gradient with respect to the layer input.
+func (d *dense) backward(dOut []float64) []float64 {
+	dIn := make([]float64, d.in)
+	for o := 0; o < d.out; o++ {
+		delta := dOut[o] * d.act.derivFromOut(d.y[o])
+		d.gb[o] += delta
+		row := d.w[o*d.in : (o+1)*d.in]
+		grow := d.gw[o*d.in : (o+1)*d.in]
+		for i := 0; i < d.in; i++ {
+			grow[i] += delta * d.x[i]
+			dIn[i] += delta * row[i]
+		}
+	}
+	return dIn
+}
+
+// Net is a feed-forward network of dense layers.
+type Net struct {
+	layers []*dense
+}
+
+// NewNet builds a network with the given layer sizes (len ≥ 2), hidden
+// activation for all but the last layer, and output activation for the
+// last. rng seeds the weight initialization and is required.
+func NewNet(sizes []int, hidden, output Activation, rng *rand.Rand) (*Net, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("nn: need at least input and output sizes, got %v", sizes)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("nn: rand source required")
+	}
+	for _, s := range sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("nn: invalid layer size in %v", sizes)
+		}
+	}
+	n := &Net{}
+	for i := 0; i < len(sizes)-1; i++ {
+		act := hidden
+		if i == len(sizes)-2 {
+			act = output
+		}
+		n.layers = append(n.layers, newDense(sizes[i], sizes[i+1], act, rng))
+	}
+	return n, nil
+}
+
+// InputSize returns the expected input dimension.
+func (n *Net) InputSize() int { return n.layers[0].in }
+
+// OutputSize returns the output dimension.
+func (n *Net) OutputSize() int { return n.layers[len(n.layers)-1].out }
+
+// Forward computes the network output for x; the result aliases internal
+// state and is valid until the next Forward call.
+func (n *Net) Forward(x []float64) []float64 {
+	if len(x) != n.InputSize() {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), n.InputSize()))
+	}
+	h := x
+	for _, l := range n.layers {
+		h = l.forward(h)
+	}
+	return h
+}
+
+// Backward backpropagates dLoss/dOutput through the cached forward pass,
+// accumulating parameter gradients, and returns dLoss/dInput.
+func (n *Net) Backward(dOut []float64) []float64 {
+	if len(dOut) != n.OutputSize() {
+		panic(fmt.Sprintf("nn: gradient size %d, want %d", len(dOut), n.OutputSize()))
+	}
+	g := dOut
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		g = n.layers[i].backward(g)
+	}
+	return g
+}
+
+// ZeroGrad clears accumulated gradients.
+func (n *Net) ZeroGrad() {
+	for _, l := range n.layers {
+		for i := range l.gw {
+			l.gw[i] = 0
+		}
+		for i := range l.gb {
+			l.gb[i] = 0
+		}
+	}
+}
+
+// params iterates parameter/gradient slices for the optimizer.
+func (n *Net) params(f func(p, g []float64)) {
+	for _, l := range n.layers {
+		f(l.w, l.gw)
+		f(l.b, l.gb)
+	}
+}
+
+// NumParams returns the total parameter count.
+func (n *Net) NumParams() int {
+	total := 0
+	n.params(func(p, _ []float64) { total += len(p) })
+	return total
+}
+
+// Clone returns a deep copy of the network (used for DDPG target networks).
+func (n *Net) Clone() *Net {
+	c := &Net{}
+	for _, l := range n.layers {
+		nl := &dense{
+			in: l.in, out: l.out, act: l.act,
+			w:  append([]float64(nil), l.w...),
+			b:  append([]float64(nil), l.b...),
+			gw: make([]float64, len(l.gw)),
+			gb: make([]float64, len(l.gb)),
+			x:  make([]float64, l.in),
+			y:  make([]float64, l.out),
+		}
+		c.layers = append(c.layers, nl)
+	}
+	return c
+}
+
+// SoftUpdate blends another network's parameters into this one:
+// θ ← (1−τ)θ + τ·θ_src. Both nets must share an architecture.
+func (n *Net) SoftUpdate(src *Net, tau float64) {
+	if len(n.layers) != len(src.layers) {
+		panic("nn: SoftUpdate architecture mismatch")
+	}
+	for li, l := range n.layers {
+		sl := src.layers[li]
+		if len(l.w) != len(sl.w) {
+			panic("nn: SoftUpdate layer size mismatch")
+		}
+		for i := range l.w {
+			l.w[i] = (1-tau)*l.w[i] + tau*sl.w[i]
+		}
+		for i := range l.b {
+			l.b[i] = (1-tau)*l.b[i] + tau*sl.b[i]
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNetValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewNet([]int{3}, ReLU, Linear, rng); err == nil {
+		t.Fatal("expected error for single-layer spec")
+	}
+	if _, err := NewNet([]int{3, 0, 1}, ReLU, Linear, rng); err == nil {
+		t.Fatal("expected error for zero layer size")
+	}
+	if _, err := NewNet([]int{3, 4, 1}, ReLU, Linear, nil); err == nil {
+		t.Fatal("expected error for nil rng")
+	}
+}
+
+func TestForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, err := NewNet([]int{3, 8, 2}, Tanh, Sigmoid, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.InputSize() != 3 || n.OutputSize() != 2 {
+		t.Fatalf("sizes (%d,%d), want (3,2)", n.InputSize(), n.OutputSize())
+	}
+	out := n.Forward([]float64{0.1, -0.2, 0.5})
+	if len(out) != 2 {
+		t.Fatalf("output length %d", len(out))
+	}
+	for _, v := range out {
+		if v < 0 || v > 1 {
+			t.Fatalf("sigmoid output %v out of range", v)
+		}
+	}
+}
+
+func TestForwardWrongSizePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, _ := NewNet([]int{2, 2}, ReLU, Linear, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong input size")
+		}
+	}()
+	n.Forward([]float64{1})
+}
+
+// Gradient check: backprop gradients must match finite differences.
+func TestGradientsMatchFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, err := NewNet([]int{3, 5, 4, 1}, Tanh, Linear, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, -0.7, 0.2}
+	loss := func() float64 {
+		y := n.Forward(x)
+		return 0.5 * y[0] * y[0]
+	}
+	// Analytic gradients.
+	y := n.Forward(x)
+	n.ZeroGrad()
+	n.Backward([]float64{y[0]})
+
+	const eps = 1e-6
+	idx := 0
+	n.params(func(p, g []float64) {
+		for i := range p {
+			if (idx+i)%7 != 0 { // sample a subset for speed
+				continue
+			}
+			orig := p[i]
+			p[i] = orig + eps
+			lp := loss()
+			p[i] = orig - eps
+			lm := loss()
+			p[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if math.Abs(numeric-g[i]) > 1e-5*(1+math.Abs(numeric)) {
+				t.Fatalf("gradient mismatch at param %d: analytic %v numeric %v", i, g[i], numeric)
+			}
+		}
+		idx += len(p)
+	})
+}
+
+// Input gradients must match finite differences too (the DDPG actor update
+// differentiates the critic with respect to the action input).
+func TestInputGradientMatchesFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, err := NewNet([]int{4, 6, 1}, ReLU, Linear, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, -0.3, 0.8, 0.1}
+	n.Forward(x)
+	n.ZeroGrad()
+	dIn := n.Backward([]float64{1})
+
+	const eps = 1e-6
+	for i := range x {
+		xp := append([]float64(nil), x...)
+		xp[i] += eps
+		lp := n.Forward(xp)[0]
+		xm := append([]float64(nil), x...)
+		xm[i] -= eps
+		lm := n.Forward(xm)[0]
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-dIn[i]) > 1e-5*(1+math.Abs(numeric)) {
+			t.Fatalf("input gradient mismatch at %d: analytic %v numeric %v", i, dIn[i], numeric)
+		}
+	}
+}
+
+func TestAdamLearnsRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n, err := NewNet([]int{1, 16, 1}, Tanh, Linear, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := NewAdam(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := func(x float64) float64 { return math.Sin(3 * x) }
+	mse := func() float64 {
+		var s float64
+		for x := -1.0; x <= 1; x += 0.1 {
+			d := n.Forward([]float64{x})[0] - target(x)
+			s += d * d
+		}
+		return s / 21
+	}
+	before := mse()
+	for epoch := 0; epoch < 3000; epoch++ {
+		x := rng.Float64()*2 - 1
+		y := n.Forward([]float64{x})
+		n.Backward([]float64{y[0] - target(x)})
+		opt.Step(n)
+	}
+	after := mse()
+	if after > before/4 {
+		t.Fatalf("Adam failed to learn: mse %v -> %v", before, after)
+	}
+}
+
+func TestNewAdamValidation(t *testing.T) {
+	if _, err := NewAdam(0); err == nil {
+		t.Fatal("expected error for zero LR")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, _ := NewNet([]int{2, 4, 1}, ReLU, Linear, rng)
+	c := n.Clone()
+	x := []float64{0.5, -0.5}
+	if n.Forward(x)[0] != c.Forward(x)[0] {
+		t.Fatal("clone should match original")
+	}
+	// Train the original; the clone must stay fixed.
+	opt, _ := NewAdam(0.05)
+	for i := 0; i < 20; i++ {
+		y := n.Forward(x)
+		n.Backward([]float64{y[0] - 3})
+		opt.Step(n)
+	}
+	if n.Forward(x)[0] == c.Forward(x)[0] {
+		t.Fatal("clone shares parameters with original")
+	}
+}
+
+func TestSoftUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a, _ := NewNet([]int{2, 3, 1}, Tanh, Linear, rng)
+	b := a.Clone()
+	// Perturb b, then soft-update a toward b with τ=1: a must equal b.
+	opt, _ := NewAdam(0.1)
+	x := []float64{1, -1}
+	for i := 0; i < 10; i++ {
+		y := b.Forward(x)
+		b.Backward([]float64{y[0] - 2})
+		opt.Step(b)
+	}
+	a.SoftUpdate(b, 1)
+	if math.Abs(a.Forward(x)[0]-b.Forward(x)[0]) > 1e-12 {
+		t.Fatal("τ=1 soft update should copy parameters")
+	}
+	// τ=0 must be a no-op.
+	before := a.Forward(x)[0]
+	a.SoftUpdate(b, 0)
+	if a.Forward(x)[0] != before {
+		t.Fatal("τ=0 soft update must not change parameters")
+	}
+}
+
+func TestActivations(t *testing.T) {
+	cases := []struct {
+		a    Activation
+		x    float64
+		want float64
+	}{
+		{Linear, -2, -2},
+		{ReLU, -2, 0},
+		{ReLU, 3, 3},
+		{Tanh, 0, 0},
+		{Sigmoid, 0, 0.5},
+	}
+	for _, c := range cases {
+		if got := c.a.apply(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("activation %v(%v) = %v, want %v", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+// Property: derivFromOut agrees with numeric derivative of apply.
+func TestActivationDerivative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := rng.NormFloat64()
+		for _, a := range []Activation{Linear, Tanh, Sigmoid} {
+			const eps = 1e-6
+			numeric := (a.apply(x+eps) - a.apply(x-eps)) / (2 * eps)
+			analytic := a.derivFromOut(a.apply(x))
+			if math.Abs(numeric-analytic) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n, _ := NewNet([]int{3, 5, 2}, ReLU, Linear, rng)
+	want := 3*5 + 5 + 5*2 + 2
+	if n.NumParams() != want {
+		t.Fatalf("NumParams = %d, want %d", n.NumParams(), want)
+	}
+}

@@ -1,0 +1,96 @@
+package oran
+
+import (
+	"testing"
+)
+
+func TestA1PolicyLifecycle(t *testing.T) {
+	d, _ := newDeployment(t, 21)
+	non := d.NonRT
+
+	if err := non.ApplyRadioPolicy(0.7, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	id := non.LastPolicyID()
+
+	// Query returns the deployed instance.
+	p, err := non.QueryPolicy(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Airtime != 0.7 || p.MCS != 0.9 {
+		t.Fatalf("queried policy %+v does not match deployment", p)
+	}
+
+	// List enumerates it.
+	ids, err := non.ListPolicies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != id {
+		t.Fatalf("policy list %v, want [%s]", ids, id)
+	}
+
+	// A second deployment creates a second instance.
+	if err := non.ApplyRadioPolicy(0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	ids, err = non.ListPolicies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("policy list %v, want 2 instances", ids)
+	}
+
+	// Deleting a stale instance leaves the active policy alone.
+	if err := non.DeletePolicy(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := non.QueryPolicy(id); err == nil {
+		t.Fatal("deleted policy should not be queryable")
+	}
+}
+
+func TestA1DeleteActivePolicyRevertsVBS(t *testing.T) {
+	d, _ := newDeployment(t, 22)
+	non := d.NonRT
+
+	if err := non.ApplyRadioPolicy(0.3, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := non.DeletePolicy(non.LastPolicyID()); err != nil {
+		t.Fatal(err)
+	}
+	// After the revert, a period must run under unconstrained radio
+	// defaults (airtime 1): the low-airtime delay penalty disappears.
+	report, err := d.DataPlane.RunPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	constrained := 0.0
+	{
+		if err := non.ApplyRadioPolicy(0.3, 0.2); err != nil {
+			t.Fatal(err)
+		}
+		r2, err := d.DataPlane.RunPeriod()
+		if err != nil {
+			t.Fatal(err)
+		}
+		constrained = r2.DelaySeconds
+	}
+	if report.DelaySeconds >= constrained {
+		t.Fatalf("revert did not restore default radio policy: default %.3fs vs constrained %.3fs",
+			report.DelaySeconds, constrained)
+	}
+}
+
+func TestA1QueryUnknownPolicy(t *testing.T) {
+	d, _ := newDeployment(t, 23)
+	if _, err := d.NonRT.QueryPolicy("nope"); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+	if err := d.NonRT.DeletePolicy("nope"); err == nil {
+		t.Fatal("expected error deleting unknown policy")
+	}
+}

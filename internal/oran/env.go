@@ -1,0 +1,143 @@
+package oran
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Deployment is a complete loopback control plane: data plane, E2 node,
+// service controller, near-RT RIC, and non-RT RIC, all wired over TCP.
+type Deployment struct {
+	DataPlane  *DataPlane
+	E2Node     *E2Node
+	ServiceCtl *ServiceController
+	NearRT     *NearRTRIC
+	NonRT      *NonRTRIC
+
+	svcClient *Client
+}
+
+// Deploy stands up the whole Fig. 7 stack on loopback ephemeral ports
+// around the given environment (typically a *testbed.Testbed).
+func Deploy(env core.Environment, timeout time.Duration) (*Deployment, error) {
+	dp, err := NewDataPlane(env)
+	if err != nil {
+		return nil, err
+	}
+	e2, err := NewE2Node("127.0.0.1:0", dp)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := NewServiceController("127.0.0.1:0", dp)
+	if err != nil {
+		e2.Close()
+		return nil, err
+	}
+	near, err := NewNearRTRIC("127.0.0.1:0", e2.Addr(), timeout)
+	if err != nil {
+		e2.Close()
+		svc.Close()
+		return nil, err
+	}
+	non, err := NewNonRTRIC(near.Addr(), timeout)
+	if err != nil {
+		e2.Close()
+		svc.Close()
+		near.Close()
+		return nil, err
+	}
+	svcClient, err := Dial(svc.Addr(), timeout)
+	if err != nil {
+		e2.Close()
+		svc.Close()
+		near.Close()
+		non.Close()
+		return nil, err
+	}
+	return &Deployment{
+		DataPlane:  dp,
+		E2Node:     e2,
+		ServiceCtl: svc,
+		NearRT:     near,
+		NonRT:      non,
+		svcClient:  svcClient,
+	}, nil
+}
+
+// Close tears the stack down.
+func (d *Deployment) Close() error {
+	var first error
+	for _, c := range []interface{ Close() error }{d.svcClient, d.NonRT, d.NearRT, d.ServiceCtl, d.E2Node} {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Environment adapts the deployment to core.Environment: every Measure
+// routes the radio policies over A1→E2, the service policies over the
+// custom interface, triggers the period, and collects the vBS KPI back
+// over E2→O1 — the full Fig. 7 round trip per control period.
+type Environment struct {
+	d *Deployment
+}
+
+// Env returns the deployment's core.Environment view.
+func (d *Deployment) Env() *Environment { return &Environment{d: d} }
+
+// Context implements core.Environment via the O1/E2 context pull.
+func (e *Environment) Context() core.Context {
+	report, err := e.d.NonRT.CollectContext()
+	if err != nil {
+		// The context pull failing means the control plane is down; the
+		// zero context keeps the caller deterministic rather than hiding a
+		// torn-down deployment behind a panic.
+		return core.Context{}
+	}
+	return report.Context()
+}
+
+// Measure implements core.Environment across the control plane.
+func (e *Environment) Measure(x core.Control) (core.KPIs, error) {
+	if err := x.Validate(); err != nil {
+		return core.KPIs{}, err
+	}
+	// rApp → A1 → xApp → E2: radio policies.
+	if err := e.d.NonRT.ApplyRadioPolicy(x.Airtime, x.MCS); err != nil {
+		return core.KPIs{}, fmt.Errorf("oran: radio policy: %w", err)
+	}
+	// Edge orchestrator → service controller: service policies.
+	cfg, err := NewMessage(TypeServiceConfig, ServiceConfig{Resolution: x.Resolution, GPUSpeed: x.GPUSpeed})
+	if err != nil {
+		return core.KPIs{}, err
+	}
+	if _, err := e.d.svcClient.Call(cfg); err != nil {
+		return core.KPIs{}, fmt.Errorf("oran: service config: %w", err)
+	}
+	// Run the period and collect the service-side KPIs.
+	resp, err := e.d.svcClient.Call(Message{Type: TypeServicePeriod})
+	if err != nil {
+		return core.KPIs{}, fmt.Errorf("oran: period: %w", err)
+	}
+	var report PeriodReport
+	if err := resp.Decode(&report); err != nil {
+		return core.KPIs{}, err
+	}
+	// Data-collector rApp ← O1 ← database xApp ← E2: vBS power.
+	kpi, err := e.d.NonRT.CollectBSPower()
+	if err != nil {
+		return core.KPIs{}, fmt.Errorf("oran: KPI collection: %w", err)
+	}
+	return core.KPIs{
+		Delay:       report.DelaySeconds,
+		GPUDelay:    report.GPUDelay,
+		MAP:         report.MAP,
+		ServerPower: report.ServerPowerW,
+		BSPower:     kpi.BSPowerW,
+	}, nil
+}
+
+var _ core.Environment = (*Environment)(nil)

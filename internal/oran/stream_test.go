@@ -1,0 +1,189 @@
+package oran
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ran"
+	"repro/internal/testbed"
+)
+
+func newStreamFixture(t *testing.T) (*DataPlane, *KPIStreamServer) {
+	t.Helper()
+	tb, err := testbed.New(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := NewDataPlane(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewKPIStreamServer("127.0.0.1:0", dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return dp, srv
+}
+
+func runPeriods(t *testing.T, dp *DataPlane, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := dp.RunPeriod(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestInProcessSubscription(t *testing.T) {
+	dp, _ := newStreamFixture(t)
+	ch, cancel := dp.Subscribe()
+	defer cancel()
+	runPeriods(t, dp, 3)
+	for want := uint64(1); want <= 3; want++ {
+		select {
+		case r := <-ch:
+			if r.Period != want {
+				t.Fatalf("period %d, want %d", r.Period, want)
+			}
+			if r.BSPowerW <= 0 {
+				t.Fatal("degenerate KPI")
+			}
+		case <-time.After(time.Second):
+			t.Fatal("indication missing")
+		}
+	}
+}
+
+func TestSubscriptionCancelClosesChannel(t *testing.T) {
+	dp, _ := newStreamFixture(t)
+	ch, cancel := dp.Subscribe()
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel should be closed after cancel")
+	}
+	// Publishing after cancel must not panic.
+	runPeriods(t, dp, 1)
+}
+
+func TestSlowSubscriberDoesNotBlockDataPlane(t *testing.T) {
+	dp, _ := newStreamFixture(t)
+	_, cancel := dp.Subscribe() // never drained
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		runPeriods(t, dp, 40) // more than the buffer size
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("data plane blocked on a slow subscriber")
+	}
+}
+
+func TestNetworkSubscription(t *testing.T) {
+	dp, srv := newStreamFixture(t)
+	ch, cancel, err := SubscribeKPIs(srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	runPeriods(t, dp, 5)
+	got := 0
+	timeout := time.After(2 * time.Second)
+	for got < 5 {
+		select {
+		case r, ok := <-ch:
+			if !ok {
+				t.Fatal("stream closed early")
+			}
+			if r.BSPowerW <= 0 {
+				t.Fatal("degenerate indication")
+			}
+			got++
+		case <-timeout:
+			t.Fatalf("received only %d/5 indications", got)
+		}
+	}
+}
+
+func TestNetworkSubscriptionCancel(t *testing.T) {
+	dp, srv := newStreamFixture(t)
+	ch, cancel, err := SubscribeKPIs(srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// Channel must close once the connection drops.
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				runPeriods(t, dp, 1) // and the data plane keeps working
+				return
+			}
+		case <-deadline:
+			t.Fatal("channel did not close after cancel")
+		}
+	}
+}
+
+func TestStreamServerRejectsWrongFirstFrame(t *testing.T) {
+	_, srv := newStreamFixture(t)
+	c, err := Dial(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A non-subscribe first frame should get the connection dropped.
+	if _, err := c.Call(Message{Type: "bogus"}); err == nil {
+		t.Fatal("expected error for non-subscribe first frame")
+	}
+}
+
+func TestNewKPIStreamServerValidation(t *testing.T) {
+	if _, err := NewKPIStreamServer("127.0.0.1:0", nil); err == nil {
+		t.Fatal("expected error for nil data plane")
+	}
+}
+
+// End to end: the near-real-time flow of Fig. 7's database xApp — a
+// subscriber fed by periods driven through the full control plane.
+func TestSubscriptionThroughDeployment(t *testing.T) {
+	tb, err := testbed.New(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Deploy(tb, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	stream, err := NewKPIStreamServer("127.0.0.1:0", d.DataPlane)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	ch, cancel, err := SubscribeKPIs(stream.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	env := d.Env()
+	x := core.Control{Resolution: 0.82, Airtime: 1, GPUSpeed: 0.6, MCS: 1}
+	if _, err := env.Measure(x); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-ch:
+		if r.Period != 1 {
+			t.Fatalf("indication period %d, want 1", r.Period)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no indication for a control-plane-driven period")
+	}
+}

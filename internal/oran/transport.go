@@ -1,0 +1,261 @@
+// Package oran implements the control plane of Fig. 7 as real network
+// components over loopback TCP: a non-RT RIC hosting the EdgeBOL rApps
+// (policy service and data collector), a near-RT RIC hosting the xApps
+// (A1-P termination, E2 client, KPI database), an E2 node on the vBS, and
+// the custom interface to the edge service controller.
+//
+// Interfaces are message-oriented: length-prefixed JSON frames on
+// persistent TCP connections, request/response per message. The framing is
+// deliberately simple — the goal is an honest end-to-end code path (policy
+// out over A1→E2, KPIs back over E2→O1), not a byte-exact O-RAN ASN.1
+// stack.
+package oran
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrameSize bounds a single message to keep a misbehaving peer from
+// forcing unbounded allocation.
+const MaxFrameSize = 1 << 20
+
+// ErrFrameTooLarge is returned when a peer announces an oversized frame.
+var ErrFrameTooLarge = errors.New("oran: frame exceeds MaxFrameSize")
+
+// Message is the envelope of every frame: a type tag and a JSON payload.
+type Message struct {
+	// Type routes the message (e.g. "a1.policy", "e2.kpi").
+	Type string `json:"type"`
+	// Payload carries the type-specific body.
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Error is set on responses that failed.
+	Error string `json:"error,omitempty"`
+}
+
+// NewMessage marshals body into a Message of the given type.
+func NewMessage(msgType string, body any) (Message, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return Message{}, fmt.Errorf("oran: marshal %s: %w", msgType, err)
+	}
+	return Message{Type: msgType, Payload: raw}, nil
+}
+
+// Decode unmarshals the payload into dst.
+func (m Message) Decode(dst any) error {
+	if m.Error != "" {
+		return fmt.Errorf("oran: peer error: %s", m.Error)
+	}
+	if err := json.Unmarshal(m.Payload, dst); err != nil {
+		return fmt.Errorf("oran: decode %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// WriteFrame writes one length-prefixed message.
+func WriteFrame(w io.Writer, m Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("oran: encode frame: %w", err)
+	}
+	if len(body) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("oran: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("oran: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed message.
+func ReadFrame(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return Message{}, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, fmt.Errorf("oran: read frame body: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return Message{}, fmt.Errorf("oran: decode frame: %w", err)
+	}
+	return m, nil
+}
+
+// Handler processes one request message and produces a response.
+type Handler func(Message) (Message, error)
+
+// Server is a minimal request/response TCP server: each inbound frame is
+// answered with exactly one frame. Connections are handled concurrently;
+// frames within a connection are processed in order.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewServer starts a server on addr (use "127.0.0.1:0" for an ephemeral
+// loopback port).
+func NewServer(addr string, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("oran: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("oran: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		resp, err := s.handler(req)
+		if err != nil {
+			resp = Message{Type: req.Type + ".error", Error: err.Error()}
+		}
+		if err := WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a synchronous request/response client over one TCP connection.
+// It is safe for concurrent use; requests are serialized.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	addr    string
+	timeout time.Duration
+}
+
+// Dial connects a client to addr with the given per-request timeout.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		return nil, fmt.Errorf("oran: non-positive timeout")
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("oran: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, addr: addr, timeout: timeout}, nil
+}
+
+// Call sends a request and waits for the response. On a broken connection
+// it redials once before failing.
+func (c *Client) Call(req Message) (Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.callLocked(req)
+	if err == nil {
+		return resp, nil
+	}
+	// One reconnect attempt: control-plane endpoints restart in practice.
+	conn, dialErr := net.DialTimeout("tcp", c.addr, c.timeout)
+	if dialErr != nil {
+		return Message{}, err
+	}
+	c.conn.Close()
+	c.conn = conn
+	return c.callLocked(req)
+}
+
+func (c *Client) callLocked(req Message) (Message, error) {
+	deadline := time.Now().Add(c.timeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return Message{}, err
+	}
+	if err := WriteFrame(c.conn, req); err != nil {
+		return Message{}, err
+	}
+	resp, err := ReadFrame(c.conn)
+	if err != nil {
+		return Message{}, err
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("oran: %s: %s", resp.Type, resp.Error)
+	}
+	return resp, nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -1,0 +1,104 @@
+package oran
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: arbitrary policy payloads survive the frame round trip intact.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := RadioPolicy{
+			PolicyID: randString(rng, 1+rng.Intn(40)),
+			Airtime:  rng.Float64(),
+			MCS:      rng.Float64(),
+		}
+		msg, err := NewMessage("prop.test", in)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, msg); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		var out RadioPolicy
+		if err := got.Decode(&out); err != nil {
+			return false
+		}
+		return out == in && got.Type == "prop.test"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: back-to-back frames on one stream decode in order.
+func TestFrameStreamingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		var buf bytes.Buffer
+		want := make([]KPIReport, n)
+		for i := range want {
+			want[i] = KPIReport{BSPowerW: rng.Float64() * 10, Period: uint64(i)}
+			msg, err := NewMessage(TypeE2KPI, want[i])
+			if err != nil {
+				return false
+			}
+			if err := WriteFrame(&buf, msg); err != nil {
+				return false
+			}
+		}
+		for i := range want {
+			msg, err := ReadFrame(&buf)
+			if err != nil {
+				return false
+			}
+			var got KPIReport
+			if err := msg.Decode(&got); err != nil {
+				return false
+			}
+			if got != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randString(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz-0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// Truncated frames must fail cleanly, never hang or panic.
+func TestReadFrameTruncated(t *testing.T) {
+	msg, err := NewMessage("x", Ack{OK: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut += 3 {
+		if _, err := ReadFrame(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+	}
+}

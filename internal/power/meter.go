@@ -1,0 +1,60 @@
+// Package power emulates the digital power meter of the prototype (GW-Instek
+// GPM-8213 with the GPM-001 adapter): a sampling instrument whose readings
+// carry zero-mean Gaussian noise and are averaged over a measurement window
+// before being reported to the learning agent over the O1 interface.
+package power
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Meter samples a true power value with additive Gaussian noise.
+type Meter struct {
+	// NoiseStdW is the per-sample noise standard deviation in watts.
+	NoiseStdW float64
+	// SamplesPerWindow is how many samples are averaged per reading.
+	SamplesPerWindow int
+
+	rng *rand.Rand
+}
+
+// NewMeter returns a meter with the given per-sample noise and averaging
+// window. rng is required.
+func NewMeter(noiseStdW float64, samplesPerWindow int, rng *rand.Rand) (*Meter, error) {
+	if noiseStdW < 0 {
+		return nil, fmt.Errorf("power: negative noise std %v", noiseStdW)
+	}
+	if samplesPerWindow < 1 {
+		return nil, fmt.Errorf("power: window of %d samples invalid", samplesPerWindow)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("power: rand source required")
+	}
+	return &Meter{NoiseStdW: noiseStdW, SamplesPerWindow: samplesPerWindow, rng: rng}, nil
+}
+
+// Sample returns one noisy sample of the true power (never negative).
+func (m *Meter) Sample(trueW float64) float64 {
+	v := trueW + m.rng.NormFloat64()*m.NoiseStdW
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Read returns a windowed reading: the mean of SamplesPerWindow samples,
+// whose effective noise is NoiseStdW/√SamplesPerWindow.
+func (m *Meter) Read(trueW float64) float64 {
+	var sum float64
+	for i := 0; i < m.SamplesPerWindow; i++ {
+		sum += m.Sample(trueW)
+	}
+	return sum / float64(m.SamplesPerWindow)
+}
+
+// EffectiveNoiseStd returns the standard deviation of a windowed reading.
+func (m *Meter) EffectiveNoiseStd() float64 {
+	return m.NoiseStdW / math.Sqrt(float64(m.SamplesPerWindow))
+}

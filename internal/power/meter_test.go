@@ -1,0 +1,94 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewMeterValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewMeter(-1, 10, rng); err == nil {
+		t.Fatal("expected error for negative noise")
+	}
+	if _, err := NewMeter(1, 0, rng); err == nil {
+		t.Fatal("expected error for empty window")
+	}
+	if _, err := NewMeter(1, 10, nil); err == nil {
+		t.Fatal("expected error for nil rng")
+	}
+}
+
+func TestSampleNeverNegative(t *testing.T) {
+	m, err := NewMeter(5, 1, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if m.Sample(0.1) < 0 {
+			t.Fatal("sample went negative")
+		}
+	}
+}
+
+func TestReadUnbiased(t *testing.T) {
+	m, err := NewMeter(2, 50, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const n = 500
+	for i := 0; i < n; i++ {
+		sum += m.Read(120)
+	}
+	mean := sum / n
+	if math.Abs(mean-120) > 0.2 {
+		t.Fatalf("windowed readings biased: mean %v, want ≈120", mean)
+	}
+}
+
+func TestWindowReducesNoise(t *testing.T) {
+	std := func(window int) float64 {
+		m, err := NewMeter(3, window, rand.New(rand.NewSource(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vals []float64
+		for i := 0; i < 400; i++ {
+			vals = append(vals, m.Read(100))
+		}
+		var mean float64
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(len(vals))
+		var ss float64
+		for _, v := range vals {
+			ss += (v - mean) * (v - mean)
+		}
+		return math.Sqrt(ss / float64(len(vals)))
+	}
+	if std(25) >= std(1) {
+		t.Fatal("averaging window should reduce reading noise")
+	}
+}
+
+func TestEffectiveNoiseStd(t *testing.T) {
+	m, err := NewMeter(4, 16, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.EffectiveNoiseStd()-1) > 1e-12 {
+		t.Fatalf("effective noise %v, want 1", m.EffectiveNoiseStd())
+	}
+}
+
+func TestZeroNoiseMeterIsExact(t *testing.T) {
+	m, err := NewMeter(0, 3, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Read(77.5); got != 77.5 {
+		t.Fatalf("noise-free reading %v, want 77.5", got)
+	}
+}

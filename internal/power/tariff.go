@@ -1,0 +1,52 @@
+package power
+
+import "fmt"
+
+// Tariff models the §4.3 observation that the monetary cost of energy
+// "may vary between day and night depending on the rates set by the power
+// suppliers": a periodic two-rate schedule over control periods.
+//
+// Combined with EdgeBOL's decomposed-cost mode, the controller can follow
+// the tariff at runtime — the learned power surfaces are price-independent
+// and only the acquisition's weighting changes.
+type Tariff struct {
+	// DayRate and NightRate are prices in monetary units per watt.
+	DayRate, NightRate float64
+	// PeriodsPerDay is the full day length in control periods and
+	// DayStart/DayEnd delimit the day-rate window [DayStart, DayEnd).
+	PeriodsPerDay, DayStart, DayEnd int
+}
+
+// NewTariff validates and returns a tariff.
+func NewTariff(dayRate, nightRate float64, periodsPerDay, dayStart, dayEnd int) (*Tariff, error) {
+	if dayRate <= 0 || nightRate <= 0 {
+		return nil, fmt.Errorf("power: non-positive tariff rates %v/%v", dayRate, nightRate)
+	}
+	if periodsPerDay < 2 {
+		return nil, fmt.Errorf("power: day of %d periods too short", periodsPerDay)
+	}
+	if dayStart < 0 || dayEnd <= dayStart || dayEnd > periodsPerDay {
+		return nil, fmt.Errorf("power: day window [%d,%d) invalid for %d periods", dayStart, dayEnd, periodsPerDay)
+	}
+	return &Tariff{
+		DayRate: dayRate, NightRate: nightRate,
+		PeriodsPerDay: periodsPerDay, DayStart: dayStart, DayEnd: dayEnd,
+	}, nil
+}
+
+// IsDay reports whether control period t falls in the day-rate window.
+func (t *Tariff) IsDay(period int) bool {
+	p := period % t.PeriodsPerDay
+	if p < 0 {
+		p += t.PeriodsPerDay
+	}
+	return p >= t.DayStart && p < t.DayEnd
+}
+
+// Rate returns the price at control period t.
+func (t *Tariff) Rate(period int) float64 {
+	if t.IsDay(period) {
+		return t.DayRate
+	}
+	return t.NightRate
+}

@@ -1,0 +1,42 @@
+package power
+
+import "testing"
+
+func TestNewTariffValidation(t *testing.T) {
+	cases := []struct {
+		day, night                float64
+		periods, dayStart, dayEnd int
+	}{
+		{0, 1, 10, 0, 5},
+		{1, 0, 10, 0, 5},
+		{1, 1, 1, 0, 1},
+		{1, 1, 10, -1, 5},
+		{1, 1, 10, 5, 5},
+		{1, 1, 10, 0, 11},
+	}
+	for i, c := range cases {
+		if _, err := NewTariff(c.day, c.night, c.periods, c.dayStart, c.dayEnd); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestTariffSchedule(t *testing.T) {
+	tar, err := NewTariff(4, 1, 24, 8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tar.IsDay(8) || !tar.IsDay(19) {
+		t.Fatal("day window wrong")
+	}
+	if tar.IsDay(7) || tar.IsDay(20) || tar.IsDay(23) {
+		t.Fatal("night window wrong")
+	}
+	if tar.Rate(10) != 4 || tar.Rate(2) != 1 {
+		t.Fatal("rates wrong")
+	}
+	// Periodicity, including negative periods.
+	if tar.IsDay(8+24) != tar.IsDay(8) || tar.IsDay(-16) != tar.IsDay(8) {
+		t.Fatal("tariff not periodic")
+	}
+}

@@ -1,0 +1,62 @@
+package ran
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SNRTrace generates the time-varying uplink SNR used in the dynamic-context
+// experiments (§6.5, Fig. 13): the channel holds a level for a number of
+// periods, then ramps linearly to a new random level, producing the
+// step-and-ramp traces of the paper.
+type SNRTrace struct {
+	// MinDB and MaxDB bound the SNR excursion (the paper uses 5–38 dB).
+	MinDB, MaxDB float64
+	// HoldPeriods is how long the trace dwells at a level.
+	HoldPeriods int
+	// RampPeriods is how long a transition takes.
+	RampPeriods int
+
+	rng     *rand.Rand
+	current float64
+	target  float64
+	phase   int // periods elapsed within the current hold+ramp cycle
+}
+
+// NewSNRTrace returns a trace starting at a random level within
+// [minDB, maxDB]. rng is required.
+func NewSNRTrace(minDB, maxDB float64, holdPeriods, rampPeriods int, rng *rand.Rand) (*SNRTrace, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("ran: SNRTrace needs a rand source")
+	}
+	if maxDB <= minDB {
+		return nil, fmt.Errorf("ran: SNR bounds [%v,%v] invalid", minDB, maxDB)
+	}
+	if holdPeriods < 1 || rampPeriods < 1 {
+		return nil, fmt.Errorf("ran: hold (%d) and ramp (%d) periods must be at least 1", holdPeriods, rampPeriods)
+	}
+	t := &SNRTrace{
+		MinDB: minDB, MaxDB: maxDB,
+		HoldPeriods: holdPeriods, RampPeriods: rampPeriods,
+		rng: rng,
+	}
+	t.current = minDB + rng.Float64()*(maxDB-minDB)
+	t.target = t.current
+	return t, nil
+}
+
+// Next advances the trace one control period and returns the SNR in dB.
+func (t *SNRTrace) Next() float64 {
+	cycle := t.HoldPeriods + t.RampPeriods
+	pos := t.phase % cycle
+	if pos == t.HoldPeriods {
+		// Start of a ramp: pick the next level.
+		t.target = t.MinDB + t.rng.Float64()*(t.MaxDB-t.MinDB)
+	}
+	if pos >= t.HoldPeriods {
+		frac := float64(pos-t.HoldPeriods+1) / float64(t.RampPeriods)
+		t.current = t.current + (t.target-t.current)*frac
+	}
+	t.phase++
+	return t.current
+}

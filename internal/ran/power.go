@@ -1,0 +1,63 @@
+package ran
+
+import "math"
+
+// Baseband power-model constants, calibrated to the prototype's GW-Instek
+// measurements: the vBS draws between ≈4 and ≈8 W across all policies
+// (§6.2–6.3), sits near 4.75–5.75 W at the nominal service load (Fig. 5),
+// and reaches 5–7 W at 10× load (Fig. 6).
+const (
+	// bsIdlePower is the baseband draw with no traffic.
+	bsIdlePower = 4.6 // W
+	// bsPRBPower scales with the fraction of PRBs occupied (front-end,
+	// FFT/demodulation work that is paid per scheduled resource).
+	bsPRBPower = 1.6 // W at full occupancy
+	// bsDecodePowerPerMbps scales with the bits actually decoded.
+	bsDecodePowerPerMbps = 0.015 // W per Mb/s
+	// bsDecodeMCSSlope captures the extra per-bit decoding effort at higher
+	// code rates (more turbo iterations near the efficiency edge).
+	bsDecodeMCSSlope = 0.015 // per MCS index
+)
+
+// PHYRateInterp linearly interpolates PHYRate for fractional MCS values,
+// used when reporting against a mean MCS across users.
+func PHYRateInterp(mcs float64) float64 {
+	if mcs <= 0 {
+		return PHYRate(0)
+	}
+	if mcs >= MaxMCS {
+		return PHYRate(MaxMCS)
+	}
+	lo := math.Floor(mcs)
+	frac := mcs - lo
+	return (1-frac)*PHYRate(int(lo)) + frac*PHYRate(int(lo)+1)
+}
+
+// BSPower returns the baseband power draw in watts (Performance Indicator
+// 4) for an offered on-air load in bit/s carried at the given mean MCS
+// under the airtime policy.
+//
+// The model has an idle floor plus two dynamic terms: per-PRB front-end
+// work (proportional to PRB occupancy, which *falls* as MCS rises for a
+// fixed load — the Fig. 5 effect) and per-bit decoding work (proportional
+// to the bits actually served, which *rises* with MCS once the airtime
+// budget saturates — the Fig. 6 effect).
+func BSPower(offeredOnAir, meanMCS float64, p Policies) float64 {
+	rate := PHYRateInterp(meanMCS)
+	if offeredOnAir < 0 {
+		offeredOnAir = 0
+	}
+	prbFrac := offeredOnAir / rate
+	if prbFrac > p.Airtime {
+		prbFrac = p.Airtime
+	}
+	served := math.Min(offeredOnAir, p.Airtime*rate)
+	decode := bsDecodePowerPerMbps * served / 1e6 * (1 + bsDecodeMCSSlope*meanMCS)
+	return bsIdlePower + bsPRBPower*prbFrac + decode
+}
+
+// BSPowerRange returns the approximate [min, max] envelope of the model,
+// used for normalizing costs and sanity checks.
+func BSPowerRange() (min, max float64) {
+	return bsIdlePower, BSPower(math.Inf(1), MaxMCS, Policies{Airtime: 1, MCSCap: MaxMCS})
+}

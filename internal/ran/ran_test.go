@@ -1,0 +1,271 @@
+package ran
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTBSMonotone(t *testing.T) {
+	for m := 1; m <= MaxMCS; m++ {
+		if TBSPerPRB(m) <= TBSPerPRB(m-1) {
+			t.Fatalf("TBS not monotone at MCS %d", m)
+		}
+	}
+}
+
+func TestTBSClamps(t *testing.T) {
+	if TBSPerPRB(-3) != TBSPerPRB(0) || TBSPerPRB(99) != TBSPerPRB(MaxMCS) {
+		t.Fatal("TBSPerPRB must clamp out-of-range MCS")
+	}
+}
+
+func TestPHYRateCapacity(t *testing.T) {
+	// §3 quotes ≈50 Mb/s for SISO LTE @ 20 MHz.
+	top := PHYRate(MaxMCS)
+	if top < 45e6 || top > 60e6 {
+		t.Fatalf("top PHY rate %v outside the ≈50 Mb/s envelope", top)
+	}
+}
+
+func TestCQIFromSNR(t *testing.T) {
+	if CQIFromSNR(35) != MaxCQI {
+		t.Fatalf("35 dB should map to CQI %d, got %d", MaxCQI, CQIFromSNR(35))
+	}
+	if CQIFromSNR(-20) != 1 {
+		t.Fatalf("very low SNR should map to CQI 1, got %d", CQIFromSNR(-20))
+	}
+	prev := 0
+	for snr := -10.0; snr <= 40; snr += 0.5 {
+		c := CQIFromSNR(snr)
+		if c < prev {
+			t.Fatalf("CQI not monotone in SNR at %v dB", snr)
+		}
+		prev = c
+	}
+}
+
+func TestMCSFromCQIMonotone(t *testing.T) {
+	prev := -1
+	for c := 1; c <= MaxCQI; c++ {
+		m := MCSFromCQI(c)
+		if m < prev || m > MaxMCS {
+			t.Fatalf("MCSFromCQI(%d) = %d not monotone or out of range", c, m)
+		}
+		prev = m
+	}
+	if MCSFromCQI(MaxCQI) != MaxMCS {
+		t.Fatal("best CQI should enable the top MCS")
+	}
+}
+
+func TestEffectiveMCSCaps(t *testing.T) {
+	if EffectiveMCS(15, 5) != 5 {
+		t.Fatal("policy cap must bound the MCS")
+	}
+	if EffectiveMCS(3, 23) != MCSFromCQI(3) {
+		t.Fatal("link adaptation must bound the MCS when below the cap")
+	}
+	if EffectiveMCS(15, 99) != MaxMCS {
+		t.Fatal("cap above MaxMCS must clamp")
+	}
+}
+
+func TestPoliciesValidate(t *testing.T) {
+	good := Policies{Airtime: 0.5, MCSCap: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Policies{
+		{Airtime: 0, MCSCap: 10},
+		{Airtime: 1.2, MCSCap: 10},
+		{Airtime: math.NaN(), MCSCap: 10},
+		{Airtime: 0.5, MCSCap: -1},
+		{Airtime: 0.5, MCSCap: MaxMCS + 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("expected validation error for %+v", bad)
+		}
+	}
+}
+
+func TestScheduleEqualShares(t *testing.T) {
+	users := []User{{SNRdB: 30}, {SNRdB: 20}, {SNRdB: 10}}
+	allocs, err := Schedule(users, Policies{Airtime: 0.9, MCSCap: MaxMCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range allocs {
+		if math.Abs(a.Share-0.3) > 1e-12 {
+			t.Fatalf("share %v, want 0.3", a.Share)
+		}
+	}
+	// Worse channel => lower effective MCS => lower rate.
+	if !(allocs[0].PHYRate > allocs[1].PHYRate && allocs[1].PHYRate > allocs[2].PHYRate) {
+		t.Fatalf("rates should fall with SNR: %+v", allocs)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := Schedule(nil, Policies{Airtime: 1, MCSCap: 1}); err == nil {
+		t.Fatal("expected error for no users")
+	}
+	if _, err := Schedule([]User{{SNRdB: 30}}, Policies{Airtime: 0, MCSCap: 1}); err == nil {
+		t.Fatal("expected error for invalid policy")
+	}
+}
+
+func TestTxDelayScalesWithBits(t *testing.T) {
+	allocs, err := Schedule([]User{{SNRdB: 35}}, Policies{Airtime: 1, MCSCap: MaxMCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := allocs[0].TxDelay(1e5)
+	d2 := allocs[0].TxDelay(2e5)
+	if math.Abs(d2-2*d1) > 1e-12 {
+		t.Fatalf("TxDelay not linear in bits: %v vs %v", d1, d2)
+	}
+}
+
+func TestTxDelayCalibration(t *testing.T) {
+	// A full-resolution image (≈645 kbit) at full airtime and top MCS should
+	// take a few hundred ms, as in Fig. 1's high-resolution operating point.
+	allocs, err := Schedule([]User{{SNRdB: 35}}, Policies{Airtime: 1, MCSCap: MaxMCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := allocs[0].TxDelay(645e3)
+	if d < 0.15 || d > 0.45 {
+		t.Fatalf("full-res tx delay %v s outside the prototype's 0.15–0.45 s envelope", d)
+	}
+}
+
+func TestBSPowerEnvelope(t *testing.T) {
+	min, max := BSPowerRange()
+	if min < 4 || max > 8.5 {
+		t.Fatalf("BS power envelope [%v, %v] outside the paper's 4–8 W", min, max)
+	}
+	if max <= min {
+		t.Fatal("degenerate envelope")
+	}
+}
+
+// Fig. 5 effect: at low load, a higher MCS lowers BS power.
+func TestBSPowerFallsWithMCSAtLowLoad(t *testing.T) {
+	p := Policies{Airtime: 1, MCSCap: MaxMCS}
+	low := BSPower(20e6, 5, p)
+	high := BSPower(20e6, 20, p)
+	if high >= low {
+		t.Fatalf("at low load, MCS 20 power %v should be below MCS 5 power %v", high, low)
+	}
+}
+
+// Fig. 6 effect: once the airtime budget saturates, a higher MCS serves more
+// bits and raises BS power.
+func TestBSPowerRisesWithMCSWhenSaturated(t *testing.T) {
+	p := Policies{Airtime: 0.5, MCSCap: MaxMCS}
+	low := BSPower(200e6, 5, p)
+	high := BSPower(200e6, 20, p)
+	if high <= low {
+		t.Fatalf("under saturation, MCS 20 power %v should exceed MCS 5 power %v", high, low)
+	}
+}
+
+func TestBSPowerMonotoneInLoad(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Policies{Airtime: 0.1 + 0.9*rng.Float64(), MCSCap: MaxMCS}
+		mcs := rng.Float64() * MaxMCS
+		l1 := rng.Float64() * 100e6
+		l2 := l1 + rng.Float64()*100e6
+		return BSPower(l2, mcs, p) >= BSPower(l1, mcs, p)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBSPowerMoreAirtimeMorePower(t *testing.T) {
+	// With abundant offered load, granting more airtime must not reduce power.
+	lo := BSPower(100e6, 12, Policies{Airtime: 0.2, MCSCap: MaxMCS})
+	hi := BSPower(100e6, 12, Policies{Airtime: 1.0, MCSCap: MaxMCS})
+	if hi <= lo {
+		t.Fatalf("more airtime should draw more power under load: %v vs %v", hi, lo)
+	}
+}
+
+func TestBSPowerNegativeLoadClamped(t *testing.T) {
+	p := Policies{Airtime: 1, MCSCap: MaxMCS}
+	if got := BSPower(-5, 10, p); got != bsIdlePower {
+		t.Fatalf("negative load should clamp to idle power, got %v", got)
+	}
+}
+
+func TestPHYRateInterp(t *testing.T) {
+	if PHYRateInterp(-1) != PHYRate(0) || PHYRateInterp(99) != PHYRate(MaxMCS) {
+		t.Fatal("interp must clamp")
+	}
+	mid := PHYRateInterp(3.5)
+	if mid <= PHYRate(3) || mid >= PHYRate(4) {
+		t.Fatalf("interp at 3.5 = %v outside (%v, %v)", mid, PHYRate(3), PHYRate(4))
+	}
+}
+
+func TestSNRTraceBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr, err := NewSNRTrace(5, 38, 10, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied := false
+	first := tr.Next()
+	for i := 0; i < 300; i++ {
+		v := tr.Next()
+		if v < 5-1e-9 || v > 38+1e-9 {
+			t.Fatalf("trace escaped bounds: %v", v)
+		}
+		if math.Abs(v-first) > 1 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("trace never moved")
+	}
+}
+
+func TestSNRTraceValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewSNRTrace(5, 38, 10, 4, nil); err == nil {
+		t.Fatal("expected error for nil rng")
+	}
+	if _, err := NewSNRTrace(38, 5, 10, 4, rng); err == nil {
+		t.Fatal("expected error for inverted bounds")
+	}
+	if _, err := NewSNRTrace(5, 38, 0, 4, rng); err == nil {
+		t.Fatal("expected error for zero hold")
+	}
+	if _, err := NewSNRTrace(5, 38, 10, 0, rng); err == nil {
+		t.Fatal("expected error for zero ramp")
+	}
+}
+
+func TestSNRTraceDeterministic(t *testing.T) {
+	mk := func() []float64 {
+		tr, err := NewSNRTrace(5, 38, 8, 3, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 50)
+		for i := range out {
+			out[i] = tr.Next()
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace not deterministic at %d", i)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package ran models the radio access network of the EdgeBOL prototype: a
+// SISO LTE 20 MHz uplink served by a virtualized base station (srsRAN eNB in
+// the paper), with the two O-RAN radio policies of §3 — an airtime (duty
+// cycle) cap and a maximum-MCS cap — enforced by a round-robin MAC
+// scheduler, plus the baseband power model of Performance Indicator 4.
+//
+// The model is calibrated to the prototype's measurements rather than to
+// PHY-layer theory: what matters for reproducing the paper is the measured
+// relationship between policies and KPIs (Figs. 2, 5, 6), not bit-exact
+// 3GPP behaviour.
+package ran
+
+import "math"
+
+// NumPRB is the number of physical resource blocks of a 20 MHz LTE carrier.
+const NumPRB = 100
+
+// MaxMCS is the highest modulation-and-coding-scheme index the vBS uses
+// (64QAM region). The paper's MCS policy caps the scheduler at or below it.
+const MaxMCS = 23
+
+// MaxCQI is the highest channel quality indicator.
+const MaxCQI = 15
+
+// tbsPerPRB approximates the transport-block bits carried by one PRB in one
+// 1 ms TTI at each MCS (modulation order × code rate × 168 resource
+// elements, less control overhead). The top entry yields ≈53 Mb/s over 100
+// PRBs, matching the ≈50 Mb/s SISO capacity quoted in §3.
+var tbsPerPRB = [MaxMCS + 1]float64{
+	// QPSK, code rates 0.08–0.66
+	19, 25, 31, 39, 48, 59, 72, 86, 101, 117,
+	// 16QAM, code rates 0.37–0.60
+	132, 150, 170, 192, 216, 242, 270,
+	// 64QAM, code rates 0.45–0.75
+	301, 336, 373, 411, 450, 490, 531,
+}
+
+// TBSPerPRB returns the per-PRB per-TTI transport block size in bits for an
+// MCS index, clamping out-of-range values.
+func TBSPerPRB(mcs int) float64 {
+	if mcs < 0 {
+		mcs = 0
+	}
+	if mcs > MaxMCS {
+		mcs = MaxMCS
+	}
+	return tbsPerPRB[mcs]
+}
+
+// PHYRate returns the physical-layer uplink rate in bit/s sustained by the
+// full carrier at the given MCS.
+func PHYRate(mcs int) float64 {
+	return TBSPerPRB(mcs) * NumPRB * 1000 // 1000 TTIs per second
+}
+
+// cqiToMCS maps a reported CQI to the highest MCS the srsRAN-like link
+// adaptation would select for it (index 0 unused).
+var cqiToMCS = [MaxCQI + 1]int{0, 0, 2, 4, 6, 8, 10, 12, 14, 16, 17, 19, 20, 21, 22, 23}
+
+// MCSFromCQI returns the scheduler's MCS choice for a CQI before applying
+// the max-MCS policy cap.
+func MCSFromCQI(cqi int) int {
+	if cqi < 1 {
+		cqi = 1
+	}
+	if cqi > MaxCQI {
+		cqi = MaxCQI
+	}
+	return cqiToMCS[cqi]
+}
+
+// CQIFromSNR maps an uplink SNR in dB to a CQI report. The linear fit spans
+// CQI 1 near −5 dB to CQI 15 near 25 dB, saturating outside; the prototype's
+// 35 dB operating point therefore reports CQI 15.
+func CQIFromSNR(snrDB float64) int {
+	cqi := int(math.Round((snrDB + 7) / 2.1))
+	if cqi < 1 {
+		cqi = 1
+	}
+	if cqi > MaxCQI {
+		cqi = MaxCQI
+	}
+	return cqi
+}
+
+// EffectiveMCS returns the MCS actually used for a user: the link-adaptation
+// choice for its CQI, capped by the max-MCS policy.
+func EffectiveMCS(cqi, mcsCap int) int {
+	m := MCSFromCQI(cqi)
+	if mcsCap < 0 {
+		mcsCap = 0
+	}
+	if mcsCap > MaxMCS {
+		mcsCap = MaxMCS
+	}
+	if m > mcsCap {
+		m = mcsCap
+	}
+	return m
+}

@@ -1,0 +1,94 @@
+package ran
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TTISim runs the MAC scheduler at its native granularity: one transport
+// block per granted 1 ms TTI, a token-bucket duty cycle enforcing the
+// airtime policy, round-robin user selection, link adaptation capped by
+// the MCS policy, and HARQ retransmissions at a configurable BLER target.
+//
+// The closed-form Allocation model used by the testbed is the time-average
+// of this process; SimulateTransfers exists to validate that abstraction
+// (see the package tests and the MAC-model ablation bench) and to study
+// scheduler-level effects the averages hide.
+type TTISim struct {
+	// BLER is the block-error rate of first transmissions; failed blocks
+	// are retransmitted (HARQ). The prototype's srsRAN link adaptation
+	// targets ≈10 %.
+	BLER float64
+	// MaxTTIs bounds a simulation (guard against starvation).
+	MaxTTIs int
+
+	rng *rand.Rand
+}
+
+// NewTTISim returns a TTI-level simulator. rng is required when BLER > 0.
+func NewTTISim(bler float64, rng *rand.Rand) (*TTISim, error) {
+	if bler < 0 || bler >= 1 {
+		return nil, fmt.Errorf("ran: BLER %v outside [0,1)", bler)
+	}
+	if bler > 0 && rng == nil {
+		return nil, fmt.Errorf("ran: rand source required for nonzero BLER")
+	}
+	return &TTISim{BLER: bler, MaxTTIs: 10_000_000, rng: rng}, nil
+}
+
+// SimulateTransfers drains appBits of application-layer payload for every
+// user under the radio policies and returns each user's completion time in
+// seconds. Application bits convert to on-air bits through AppEfficiency,
+// mirroring the prototype's protocol overhead.
+func (s *TTISim) SimulateTransfers(users []User, p Policies, appBits float64) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(users) == 0 {
+		return nil, fmt.Errorf("ran: no users")
+	}
+	if appBits <= 0 {
+		return nil, fmt.Errorf("ran: non-positive payload %v", appBits)
+	}
+	onAirBits := appBits / AppEfficiency
+	remaining := make([]float64, len(users))
+	done := make([]float64, len(users))
+	mcs := make([]int, len(users))
+	for i, u := range users {
+		remaining[i] = onAirBits
+		mcs[i] = EffectiveMCS(u.CQI(), p.MCSCap)
+	}
+	pending := len(users)
+	credit := 0.0
+	rr := 0
+	for tti := 0; pending > 0; tti++ {
+		if tti >= s.MaxTTIs {
+			return nil, fmt.Errorf("ran: transfer exceeded %d TTIs", s.MaxTTIs)
+		}
+		// Token-bucket duty cycle: the slice may transmit only while it
+		// holds at least one TTI of credit.
+		credit += p.Airtime
+		if credit < 1 {
+			continue
+		}
+		credit--
+		// Round-robin over users that still have data.
+		for probe := 0; probe < len(users); probe++ {
+			i := (rr + probe) % len(users)
+			if remaining[i] <= 0 {
+				continue
+			}
+			rr = i + 1
+			if s.BLER > 0 && s.rng.Float64() < s.BLER {
+				break // HARQ: block lost, TTI spent
+			}
+			remaining[i] -= TBSPerPRB(mcs[i]) * NumPRB
+			if remaining[i] <= 0 {
+				done[i] = float64(tti+1) / 1000.0
+				pending--
+			}
+			break
+		}
+	}
+	return done, nil
+}

@@ -1,0 +1,153 @@
+package ran
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewTTISimValidation(t *testing.T) {
+	if _, err := NewTTISim(-0.1, nil); err == nil {
+		t.Fatal("expected error for negative BLER")
+	}
+	if _, err := NewTTISim(1, nil); err == nil {
+		t.Fatal("expected error for BLER 1")
+	}
+	if _, err := NewTTISim(0.1, nil); err == nil {
+		t.Fatal("expected error for nil rng with BLER > 0")
+	}
+	if _, err := NewTTISim(0, nil); err != nil {
+		t.Fatal("BLER 0 needs no rng")
+	}
+}
+
+func TestSimulateTransfersValidation(t *testing.T) {
+	sim, err := NewTTISim(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []User{{SNRdB: 30}}
+	if _, err := sim.SimulateTransfers(nil, Policies{Airtime: 1, MCSCap: 23}, 1e5); err == nil {
+		t.Fatal("expected error for no users")
+	}
+	if _, err := sim.SimulateTransfers(users, Policies{Airtime: 0, MCSCap: 23}, 1e5); err == nil {
+		t.Fatal("expected error for invalid policy")
+	}
+	if _, err := sim.SimulateTransfers(users, Policies{Airtime: 1, MCSCap: 23}, 0); err == nil {
+		t.Fatal("expected error for zero payload")
+	}
+}
+
+// The closed-form Allocation.TxDelay must be the time-average of the
+// TTI-level process: across airtime/MCS/user-count combinations the two
+// must agree within a few percent (granularity effects aside).
+func TestTTISimMatchesAnalyticModel(t *testing.T) {
+	sim, err := NewTTISim(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bits = 645e3
+	for _, tc := range []struct {
+		users   []User
+		airtime float64
+		mcsCap  int
+	}{
+		{[]User{{SNRdB: 35}}, 1, MaxMCS},
+		{[]User{{SNRdB: 35}}, 0.4, MaxMCS},
+		{[]User{{SNRdB: 35}}, 1, 8},
+		{[]User{{SNRdB: 20}}, 0.7, 15},
+		{[]User{{SNRdB: 35}, {SNRdB: 28}}, 1, MaxMCS},
+		{[]User{{SNRdB: 35}, {SNRdB: 28}, {SNRdB: 22}}, 0.6, 18},
+	} {
+		p := Policies{Airtime: tc.airtime, MCSCap: tc.mcsCap}
+		got, err := sim.SimulateTransfers(tc.users, p, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs, err := Schedule(tc.users, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range allocs {
+			want := a.TxDelay(bits)
+			if rel := math.Abs(got[i]-want) / want; rel > 0.08 {
+				t.Errorf("case %+v user %d: TTI sim %.4fs vs analytic %.4fs (%.1f%% off)",
+					tc, i, got[i], want, 100*rel)
+			}
+		}
+	}
+}
+
+func TestTTISimHARQSlowsTransfers(t *testing.T) {
+	ideal, err := NewTTISim(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := NewTTISim(0.1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []User{{SNRdB: 35}}
+	p := Policies{Airtime: 1, MCSCap: MaxMCS}
+	a, err := ideal.SimulateTransfers(users, p, 645e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average several lossy runs.
+	var sum float64
+	const reps = 30
+	for i := 0; i < reps; i++ {
+		b, err := lossy.SimulateTransfers(users, p, 645e3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += b[0]
+	}
+	mean := sum / reps
+	slowdown := mean / a[0]
+	// 10% BLER with HARQ costs ≈1/(1-0.1) ≈ 11% extra airtime.
+	if slowdown < 1.05 || slowdown > 1.25 {
+		t.Fatalf("HARQ slowdown %.3f outside the ≈1.11 envelope", slowdown)
+	}
+}
+
+func TestTTISimDutyCycle(t *testing.T) {
+	// Halving the airtime must roughly double the single-user transfer time.
+	sim, err := NewTTISim(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []User{{SNRdB: 35}}
+	full, err := sim.SimulateTransfers(users, Policies{Airtime: 1, MCSCap: MaxMCS}, 645e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := sim.SimulateTransfers(users, Policies{Airtime: 0.5, MCSCap: MaxMCS}, 645e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := half[0] / full[0]; ratio < 1.85 || ratio > 2.15 {
+		t.Fatalf("duty-cycle scaling %.3f, want ≈2", ratio)
+	}
+}
+
+func TestTTISimRoundRobinFair(t *testing.T) {
+	// Equal-channel users must finish at nearly the same time.
+	sim, err := NewTTISim(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []User{{SNRdB: 35}, {SNRdB: 35}, {SNRdB: 35}}
+	done, err := sim.SimulateTransfers(users, Policies{Airtime: 1, MCSCap: MaxMCS}, 3e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := done[0], done[0]
+	for _, d := range done {
+		min = math.Min(min, d)
+		max = math.Max(max, d)
+	}
+	if (max-min)/max > 0.05 {
+		t.Fatalf("round robin unfair: %v", done)
+	}
+}

@@ -1,0 +1,132 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ran"
+)
+
+func TestDetailedMACCloseToAnalytic(t *testing.T) {
+	analytic, err := New(DefaultConfig(), []ran.User{{SNRdB: 35}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.DetailedMAC = true
+	detailed, err := New(cfg, []ran.User{{SNRdB: 35}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []core.Control{
+		{Resolution: 1, Airtime: 1, GPUSpeed: 1, MCS: 1},
+		{Resolution: 0.5, Airtime: 0.4, GPUSpeed: 0.5, MCS: 0.7},
+	} {
+		a, err := analytic.Expected(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := detailed.Expected(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The detailed MAC includes the ≈11% HARQ airtime inflation, so
+		// its delays sit slightly above the closed form.
+		if d.Delay < a.Delay {
+			t.Fatalf("detailed delay %v below analytic %v at %+v", d.Delay, a.Delay, x)
+		}
+		if rel := (d.Delay - a.Delay) / a.Delay; rel > 0.25 {
+			t.Fatalf("detailed delay %v too far above analytic %v (%.0f%%)", d.Delay, a.Delay, 100*rel)
+		}
+	}
+}
+
+func TestDetailedMACExpectedDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DetailedMAC = true
+	tb, err := New(cfg, []ran.User{{SNRdB: 35}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := core.Control{Resolution: 0.8, Airtime: 0.7, GPUSpeed: 0.6, MCS: 0.9}
+	a, err := tb.Expected(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tb.Expected(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("detailed-MAC Expected not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestDetailedMACMeasureVaries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DetailedMAC = true
+	tb, err := New(cfg, []ran.User{{SNRdB: 35}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := core.Control{Resolution: 0.8, Airtime: 0.7, GPUSpeed: 0.6, MCS: 0.9}
+	a, err := tb.Measure(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tb.Measure(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delay == b.Delay {
+		t.Fatal("HARQ losses should randomize measured delays")
+	}
+}
+
+func TestMACBLERValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MACBLER = 1.5
+	if _, err := New(cfg, []ran.User{{SNRdB: 35}}, 1); err == nil {
+		t.Fatal("expected error for BLER out of range")
+	}
+}
+
+func TestShadowingVariesContext(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ShadowingStdDB = 4
+	tb, err := New(cfg, []ran.User{{SNRdB: 20}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]bool{}
+	for i := 0; i < 40; i++ {
+		seen[tb.Context().MeanCQI] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("shadowing should vary the observed CQI context")
+	}
+	// The baseline must not drift: long-run mean CQI near the nominal.
+	var sum float64
+	const n = 300
+	for i := 0; i < n; i++ {
+		sum += tb.Context().MeanCQI
+	}
+	nominal := float64(ran.CQIFromSNR(20))
+	if math.Abs(sum/n-nominal) > 1.5 {
+		t.Fatalf("shadowed CQI mean %.2f drifted from nominal %.0f", sum/n, nominal)
+	}
+}
+
+func TestNoShadowingKeepsContextFixed(t *testing.T) {
+	tb, err := New(DefaultConfig(), []ran.User{{SNRdB: 20}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tb.Context()
+	for i := 0; i < 10; i++ {
+		if tb.Context() != first {
+			t.Fatal("context should be static without shadowing")
+		}
+	}
+}

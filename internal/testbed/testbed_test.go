@@ -1,0 +1,302 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ran"
+)
+
+func newTB(t *testing.T) *Testbed {
+	t.Helper()
+	tb, err := New(DefaultConfig(), []ran.User{{SNRdB: 35}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func maxCtl() core.Control {
+	return core.Control{Resolution: 1, Airtime: 1, GPUSpeed: 1, MCS: 1}
+}
+
+func expectKPI(t *testing.T, tb *Testbed, x core.Control) core.KPIs {
+	t.Helper()
+	k, err := tb.Expected(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(DefaultConfig(), nil, 1); err == nil {
+		t.Fatal("expected error for no users")
+	}
+	bad := DefaultConfig()
+	bad.LoadFactor = 0.5
+	if _, err := New(bad, []ran.User{{SNRdB: 30}}, 1); err == nil {
+		t.Fatal("expected error for LoadFactor < 1")
+	}
+	bad = DefaultConfig()
+	bad.ImagesPerMeasurement = 0
+	if _, err := New(bad, []ran.User{{SNRdB: 30}}, 1); err == nil {
+		t.Fatal("expected error for zero measurement batch")
+	}
+}
+
+func TestContextAggregation(t *testing.T) {
+	tb, err := New(DefaultConfig(), []ran.User{{SNRdB: 35}, {SNRdB: 5}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := tb.Context()
+	if ctx.NumUsers != 2 {
+		t.Fatalf("NumUsers = %d, want 2", ctx.NumUsers)
+	}
+	c1 := float64(ran.CQIFromSNR(35))
+	c2 := float64(ran.CQIFromSNR(5))
+	wantMean := (c1 + c2) / 2
+	if math.Abs(ctx.MeanCQI-wantMean) > 1e-12 {
+		t.Fatalf("MeanCQI = %v, want %v", ctx.MeanCQI, wantMean)
+	}
+	if ctx.VarCQI <= 0 {
+		t.Fatal("heterogeneous users must have positive CQI variance")
+	}
+
+	tb.SetSNR(35)
+	ctx = tb.Context()
+	if ctx.NumUsers != 1 || ctx.VarCQI != 0 {
+		t.Fatalf("single-user context wrong: %+v", ctx)
+	}
+}
+
+func TestMeasureRejectsInvalidControl(t *testing.T) {
+	tb := newTB(t)
+	if _, err := tb.Measure(core.Control{}); err == nil {
+		t.Fatal("expected error for zero control")
+	}
+}
+
+// Fig. 1: higher resolution raises both delay and mAP.
+func TestFig1Tradeoff(t *testing.T) {
+	tb := newTB(t)
+	var prevDelay, prevMAP float64
+	for _, res := range []float64{0.25, 0.5, 0.75, 1.0} {
+		k := expectKPI(t, tb, core.Control{Resolution: res, Airtime: 1, GPUSpeed: 1, MCS: 1})
+		if k.Delay <= prevDelay {
+			t.Fatalf("delay not increasing with resolution at %v", res)
+		}
+		if k.MAP <= prevMAP {
+			t.Fatalf("mAP not increasing with resolution at %v", res)
+		}
+		prevDelay, prevMAP = k.Delay, k.MAP
+	}
+}
+
+func TestFig1DelayEnvelope(t *testing.T) {
+	tb := newTB(t)
+	lo := expectKPI(t, tb, core.Control{Resolution: 0.25, Airtime: 1, GPUSpeed: 1, MCS: 1})
+	hi := expectKPI(t, tb, maxCtl())
+	if lo.Delay < 0.1 || lo.Delay > 0.4 {
+		t.Fatalf("low-res delay %v s outside the Fig. 1 envelope", lo.Delay)
+	}
+	if hi.Delay < 0.3 || hi.Delay > 0.9 {
+		t.Fatalf("high-res delay %v s outside the Fig. 1 envelope", hi.Delay)
+	}
+}
+
+// Fig. 2: less airtime raises delay; more airtime raises server power
+// (higher request rate loads the GPU).
+func TestFig2AirtimeTradeoff(t *testing.T) {
+	tb := newTB(t)
+	low := expectKPI(t, tb, core.Control{Resolution: 0.75, Airtime: 0.2, GPUSpeed: 1, MCS: 1})
+	high := expectKPI(t, tb, core.Control{Resolution: 0.75, Airtime: 1, GPUSpeed: 1, MCS: 1})
+	if low.Delay <= high.Delay {
+		t.Fatalf("less airtime should raise delay: %v vs %v", low.Delay, high.Delay)
+	}
+	if low.ServerPower >= high.ServerPower {
+		t.Fatalf("less airtime should lower server power: %v vs %v", low.ServerPower, high.ServerPower)
+	}
+}
+
+// Fig. 2/3: lower resolution raises server power (higher request rate).
+func TestLowResRaisesServerPower(t *testing.T) {
+	tb := newTB(t)
+	low := expectKPI(t, tb, core.Control{Resolution: 0.25, Airtime: 1, GPUSpeed: 1, MCS: 1})
+	high := expectKPI(t, tb, maxCtl())
+	if low.ServerPower <= high.ServerPower {
+		t.Fatalf("low-res should load the GPU more: %v vs %v W", low.ServerPower, high.ServerPower)
+	}
+}
+
+// Fig. 3: throttling the GPU raises delay and lowers server power; GPU
+// delay falls with resolution.
+func TestFig3GPUSpeedTradeoff(t *testing.T) {
+	tb := newTB(t)
+	slow := expectKPI(t, tb, core.Control{Resolution: 0.75, Airtime: 1, GPUSpeed: 0.1, MCS: 1})
+	fast := expectKPI(t, tb, core.Control{Resolution: 0.75, Airtime: 1, GPUSpeed: 1, MCS: 1})
+	if slow.Delay <= fast.Delay {
+		t.Fatalf("throttled GPU should raise delay: %v vs %v", slow.Delay, fast.Delay)
+	}
+	if slow.GPUDelay <= fast.GPUDelay {
+		t.Fatalf("throttled GPU should raise GPU delay: %v vs %v", slow.GPUDelay, fast.GPUDelay)
+	}
+	lowRes := expectKPI(t, tb, core.Control{Resolution: 0.25, Airtime: 1, GPUSpeed: 1, MCS: 1})
+	highRes := expectKPI(t, tb, maxCtl())
+	if lowRes.GPUDelay <= highRes.GPUDelay {
+		t.Fatalf("low-res images should take longer on the GPU (Fig. 3 bottom): %v vs %v", lowRes.GPUDelay, highRes.GPUDelay)
+	}
+}
+
+// Fig. 4: higher mAP (higher resolution) coincides with lower server power.
+func TestFig4MAPPowerRelation(t *testing.T) {
+	tb := newTB(t)
+	low := expectKPI(t, tb, core.Control{Resolution: 0.25, Airtime: 1, GPUSpeed: 1, MCS: 1})
+	high := expectKPI(t, tb, maxCtl())
+	if !(high.MAP > low.MAP && high.ServerPower < low.ServerPower) {
+		t.Fatalf("Fig. 4 inversion missing: low-res (mAP %v, %v W) vs high-res (mAP %v, %v W)",
+			low.MAP, low.ServerPower, high.MAP, high.ServerPower)
+	}
+}
+
+// Fig. 5 (nominal load): higher MCS cap lowers BS power; more airtime and
+// higher resolution raise it.
+func TestFig5BSPowerShape(t *testing.T) {
+	tb := newTB(t)
+	ctl := func(res, air, mcs float64) core.Control {
+		return core.Control{Resolution: res, Airtime: air, GPUSpeed: 1, MCS: mcs}
+	}
+	lowMCS := expectKPI(t, tb, ctl(1, 1, 0.2))
+	highMCS := expectKPI(t, tb, ctl(1, 1, 1))
+	if highMCS.BSPower >= lowMCS.BSPower {
+		t.Fatalf("higher MCS should lower BS power at nominal load: %v vs %v", highMCS.BSPower, lowMCS.BSPower)
+	}
+	lowAir := expectKPI(t, tb, ctl(1, 0.2, 1))
+	if lowAir.BSPower >= highMCS.BSPower {
+		t.Fatalf("less airtime should lower BS power: %v vs %v", lowAir.BSPower, highMCS.BSPower)
+	}
+	lowRes := expectKPI(t, tb, ctl(0.25, 1, 1))
+	if lowRes.BSPower >= highMCS.BSPower {
+		t.Fatalf("low-res should lower BS power: %v vs %v", lowRes.BSPower, highMCS.BSPower)
+	}
+	if lowMCS.BSPower < 4 || lowMCS.BSPower > 8 {
+		t.Fatalf("BS power %v W outside the prototype's 4–8 W envelope", lowMCS.BSPower)
+	}
+}
+
+// Fig. 6 (10× load): with saturated airtime budgets, a higher MCS cap
+// raises BS power for high-resolution traffic.
+func TestFig6HighLoadInversion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LoadFactor = 10
+	tb, err := New(cfg, []ran.User{{SNRdB: 35}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowMCS := expectKPI(t, tb, core.Control{Resolution: 1, Airtime: 0.2, GPUSpeed: 1, MCS: 0.2})
+	highMCS := expectKPI(t, tb, core.Control{Resolution: 1, Airtime: 0.2, GPUSpeed: 1, MCS: 1})
+	if highMCS.BSPower <= lowMCS.BSPower {
+		t.Fatalf("at 10x load, higher MCS should raise BS power: %v vs %v", highMCS.BSPower, lowMCS.BSPower)
+	}
+}
+
+func TestExpectedDeterministic(t *testing.T) {
+	tb := newTB(t)
+	x := core.Control{Resolution: 0.6, Airtime: 0.7, GPUSpeed: 0.4, MCS: 0.8}
+	a := expectKPI(t, tb, x)
+	b := expectKPI(t, tb, x)
+	if a != b {
+		t.Fatalf("Expected not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMeasureNoisyAroundExpected(t *testing.T) {
+	tb := newTB(t)
+	x := core.Control{Resolution: 0.7, Airtime: 0.8, GPUSpeed: 0.5, MCS: 1}
+	want := expectKPI(t, tb, x)
+	var sum core.KPIs
+	const n = 60
+	same := true
+	var prev core.KPIs
+	for i := 0; i < n; i++ {
+		k, err := tb.Measure(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && k != prev {
+			same = false
+		}
+		prev = k
+		sum.Delay += k.Delay
+		sum.MAP += k.MAP
+		sum.ServerPower += k.ServerPower
+		sum.BSPower += k.BSPower
+	}
+	if same {
+		t.Fatal("Measure produced identical observations; noise missing")
+	}
+	if math.Abs(sum.Delay/n-want.Delay) > 0.05*want.Delay {
+		t.Fatalf("mean measured delay %v far from expected %v", sum.Delay/n, want.Delay)
+	}
+	if math.Abs(sum.MAP/n-want.MAP) > 0.08 {
+		t.Fatalf("mean measured mAP %v far from expected %v", sum.MAP/n, want.MAP)
+	}
+	if math.Abs(sum.ServerPower/n-want.ServerPower) > 0.05*want.ServerPower {
+		t.Fatalf("mean server power %v far from expected %v", sum.ServerPower/n, want.ServerPower)
+	}
+	if math.Abs(sum.BSPower/n-want.BSPower) > 0.05*want.BSPower {
+		t.Fatalf("mean BS power %v far from expected %v", sum.BSPower/n, want.BSPower)
+	}
+}
+
+// HeterogeneousUsers returns the §6.4 population: the first user at 30 dB
+// and each additional one with degraded SNR.
+func TestMultiUserWorstDelayGrows(t *testing.T) {
+	cfg := DefaultConfig()
+	var prev float64
+	for n := 1; n <= 6; n++ {
+		tb, err := New(cfg, HeterogeneousUsers(n), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := expectKPI(t, tb, maxCtl())
+		if k.Delay <= prev {
+			t.Fatalf("worst-user delay should grow with population: n=%d delay %v", n, k.Delay)
+		}
+		prev = k.Delay
+	}
+}
+
+// §6.2 feasibility: the Fig. 9 constraint set (dmax=0.4 s, ρmin=0.5) must
+// admit at least one control at SNR 35 dB.
+func TestFig9ConstraintsFeasible(t *testing.T) {
+	tb := newTB(t)
+	cons := core.Constraints{MaxDelay: 0.4, MinMAP: 0.5}
+	grid, err := core.GridSpec{Levels: 6, MinResolution: 0.1, MinAirtime: 0.1}.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range grid {
+		if cons.Satisfied(expectKPI(t, tb, x)) {
+			return
+		}
+	}
+	t.Fatal("no feasible control for the Fig. 9 constraints")
+}
+
+// §6.4 feasibility: dmax=2 s, ρmin=0.6 must be feasible with 6
+// heterogeneous users ("so the system has a feasible solution in the worst
+// case").
+func TestFig12ConstraintsFeasibleWorstCase(t *testing.T) {
+	tb, err := New(DefaultConfig(), HeterogeneousUsers(6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := core.Constraints{MaxDelay: 2, MinMAP: 0.6}
+	k := expectKPI(t, tb, maxCtl())
+	if !cons.Satisfied(k) {
+		t.Fatalf("max-resource control infeasible with 6 users: %+v", k)
+	}
+}

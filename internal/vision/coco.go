@@ -1,0 +1,191 @@
+package vision
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// COCO-format interchange: the synthetic dataset and detection results can
+// be exported in (a minimal subset of) the COCO annotation schema used by
+// the paper's dataset, so external evaluation tooling — or a real
+// Detectron2 run — can consume the same batches the simulator scores.
+
+// COCOImage is one image entry.
+type COCOImage struct {
+	ID     int `json:"id"`
+	Width  int `json:"width"`
+	Height int `json:"height"`
+}
+
+// COCOAnnotation is one ground-truth box.
+type COCOAnnotation struct {
+	ID         int        `json:"id"`
+	ImageID    int        `json:"image_id"`
+	CategoryID int        `json:"category_id"`
+	BBox       [4]float64 `json:"bbox"` // x, y, w, h
+	Area       float64    `json:"area"`
+	IsCrowd    int        `json:"iscrowd"`
+}
+
+// COCOCategory is one category entry.
+type COCOCategory struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+}
+
+// COCODataset is the annotation file layout.
+type COCODataset struct {
+	Images      []COCOImage      `json:"images"`
+	Annotations []COCOAnnotation `json:"annotations"`
+	Categories  []COCOCategory   `json:"categories"`
+}
+
+// COCODetection is one detection-results entry (the separate results-file
+// schema COCO evaluators consume).
+type COCODetection struct {
+	ImageID    int        `json:"image_id"`
+	CategoryID int        `json:"category_id"`
+	BBox       [4]float64 `json:"bbox"`
+	Score      float64    `json:"score"`
+}
+
+// ExportCOCO renders a batch of evaluation samples as a COCO annotation
+// dataset plus a detection-results list.
+func ExportCOCO(samples []EvalSample) (COCODataset, []COCODetection) {
+	ds := COCODataset{}
+	for c := 0; c < NumCategories; c++ {
+		ds.Categories = append(ds.Categories, COCOCategory{ID: c + 1, Name: fmt.Sprintf("category-%d", c)})
+	}
+	var dets []COCODetection
+	annID := 1
+	for i, s := range samples {
+		imgID := i + 1
+		ds.Images = append(ds.Images, COCOImage{ID: imgID, Width: FullWidth, Height: FullHeight})
+		for _, o := range s.Truth {
+			ds.Annotations = append(ds.Annotations, COCOAnnotation{
+				ID:         annID,
+				ImageID:    imgID,
+				CategoryID: o.Category + 1,
+				BBox:       [4]float64{o.Box.X, o.Box.Y, o.Box.W, o.Box.H},
+				Area:       o.Box.Area(),
+			})
+			annID++
+		}
+		for _, d := range s.Detections {
+			dets = append(dets, COCODetection{
+				ImageID:    imgID,
+				CategoryID: d.Category + 1,
+				BBox:       [4]float64{d.Box.X, d.Box.Y, d.Box.W, d.Box.H},
+				Score:      d.Score,
+			})
+		}
+	}
+	return ds, dets
+}
+
+// ImportCOCO reconstructs evaluation samples from a COCO dataset and
+// detection results, the inverse of ExportCOCO. Unknown image references
+// are rejected; categories outside the simulator's range are rejected.
+func ImportCOCO(ds COCODataset, dets []COCODetection) ([]EvalSample, error) {
+	index := make(map[int]int, len(ds.Images)) // image id -> sample index
+	samples := make([]EvalSample, len(ds.Images))
+	for i, img := range ds.Images {
+		if _, dup := index[img.ID]; dup {
+			return nil, fmt.Errorf("vision: duplicate image id %d", img.ID)
+		}
+		index[img.ID] = i
+	}
+	category := func(id int) (int, error) {
+		c := id - 1
+		if c < 0 || c >= NumCategories {
+			return 0, fmt.Errorf("vision: category id %d out of range", id)
+		}
+		return c, nil
+	}
+	for _, a := range ds.Annotations {
+		i, ok := index[a.ImageID]
+		if !ok {
+			return nil, fmt.Errorf("vision: annotation %d references unknown image %d", a.ID, a.ImageID)
+		}
+		c, err := category(a.CategoryID)
+		if err != nil {
+			return nil, err
+		}
+		samples[i].Truth = append(samples[i].Truth, Object{
+			Category: c,
+			Box:      Box{X: a.BBox[0], Y: a.BBox[1], W: a.BBox[2], H: a.BBox[3]},
+		})
+	}
+	for _, d := range dets {
+		i, ok := index[d.ImageID]
+		if !ok {
+			return nil, fmt.Errorf("vision: detection references unknown image %d", d.ImageID)
+		}
+		c, err := category(d.CategoryID)
+		if err != nil {
+			return nil, err
+		}
+		samples[i].Detections = append(samples[i].Detections, Detection{
+			Category: c,
+			Box:      Box{X: d.BBox[0], Y: d.BBox[1], W: d.BBox[2], H: d.BBox[3]},
+			Score:    d.Score,
+		})
+	}
+	return samples, nil
+}
+
+// WriteCOCO serializes a dataset and results as two JSON documents.
+func WriteCOCO(dsW, detW io.Writer, ds COCODataset, dets []COCODetection) error {
+	enc := json.NewEncoder(dsW)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(ds); err != nil {
+		return fmt.Errorf("vision: encode dataset: %w", err)
+	}
+	denc := json.NewEncoder(detW)
+	denc.SetIndent("", " ")
+	if err := denc.Encode(dets); err != nil {
+		return fmt.Errorf("vision: encode detections: %w", err)
+	}
+	return nil
+}
+
+// ReadCOCO parses the two JSON documents written by WriteCOCO.
+func ReadCOCO(dsR, detR io.Reader) (COCODataset, []COCODetection, error) {
+	var ds COCODataset
+	if err := json.NewDecoder(dsR).Decode(&ds); err != nil {
+		return COCODataset{}, nil, fmt.Errorf("vision: decode dataset: %w", err)
+	}
+	var dets []COCODetection
+	if err := json.NewDecoder(detR).Decode(&dets); err != nil {
+		return COCODataset{}, nil, fmt.Errorf("vision: decode detections: %w", err)
+	}
+	return ds, dets, nil
+}
+
+// GenerateBatch produces a measurement batch (scenes plus detections at a
+// resolution), the unit the prototype evaluated per data point.
+func GenerateBatch(resolution float64, numImages int, sceneCfg SceneConfig, detCfg DetectorConfig, rng *rand.Rand) ([]EvalSample, error) {
+	if numImages <= 0 {
+		return nil, fmt.Errorf("vision: numImages %d must be positive", numImages)
+	}
+	if resolution <= 0 || resolution > 1 {
+		return nil, fmt.Errorf("vision: resolution %v outside (0,1]", resolution)
+	}
+	if err := sceneCfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := detCfg.Validate(); err != nil {
+		return nil, err
+	}
+	samples := make([]EvalSample, numImages)
+	for i := range samples {
+		scene := GenerateScene(sceneCfg, rng)
+		samples[i] = EvalSample{
+			Truth:      scene.Objects,
+			Detections: Detect(scene, resolution, detCfg, rng),
+		}
+	}
+	return samples, nil
+}

@@ -1,0 +1,144 @@
+package vision
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sampleBatch(t *testing.T) []EvalSample {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	batch, err := GenerateBatch(0.8, 25, DefaultSceneConfig(), DefaultDetectorConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return batch
+}
+
+func TestExportImportRoundTripPreservesMAP(t *testing.T) {
+	batch := sampleBatch(t)
+	want := MeanAveragePrecision(batch)
+	ds, dets := ExportCOCO(batch)
+	back, err := ImportCOCO(ds, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MeanAveragePrecision(back)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mAP changed across the round trip: %v vs %v", got, want)
+	}
+}
+
+func TestExportStructure(t *testing.T) {
+	batch := sampleBatch(t)
+	ds, dets := ExportCOCO(batch)
+	if len(ds.Images) != len(batch) {
+		t.Fatalf("%d images, want %d", len(ds.Images), len(batch))
+	}
+	if len(ds.Categories) != NumCategories {
+		t.Fatalf("%d categories, want %d", len(ds.Categories), NumCategories)
+	}
+	var wantAnn, wantDet int
+	for _, s := range batch {
+		wantAnn += len(s.Truth)
+		wantDet += len(s.Detections)
+	}
+	if len(ds.Annotations) != wantAnn || len(dets) != wantDet {
+		t.Fatalf("annotations/detections %d/%d, want %d/%d", len(ds.Annotations), len(dets), wantAnn, wantDet)
+	}
+	seen := map[int]bool{}
+	for _, a := range ds.Annotations {
+		if seen[a.ID] {
+			t.Fatalf("duplicate annotation id %d", a.ID)
+		}
+		seen[a.ID] = true
+		if a.CategoryID < 1 || a.CategoryID > NumCategories {
+			t.Fatalf("category id %d outside COCO 1-based range", a.CategoryID)
+		}
+	}
+}
+
+func TestImportRejectsBadReferences(t *testing.T) {
+	ds := COCODataset{
+		Images:      []COCOImage{{ID: 1, Width: FullWidth, Height: FullHeight}},
+		Annotations: []COCOAnnotation{{ID: 1, ImageID: 99, CategoryID: 1}},
+	}
+	if _, err := ImportCOCO(ds, nil); err == nil {
+		t.Fatal("expected error for dangling annotation")
+	}
+	ds.Annotations[0].ImageID = 1
+	ds.Annotations[0].CategoryID = NumCategories + 5
+	if _, err := ImportCOCO(ds, nil); err == nil {
+		t.Fatal("expected error for out-of-range category")
+	}
+	ds.Annotations = nil
+	if _, err := ImportCOCO(ds, []COCODetection{{ImageID: 7, CategoryID: 1}}); err == nil {
+		t.Fatal("expected error for dangling detection")
+	}
+	dup := COCODataset{Images: []COCOImage{{ID: 1}, {ID: 1}}}
+	if _, err := ImportCOCO(dup, nil); err == nil {
+		t.Fatal("expected error for duplicate image ids")
+	}
+}
+
+func TestWriteReadCOCO(t *testing.T) {
+	batch := sampleBatch(t)
+	ds, dets := ExportCOCO(batch)
+	var dsBuf, detBuf bytes.Buffer
+	if err := WriteCOCO(&dsBuf, &detBuf, ds, dets); err != nil {
+		t.Fatal(err)
+	}
+	ds2, dets2, err := ReadCOCO(&dsBuf, &detBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportCOCO(ds2, dets2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(MeanAveragePrecision(back)-MeanAveragePrecision(batch)) > 1e-12 {
+		t.Fatal("serialized round trip changed the evaluation")
+	}
+}
+
+func TestReadCOCOGarbage(t *testing.T) {
+	if _, _, err := ReadCOCO(bytes.NewBufferString("{"), bytes.NewBufferString("[]")); err == nil {
+		t.Fatal("expected dataset decode error")
+	}
+	if _, _, err := ReadCOCO(bytes.NewBufferString("{}"), bytes.NewBufferString("{")); err == nil {
+		t.Fatal("expected detections decode error")
+	}
+}
+
+func TestCOCOStyleMAPStricter(t *testing.T) {
+	batch := sampleBatch(t)
+	loose := MeanAveragePrecision(batch)
+	strict := COCOStyleMAP(batch)
+	if strict >= loose {
+		t.Fatalf("AP@[.5:.95] (%v) must be below mAP@0.5 (%v)", strict, loose)
+	}
+	if strict <= 0 {
+		t.Fatal("COCO-style mAP degenerate")
+	}
+	// Higher thresholds can only lower AP.
+	prev := math.Inf(1)
+	for thr := 0.5; thr < 0.96; thr += 0.15 {
+		v := MeanAveragePrecisionAt(batch, thr)
+		if v > prev+1e-12 {
+			t.Fatalf("AP not monotone in IoU threshold at %v", thr)
+		}
+		prev = v
+	}
+}
+
+func TestGenerateBatchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := GenerateBatch(0.5, 0, DefaultSceneConfig(), DefaultDetectorConfig(), rng); err == nil {
+		t.Fatal("expected error for empty batch")
+	}
+	if _, err := GenerateBatch(0, 5, DefaultSceneConfig(), DefaultDetectorConfig(), rng); err == nil {
+		t.Fatal("expected error for zero resolution")
+	}
+}

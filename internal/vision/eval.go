@@ -1,0 +1,167 @@
+package vision
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// IoUThreshold is the match threshold for a true positive (PI 2 sets 0.5).
+const IoUThreshold = 0.5
+
+// MeanAveragePrecisionAt computes mAP at an arbitrary IoU threshold.
+func MeanAveragePrecisionAt(samples []EvalSample, iouThreshold float64) float64 {
+	return meanAveragePrecision(samples, iouThreshold)
+}
+
+// COCOStyleMAP computes the stricter COCO headline metric
+// AP@[.5:.05:.95]: mAP averaged over ten IoU thresholds. The paper's
+// metric is mAP@0.5 (MeanAveragePrecision); this is provided for external
+// comparisons against COCO-evaluated detectors.
+func COCOStyleMAP(samples []EvalSample) float64 {
+	var sum float64
+	n := 0
+	for thr := 0.5; thr < 0.96; thr += 0.05 {
+		sum += meanAveragePrecision(samples, thr)
+		n++
+	}
+	return sum / float64(n)
+}
+
+// EvalSample is one image's ground truth and detections.
+type EvalSample struct {
+	Truth      []Object
+	Detections []Detection
+}
+
+// MeanAveragePrecision computes mAP@0.5 over a batch of images following
+// Performance Indicator 2: per category, detections are sorted by
+// confidence, matched greedily to unmatched ground truth of the same image
+// with IoU ≥ 0.5, the precision-recall curve is built, AP is the area below
+// its monotone envelope, and mAP averages AP over categories with at least
+// one ground-truth instance.
+func MeanAveragePrecision(samples []EvalSample) float64 {
+	return meanAveragePrecision(samples, IoUThreshold)
+}
+
+func meanAveragePrecision(samples []EvalSample, iouThreshold float64) float64 {
+	type det struct {
+		img   int
+		score float64
+		box   Box
+	}
+	detsByCat := make([][]det, NumCategories)
+	gtCount := make([]int, NumCategories)
+	for img, s := range samples {
+		for _, o := range s.Truth {
+			gtCount[o.Category]++
+		}
+		for _, d := range s.Detections {
+			detsByCat[d.Category] = append(detsByCat[d.Category], det{img: img, score: d.Score, box: d.Box})
+		}
+	}
+
+	var sumAP float64
+	var catCount int
+	for cat := 0; cat < NumCategories; cat++ {
+		if gtCount[cat] == 0 {
+			continue
+		}
+		catCount++
+		ds := detsByCat[cat]
+		sort.Slice(ds, func(i, j int) bool { return ds[i].score > ds[j].score })
+
+		matched := make(map[int][]bool, len(samples)) // per image, per GT index of this category
+		gtBoxes := make(map[int][]Box, len(samples))
+		for img, s := range samples {
+			for _, o := range s.Truth {
+				if o.Category == cat {
+					gtBoxes[img] = append(gtBoxes[img], o.Box)
+				}
+			}
+			if n := len(gtBoxes[img]); n > 0 {
+				matched[img] = make([]bool, n)
+			}
+		}
+
+		tp := make([]int, len(ds))
+		for i, d := range ds {
+			best := -1
+			bestIoU := iouThreshold
+			for gi, gb := range gtBoxes[d.img] {
+				if matched[d.img][gi] {
+					continue
+				}
+				if iou := IoU(d.box, gb); iou >= bestIoU {
+					bestIoU = iou
+					best = gi
+				}
+			}
+			if best >= 0 {
+				matched[d.img][best] = true
+				tp[i] = 1
+			}
+		}
+
+		// Precision-recall curve and all-point interpolated AP.
+		var cumTP, cumFP int
+		recalls := make([]float64, len(ds))
+		precisions := make([]float64, len(ds))
+		for i := range ds {
+			if tp[i] == 1 {
+				cumTP++
+			} else {
+				cumFP++
+			}
+			recalls[i] = float64(cumTP) / float64(gtCount[cat])
+			precisions[i] = float64(cumTP) / float64(cumTP+cumFP)
+		}
+		// Monotone precision envelope from the right.
+		for i := len(precisions) - 2; i >= 0; i-- {
+			if precisions[i] < precisions[i+1] {
+				precisions[i] = precisions[i+1]
+			}
+		}
+		var ap, prevRecall float64
+		for i := range ds {
+			if recalls[i] > prevRecall {
+				ap += (recalls[i] - prevRecall) * precisions[i]
+				prevRecall = recalls[i]
+			}
+		}
+		sumAP += ap
+	}
+	if catCount == 0 {
+		return 0
+	}
+	return sumAP / float64(catCount)
+}
+
+// EstimateMAP runs the full measurement pipeline the prototype used for one
+// data point: generate numImages scenes, deliver them at the given
+// resolution, detect, and evaluate mAP@0.5 over the batch. The paper
+// averaged 150 images per measurement; numImages controls the sampling
+// noise the learning agent observes.
+func EstimateMAP(resolution float64, numImages int, sceneCfg SceneConfig, detCfg DetectorConfig, rng *rand.Rand) (float64, error) {
+	if numImages <= 0 {
+		return 0, fmt.Errorf("vision: numImages %d must be positive", numImages)
+	}
+	if resolution <= 0 || resolution > 1 {
+		return 0, fmt.Errorf("vision: resolution %v outside (0,1]", resolution)
+	}
+	if err := sceneCfg.Validate(); err != nil {
+		return 0, err
+	}
+	if err := detCfg.Validate(); err != nil {
+		return 0, err
+	}
+	samples := make([]EvalSample, numImages)
+	for i := range samples {
+		scene := GenerateScene(sceneCfg, rng)
+		samples[i] = EvalSample{
+			Truth:      scene.Objects,
+			Detections: Detect(scene, resolution, detCfg, rng),
+		}
+	}
+	return MeanAveragePrecision(samples), nil
+}

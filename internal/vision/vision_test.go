@@ -1,0 +1,276 @@
+package vision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIoU(t *testing.T) {
+	a := Box{0, 0, 10, 10}
+	cases := []struct {
+		b    Box
+		want float64
+	}{
+		{Box{0, 0, 10, 10}, 1},
+		{Box{20, 20, 5, 5}, 0},
+		{Box{5, 0, 10, 10}, 50.0 / 150.0},
+		{Box{0, 0, 5, 10}, 0.5},
+	}
+	for _, c := range cases {
+		if got := IoU(a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("IoU(%v, %v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIoUSymmetricAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rb := func() Box {
+			return Box{rng.Float64() * 500, rng.Float64() * 400, 1 + rng.Float64()*200, 1 + rng.Float64()*200}
+		}
+		a, b := rb(), rb()
+		x, y := IoU(a, b), IoU(b, a)
+		return math.Abs(x-y) < 1e-12 && x >= 0 && x <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateScene(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultSceneConfig()
+	for i := 0; i < 100; i++ {
+		s := GenerateScene(cfg, rng)
+		if len(s.Objects) < 1 {
+			t.Fatal("every scene must contain at least one object")
+		}
+		for _, o := range s.Objects {
+			if o.Category < 0 || o.Category >= NumCategories {
+				t.Fatalf("category %d out of range", o.Category)
+			}
+			b := o.Box
+			if b.X < 0 || b.Y < 0 || b.X+b.W > FullWidth+1e-9 || b.Y+b.H > FullHeight+1e-9 {
+				t.Fatalf("box %v escapes the %dx%d frame", b, FullWidth, FullHeight)
+			}
+			frac := b.Area() / FullPixels
+			if frac < cfg.MinAreaFrac/2 || frac > cfg.MaxAreaFrac*1.01 {
+				t.Fatalf("object area fraction %v outside configured bounds", frac)
+			}
+		}
+	}
+}
+
+func TestSceneConfigValidate(t *testing.T) {
+	if err := DefaultSceneConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SceneConfig{
+		{MeanObjects: -1, MinAreaFrac: 0.01, MaxAreaFrac: 0.2},
+		{MeanObjects: 3, MinAreaFrac: 0, MaxAreaFrac: 0.2},
+		{MeanObjects: 3, MinAreaFrac: 0.3, MaxAreaFrac: 0.2},
+		{MeanObjects: 3, MinAreaFrac: 0.01, MaxAreaFrac: 1.5},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("expected validation error for %+v", c)
+		}
+	}
+}
+
+func TestDetectorConfigValidate(t *testing.T) {
+	if err := DefaultDetectorConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultDetectorConfig()
+	c.Slope = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected error for zero slope")
+	}
+	c = DefaultDetectorConfig()
+	c.FPRate = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected error for negative FP rate")
+	}
+}
+
+func TestDetectZeroResolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := GenerateScene(DefaultSceneConfig(), rng)
+	if d := Detect(s, 0, DefaultDetectorConfig(), rng); d != nil {
+		t.Fatal("zero resolution must yield no detections")
+	}
+}
+
+func TestDetectScoresInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultDetectorConfig()
+	for i := 0; i < 50; i++ {
+		s := GenerateScene(DefaultSceneConfig(), rng)
+		for _, d := range Detect(s, 0.5, cfg, rng) {
+			if d.Score < 0.05 || d.Score > 0.99 {
+				t.Fatalf("score %v out of range", d.Score)
+			}
+			if d.Category < 0 || d.Category >= NumCategories {
+				t.Fatalf("category %d out of range", d.Category)
+			}
+		}
+	}
+}
+
+func TestDetectionProbMonotoneInResolution(t *testing.T) {
+	cfg := DefaultDetectorConfig()
+	for _, area := range []float64{2000, 10000, 50000} {
+		prev := 0.0
+		for res := 0.1; res <= 1.0; res += 0.1 {
+			p := cfg.detectionProb(3, area, res)
+			if p < prev {
+				t.Fatalf("detection prob not monotone in resolution at area %v", area)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestMAPPerfectDetector(t *testing.T) {
+	// Detections identical to ground truth with score 1 yield mAP 1.
+	rng := rand.New(rand.NewSource(4))
+	samples := make([]EvalSample, 20)
+	for i := range samples {
+		s := GenerateScene(DefaultSceneConfig(), rng)
+		dets := make([]Detection, len(s.Objects))
+		for j, o := range s.Objects {
+			dets[j] = Detection{Category: o.Category, Box: o.Box, Score: 0.99}
+		}
+		samples[i] = EvalSample{Truth: s.Objects, Detections: dets}
+	}
+	if m := MeanAveragePrecision(samples); math.Abs(m-1) > 1e-12 {
+		t.Fatalf("perfect detector mAP = %v, want 1", m)
+	}
+}
+
+func TestMAPBlindDetector(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	samples := make([]EvalSample, 20)
+	for i := range samples {
+		s := GenerateScene(DefaultSceneConfig(), rng)
+		samples[i] = EvalSample{Truth: s.Objects}
+	}
+	if m := MeanAveragePrecision(samples); m != 0 {
+		t.Fatalf("blind detector mAP = %v, want 0", m)
+	}
+}
+
+func TestMAPPenalizesFalsePositives(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	mk := func(withFP bool) []EvalSample {
+		r := rand.New(rand.NewSource(7))
+		samples := make([]EvalSample, 30)
+		for i := range samples {
+			s := GenerateScene(DefaultSceneConfig(), r)
+			dets := make([]Detection, 0, len(s.Objects)+1)
+			for _, o := range s.Objects {
+				dets = append(dets, Detection{Category: o.Category, Box: o.Box, Score: 0.9})
+			}
+			if withFP {
+				dets = append(dets, Detection{
+					Category: rng.Intn(NumCategories),
+					Box:      Box{rng.Float64() * 500, rng.Float64() * 380, 50, 50},
+					Score:    0.95, // high-confidence junk hurts most
+				})
+			}
+			samples[i] = EvalSample{Truth: s.Objects, Detections: dets}
+		}
+		return samples
+	}
+	clean := MeanAveragePrecision(mk(false))
+	dirty := MeanAveragePrecision(mk(true))
+	if dirty >= clean {
+		t.Fatalf("false positives must reduce mAP: %v >= %v", dirty, clean)
+	}
+}
+
+func TestMAPEmptyBatch(t *testing.T) {
+	if m := MeanAveragePrecision(nil); m != 0 {
+		t.Fatalf("empty batch mAP = %v, want 0", m)
+	}
+}
+
+func TestEstimateMAPValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if _, err := EstimateMAP(0.5, 0, DefaultSceneConfig(), DefaultDetectorConfig(), rng); err == nil {
+		t.Fatal("expected error for zero images")
+	}
+	if _, err := EstimateMAP(0, 10, DefaultSceneConfig(), DefaultDetectorConfig(), rng); err == nil {
+		t.Fatal("expected error for zero resolution")
+	}
+	if _, err := EstimateMAP(1.5, 10, DefaultSceneConfig(), DefaultDetectorConfig(), rng); err == nil {
+		t.Fatal("expected error for resolution > 1")
+	}
+}
+
+// Calibration: the mAP-vs-resolution curve must match the Fig. 1 envelope —
+// ≈0.17 at 25 % resolution rising to ≈0.62 at 100 % — and be monotone.
+func TestMAPResolutionCalibration(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	at := func(res float64) float64 {
+		m, err := EstimateMAP(res, 1200, DefaultSceneConfig(), DefaultDetectorConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m25, m50, m75, m100 := at(0.25), at(0.5), at(0.75), at(1.0)
+	t.Logf("mAP: 25%%=%.3f 50%%=%.3f 75%%=%.3f 100%%=%.3f", m25, m50, m75, m100)
+	if !(m25 < m50 && m50 < m75 && m75 < m100) {
+		t.Fatalf("mAP not monotone in resolution: %v %v %v %v", m25, m50, m75, m100)
+	}
+	checks := []struct {
+		name   string
+		val    float64
+		lo, hi float64
+	}{
+		{"mAP@25%", m25, 0.08, 0.28},
+		{"mAP@50%", m50, 0.28, 0.50},
+		{"mAP@75%", m75, 0.44, 0.66},
+		{"mAP@100%", m100, 0.56, 0.76},
+	}
+	for _, c := range checks {
+		if c.val < c.lo || c.val > c.hi {
+			t.Errorf("%s = %.3f outside calibration band [%.2f, %.2f]", c.name, c.val, c.lo, c.hi)
+		}
+	}
+}
+
+// Sampling noise must shrink with batch size, mirroring the 150-image
+// averaging on the prototype.
+func TestMAPNoiseShrinksWithBatch(t *testing.T) {
+	spread := func(n int) float64 {
+		var vals []float64
+		for seed := int64(0); seed < 12; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			m, err := EstimateMAP(0.6, n, DefaultSceneConfig(), DefaultDetectorConfig(), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals = append(vals, m)
+		}
+		var mean float64
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(len(vals))
+		var ss float64
+		for _, v := range vals {
+			ss += (v - mean) * (v - mean)
+		}
+		return math.Sqrt(ss / float64(len(vals)))
+	}
+	small, large := spread(25), spread(400)
+	if large >= small {
+		t.Fatalf("mAP stddev should shrink with batch size: n=25 %v vs n=400 %v", small, large)
+	}
+}
