@@ -1,0 +1,39 @@
+# EdgeBOL build/verify entry points. `make check` is the CI gate.
+
+GO ?= go
+
+.PHONY: all build test race lint fmt fmt-check vet check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector; the concurrent
+# O-RAN transport/stream/dataplane regression lives in internal/oran.
+race:
+	$(GO) test -race ./...
+
+# lint runs go vet plus the domain-aware edgebol-lint suite
+# (floateq, globalrand, errignore, safectrl).
+lint: vet
+	$(GO) run ./cmd/edgebol-lint ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: build fmt-check lint test race
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,84 @@
+// Command edgebol-lint is the multichecker for EdgeBOL's domain
+// analyzers: floateq, globalrand, errignore, and safectrl. It is meant
+// to run alongside `go vet` (the Makefile's lint target runs both):
+//
+//	go run ./cmd/edgebol-lint ./...
+//
+// Exit status is 1 when any analyzer reports a finding, 2 when the run
+// itself fails (load or type-check error). Individual analyzers can be
+// selected with -run:
+//
+//	go run ./cmd/edgebol-lint -run floateq,safectrl ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/errignore"
+	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/globalrand"
+	"repro/internal/analysis/safectrl"
+)
+
+// all registers every analyzer the suite ships.
+var all = []*analysis.Analyzer{
+	floateq.Analyzer,
+	globalrand.Analyzer,
+	errignore.Analyzer,
+	safectrl.Analyzer,
+}
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list    = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: edgebol-lint [-run names] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *runList != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runList, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "edgebol-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	n, err := driver.Run(driver.Options{Patterns: patterns, Analyzers: analyzers}, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edgebol-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}

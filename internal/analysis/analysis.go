@@ -1,0 +1,170 @@
+// Package analysis is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough framework to express
+// EdgeBOL's domain invariants as composable static checks.
+//
+// The vendored x/tools stack is deliberately avoided — the module has no
+// third-party dependencies — so the package defines its own Analyzer /
+// Pass / Diagnostic vocabulary and leaves package loading to the driver
+// subpackage, which feeds each analyzer fully type-checked syntax trees.
+//
+// # Suppression directives
+//
+// A finding can be waived where the code is intentionally outside an
+// invariant (e.g. a calibration sweep that probes off-grid controls).
+// The directive
+//
+//	//edgebol:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// placed on the flagged line, or on the line immediately above it,
+// suppresses the named analyzers' diagnostics for that line. The reason
+// after “--” is mandatory: a reasonless directive grants no waiver, so
+// the suppressed-in-intent diagnostic keeps firing until the bypass is
+// justified in writing.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Match restricts which packages the driver runs the analyzer on,
+	// by import path. A nil Match means every loaded package. The test
+	// harness bypasses Match so fixtures can live under any path.
+	Match func(pkgPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is a single finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+	// allowed maps "file:line" to the set of analyzer names waived there.
+	allowed map[string]map[string]bool
+}
+
+// NewPass assembles a pass and indexes //edgebol:allow directives so
+// Reportf can honor them. The report callback receives every diagnostic
+// that survives suppression.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	p := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		report:    report,
+		allowed:   make(map[string]map[string]bool),
+	}
+	for _, f := range files {
+		code := codeLines(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok || len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// A directive trailing code waives that same line; a
+				// standalone directive waives the line below it.
+				line := pos.Line
+				if !code[line] {
+					line++
+				}
+				key := fmt.Sprintf("%s:%d", pos.Filename, line)
+				if p.allowed[key] == nil {
+					p.allowed[key] = make(map[string]bool)
+				}
+				for _, n := range names {
+					p.allowed[key][n] = true
+				}
+			}
+		}
+	}
+	return p
+}
+
+// codeLines reports which lines of f contain non-comment tokens, used
+// to tell a trailing //edgebol:allow directive from a standalone one.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup, *ast.File:
+			return true
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}
+
+// parseAllow recognizes //edgebol:allow directives. ok reports whether
+// the comment is a directive at all; names is nil for a malformed one.
+func parseAllow(text string) (names []string, ok bool) {
+	const prefix = "//edgebol:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := text[len(prefix):]
+	list, reason, found := strings.Cut(rest, "--")
+	if !found || strings.TrimSpace(reason) == "" {
+		return nil, true
+	}
+	for _, n := range strings.Split(list, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, true
+	}
+	return names, true
+}
+
+// Reportf reports a finding at pos unless an allow directive waives it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	key := fmt.Sprintf("%s:%d", position.Filename, position.Line)
+	if waived := p.allowed[key]; waived[p.Analyzer.Name] {
+		return
+	}
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// SortDiagnostics orders diagnostics by file position for stable output.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// reportLines runs a pass over src with a trivial analyzer that reports
+// one diagnostic per line listed in lines, then returns the lines whose
+// diagnostics survived suppression.
+func reportLines(t *testing.T, src string, name string, lines []int) map[int]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Analyzer{Name: name, Doc: "test"}
+	var got []Diagnostic
+	pass := NewPass(a, fset, []*ast.File{f}, nil, nil, func(d Diagnostic) { got = append(got, d) })
+	file := fset.File(f.Pos())
+	for _, line := range lines {
+		pass.Reportf(file.LineStart(line), "finding on line %d", line)
+	}
+	surviving := make(map[int]bool)
+	for _, d := range got {
+		surviving[fset.Position(d.Pos).Line] = true
+	}
+	return surviving
+}
+
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	src := strings.Join([]string{
+		"package p", // 1
+		"//edgebol:allow check -- justified in the test", // 2
+		"var a = 1", // 3
+		"var b = 2 //edgebol:allow check -- same line", // 4
+		"var c = 3", // 5
+	}, "\n")
+	got := reportLines(t, src, "check", []int{3, 4, 5})
+	if got[3] {
+		t.Error("line 3: directive on preceding line should suppress")
+	}
+	if got[4] {
+		t.Error("line 4: same-line directive should suppress")
+	}
+	if !got[5] {
+		t.Error("line 5: no directive, diagnostic should survive")
+	}
+}
+
+func TestAllowDirectiveIsPerAnalyzer(t *testing.T) {
+	src := strings.Join([]string{
+		"package p", // 1
+		"//edgebol:allow other -- different check", // 2
+		"var a = 1", // 3
+		"//edgebol:allow other,check -- both checks", // 4
+		"var b = 2", // 5
+	}, "\n")
+	got := reportLines(t, src, "check", []int{3, 5})
+	if !got[3] {
+		t.Error("line 3: directive for a different analyzer must not suppress")
+	}
+	if got[5] {
+		t.Error("line 5: directive listing this analyzer should suppress")
+	}
+}
+
+func TestReasonlessDirectiveGrantsNoWaiver(t *testing.T) {
+	src := strings.Join([]string{
+		"package p",                // 1
+		"//edgebol:allow check",    // 2
+		"var a = 1",                // 3
+		"//edgebol:allow check --", // 4
+		"var b = 2",                // 5
+	}, "\n")
+	got := reportLines(t, src, "check", []int{3, 5})
+	if !got[3] || !got[5] {
+		t.Error("directives without a reason must not suppress diagnostics")
+	}
+}

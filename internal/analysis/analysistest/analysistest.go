@@ -1,0 +1,209 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest without the dependency.
+//
+// A fixture lives under <testdata>/src/<pkg>/ and annotates the lines
+// expected to be flagged:
+//
+//	x := a == b // want `compared with ==`
+//
+// Each backquoted (or double-quoted) string is a regular expression
+// that must match exactly one diagnostic reported on that line; any
+// diagnostic without a matching expectation, or expectation without a
+// matching diagnostic, fails the test.
+//
+// Fixtures may import standard-library or in-module packages: their
+// export data is resolved through `go list -export`, so tests must run
+// inside the module (the default for `go test`).
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts the expectation strings from a // want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// Run analyzes the fixture package at <testdata>/src/<pkg> with a and
+// reports any mismatch between diagnostics and // want expectations.
+// The analyzer's Match filter is intentionally bypassed: package
+// scoping is the driver's concern, fixtures exercise the check itself.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	typPkg, info, err := typecheck(fset, files, pkg)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				rest, found := strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !found {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+					expr := m[1]
+					if expr == "" {
+						expr = m[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("analysistest: bad want pattern %q at %s: %v", expr, pos, err)
+					}
+					k := key{filepath.Base(pos.Filename), pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, fset, files, typPkg, info, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: %s: %v", a.Name, err)
+	}
+	analysis.SortDiagnostics(fset, diags)
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{filepath.Base(pos.Filename), pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	var missed []string
+	for k, res := range wants {
+		for _, re := range res {
+			missed = append(missed, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, re))
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Errorf("%s", m)
+	}
+}
+
+// parseDir parses every .go file directly inside dir.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// typecheck type-checks the fixture, resolving its imports (stdlib or
+// in-module) through export data produced by `go list -export`.
+func typecheck(fset *token.FileSet, files []*ast.File, pkgPath string) (*types.Package, *types.Info, error) {
+	var imports []string
+	seen := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != "unsafe" && !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		args := append([]string{"list", "-export", "-json", "-deps"}, imports...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, nil, fmt.Errorf("go list %v: %v\n%s", imports, err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct {
+				ImportPath string
+				Export     string
+			}
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-check fixture %s: %v", pkgPath, err)
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,183 @@
+// Package driver loads, type-checks, and analyzes packages of this
+// module without golang.org/x/tools: it shells out to `go list -export`
+// for package metadata and compiled export data, parses each target
+// package's source, and type-checks it against the export data of its
+// dependencies via the standard library's gc importer.
+//
+// Only non-test Go files are analyzed: the analyzers gate production
+// code paths, while test files remain covered by `go vet` and the test
+// suite itself.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Options configure one analysis run.
+type Options struct {
+	// Dir is the working directory for `go list` (any directory inside
+	// the module). Empty means the current directory.
+	Dir string
+	// Patterns are `go list` package patterns, e.g. "./...".
+	Patterns []string
+	// Analyzers are the checks to run on every matched package.
+	Analyzers []*analysis.Analyzer
+}
+
+// Run analyzes the matched packages and writes one line per diagnostic
+// to w in "file:line:col: analyzer: message" form. It returns the
+// number of diagnostics. A non-nil error means the run itself failed
+// (load or type-check error), independent of any findings.
+func Run(opts Options, w io.Writer) (int, error) {
+	if len(opts.Analyzers) == 0 {
+		return 0, errors.New("driver: no analyzers")
+	}
+	pkgs, exports, err := load(opts.Dir, opts.Patterns)
+	if err != nil {
+		return 0, err
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	total := 0
+	for _, p := range pkgs {
+		n, err := analyzePackage(fset, imp, p, opts.Analyzers, w)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// load runs `go list -export -json -deps` and splits the result into
+// target packages (in-module, non-test) and an export-data index for
+// every dependency, keyed by import path.
+func load(dir string, patterns []string) ([]listPackage, map[string]string, error) {
+	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("driver: go list: %v\n%s", err, stderr.String())
+	}
+	exports := make(map[string]string)
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("driver: decode go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("driver: load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	return targets, exports, nil
+}
+
+// exportImporter returns a types.Importer that resolves every import
+// from the compiled export data `go list -export` produced.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("driver: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// analyzePackage parses and type-checks one package, then runs every
+// analyzer whose Match accepts the package's import path.
+func analyzePackage(fset *token.FileSet, imp types.Importer, p listPackage, analyzers []*analysis.Analyzer, w io.Writer) (int, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return 0, fmt.Errorf("driver: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: imp}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return 0, fmt.Errorf("driver: type-check %s: %v", p.ImportPath, err)
+	}
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(p.ImportPath) {
+			continue
+		}
+		pass := analysis.NewPass(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
+			diags = append(diags, d)
+		})
+		if err := a.Run(pass); err != nil {
+			return 0, fmt.Errorf("driver: %s on %s: %v", a.Name, p.ImportPath, err)
+		}
+	}
+	analysis.SortDiagnostics(fset, diags)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if _, err := fmt.Fprintf(w, "%s: %s: %s\n", relPosition(pos), d.Analyzer, d.Message); err != nil {
+			return 0, fmt.Errorf("driver: write diagnostic: %v", err)
+		}
+	}
+	return len(diags), nil
+}
+
+// relPosition renders a position relative to the working directory when
+// possible, for shorter and editor-clickable output.
+func relPosition(pos token.Position) string {
+	wd, err := os.Getwd()
+	if err == nil {
+		if rel, err := filepath.Rel(wd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+	}
+	return pos.String()
+}

@@ -1,0 +1,169 @@
+// Package errignore flags calls whose error result is silently
+// discarded — a call used as a bare statement (or defer/go statement)
+// when the callee returns an error.
+//
+// EdgeBOL's control loop degrades quietly when errors vanish: a failed
+// E2 frame write or an unchecked Close on the KPI stream turns into a
+// stalled learning curve, not a crash. An ignored error must therefore
+// be explicit: assign it to _ (visible in review, greppable) or handle
+// it.
+//
+// Known-infallible writers are exempt so the check stays signal: the
+// fmt.Print family writing to stdout, fmt.Fprint* into a *bytes.Buffer
+// or *strings.Builder, and methods on those two types (their Write
+// methods are documented never to fail).
+package errignore
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errignore check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errignore",
+	Doc:  "forbid silently discarded error returns; handle the error or assign it to _ explicitly",
+	Match: func(pkgPath string) bool {
+		return strings.HasPrefix(pkgPath, "repro/internal/")
+	},
+	Run: run,
+}
+
+// printFamily writes to os.Stdout; by convention its error is ignored.
+var printFamily = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+}
+
+// fprintFamily is exempt only when the destination writer cannot fail.
+var fprintFamily = map[string]bool{
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+}
+
+func run(pass *analysis.Pass) error {
+	check := func(call *ast.CallExpr) {
+		if call == nil {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[call.Fun]
+		if !ok || tv.IsType() { // conversion, not a call
+			return
+		}
+		sig, ok := tv.Type.Underlying().(*types.Signature)
+		if !ok {
+			return // builtin such as close/copy
+		}
+		if !returnsError(sig) {
+			return
+		}
+		name := calleeName(pass, call)
+		if printFamily[name] {
+			return
+		}
+		if fprintFamily[name] && len(call.Args) > 0 {
+			if isInfallibleWriter(pass.TypesInfo.Types[call.Args[0]].Type) {
+				return
+			}
+		}
+		if fn := calleeFunc(pass, call); fn != nil && infallibleReceiver(fn) {
+			return
+		}
+		pass.Reportf(call.Pos(), "result of %s is an error that is silently discarded; handle it or assign to _ explicitly", name)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					check(call)
+				}
+			case *ast.DeferStmt:
+				check(s.Call)
+			case *ast.GoStmt:
+				check(s.Call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether any result of sig is the error type.
+func returnsError(sig *types.Signature) bool {
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called *types.Func, if statically known.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeName renders a diagnostic-friendly name for the callee:
+// "fmt.Println", "conn.Close", or "function value" as a fallback.
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass, call); fn != nil {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + fn.Name()
+			}
+			return fn.Name()
+		}
+		if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "function value"
+}
+
+// infallibleReceiver reports whether fn is a method on *bytes.Buffer or
+// *strings.Builder, whose Write-family methods never return an error.
+func infallibleReceiver(fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	return isInfallibleWriter(recv.Type())
+}
+
+// isInfallibleWriter reports whether t is (a pointer to) bytes.Buffer
+// or strings.Builder.
+func isInfallibleWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,21 @@
+package errignore_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errignore"
+)
+
+func TestErrIgnore(t *testing.T) {
+	analysistest.Run(t, "testdata", errignore.Analyzer, "errignoretest")
+}
+
+func TestMatchScopesInternalPackages(t *testing.T) {
+	if !errignore.Analyzer.Match("repro/internal/oran") {
+		t.Error(`Match("repro/internal/oran") = false, want true`)
+	}
+	if errignore.Analyzer.Match("repro") {
+		t.Error(`Match("repro") = true, want false`)
+	}
+}

@@ -1,0 +1,43 @@
+package errignoretest
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fails() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func work(f *os.File, buf *bytes.Buffer, sb *strings.Builder) {
+	f.Close()       // want `result of File.Close is an error that is silently discarded`
+	defer f.Close() // want `result of File.Close is an error that is silently discarded`
+	go f.Sync()     // want `result of File.Sync is an error that is silently discarded`
+
+	fails() // want `result of fails is an error that is silently discarded`
+	pair()  // want `result of pair is an error that is silently discarded`
+
+	fmt.Println("ok")     // stdout convention: allowed
+	fmt.Fprintf(buf, "x") // infallible writer: allowed
+	fmt.Fprintln(sb, "x") // infallible writer: allowed
+	fmt.Fprintf(f, "x")   // want `result of fmt.Fprintf is an error that is silently discarded`
+	buf.WriteString("x")  // infallible receiver: allowed
+	sb.WriteString("x")   // infallible receiver: allowed
+
+	_ = f.Close() // explicit discard: allowed
+	if err := fails(); err != nil {
+		_ = err
+	}
+
+	fn := fails
+	fn() // want `result of function value is an error that is silently discarded`
+
+	//edgebol:allow errignore -- fixture demonstrates a justified waiver
+	fails()
+
+	noError()
+}
+
+func noError() {}

@@ -1,0 +1,109 @@
+// Package floateq flags ==/!= between floating-point values in the
+// numeric heart of EdgeBOL (the GP posteriors, the Matérn kernel, the
+// Cholesky solver, and the safe-set machinery). Rounding error makes
+// exact float equality meaningless there: a safe-set membership test
+// that hinges on `lcb == threshold` silently flips with the order of a
+// dot product.
+//
+// Two idiomatic exceptions are permitted:
+//
+//   - comparison against an exact-zero constant (`x == 0`), the
+//     conventional "option unset / sparse entry" sentinel;
+//   - the self-comparison `x != x`, the standard NaN probe.
+//
+// Everything else should go through linalg.ApproxEqual(a, b, tol) or an
+// explicit |a−b| ≤ tol test.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the floateq check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "forbid exact ==/!= between floating-point values in numeric packages",
+	Match: func(pkgPath string) bool {
+		switch pkgPath {
+		case "repro/internal/gp", "repro/internal/linalg", "repro/internal/core":
+			return true
+		}
+		return false
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(*ast.BinaryExpr)
+			if !ok || (e.Op != token.EQL && e.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := pass.TypesInfo.Types[e.X], pass.TypesInfo.Types[e.Y]
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			if isZeroConst(tx) || isZeroConst(ty) {
+				return true
+			}
+			if e.Op == token.NEQ && isSelfCompare(e.X, e.Y) {
+				return true // x != x is the NaN test
+			}
+			pass.Reportf(e.OpPos, "floating-point values compared with %s; use linalg.ApproxEqual(a, b, tol) or an explicit tolerance", e.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether t is (or aliases) a floating-point or complex
+// basic type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isZeroConst reports whether the operand is a compile-time constant
+// whose numeric value is exactly zero.
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float, constant.Complex:
+		return constant.Sign(constant.Real(tv.Value)) == 0 && constant.Sign(constant.Imag(tv.Value)) == 0
+	}
+	return false
+}
+
+// isSelfCompare reports whether x and y are the same simple expression
+// (identifier or dotted selector path), as in `v != v`.
+func isSelfCompare(x, y ast.Expr) bool {
+	px, ok1 := selectorPath(x)
+	py, ok2 := selectorPath(y)
+	return ok1 && ok2 && px == py
+}
+
+// selectorPath renders an identifier or a.b.c selector chain; other
+// expression forms are not considered self-comparable.
+func selectorPath(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := selectorPath(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.ParenExpr:
+		return selectorPath(e.X)
+	}
+	return "", false
+}

@@ -1,0 +1,25 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "testdata", floateq.Analyzer, "floateqtest")
+}
+
+func TestMatchScopesNumericPackages(t *testing.T) {
+	for _, path := range []string{"repro/internal/gp", "repro/internal/linalg", "repro/internal/core"} {
+		if !floateq.Analyzer.Match(path) {
+			t.Errorf("Match(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{"repro/internal/oran", "repro/internal/ran", "repro"} {
+		if floateq.Analyzer.Match(path) {
+			t.Errorf("Match(%q) = true, want false", path)
+		}
+	}
+}

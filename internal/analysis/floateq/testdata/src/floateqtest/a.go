@@ -1,0 +1,34 @@
+package floateqtest
+
+type myFloat float64
+
+func compare(a, b float64, xs []float64) bool {
+	if a == b { // want `floating-point values compared with ==`
+		return true
+	}
+	if a != b { // want `floating-point values compared with !=`
+		return false
+	}
+	zeroOK := a == 0   // exact-zero sentinel: allowed
+	nanProbe := a != a // NaN probe: allowed
+
+	var f32 float32
+	_ = f32 == 1.5 // want `floating-point values compared with ==`
+
+	var m myFloat
+	_ = m == 2 // want `floating-point values compared with ==`
+
+	_ = len(xs) == 0 // integers: allowed
+
+	c := complex(a, b)
+	_ = c == 1i // want `floating-point values compared with ==`
+	_ = c == 0  // exact-zero complex: allowed
+
+	//edgebol:allow floateq -- fixture demonstrates a justified waiver
+	_ = a == b
+
+	//edgebol:allow floateq
+	_ = a == b // want `floating-point values compared with ==`
+
+	return zeroOK && nanProbe
+}

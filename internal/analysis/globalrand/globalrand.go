@@ -1,0 +1,71 @@
+// Package globalrand forbids the package-level math/rand functions
+// (rand.Float64, rand.Intn, rand.Perm, ...) outside main packages.
+//
+// EdgeBOL's online-learning curves are reproducible only because every
+// stochastic component — the testbed channel, the GP hyperparameter
+// search, the DDPG exploration noise — draws from an injected, seeded
+// *rand.Rand. The global source is process-wide mutable state: one
+// stray rand.Float64 in a library desynchronizes every seeded run and
+// is invisible in review. Constructors (rand.New, rand.NewSource,
+// rand.NewZipf) remain allowed; they are how the seeded generators are
+// built. Binaries (package main) may use the global source for
+// convenience flags, so they are exempt.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// forbidden lists the math/rand (and math/rand/v2) package-level
+// functions that draw from the shared global source.
+var forbidden = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true,
+	"Int31": true, "Int31n": true, "Int63": true, "Int63n": true,
+	"Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"Uint": true, "Uint32": true, "Uint32N": true,
+	"Uint64": true, "Uint64N": true, "UintN": true,
+	"Float32": true, "Float64": true,
+	"NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true, "N": true,
+}
+
+// Analyzer is the globalrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid global math/rand functions outside main packages; inject a seeded *rand.Rand",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if forbidden[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "rand.%s draws from the global math/rand source; inject a seeded *rand.Rand for reproducibility", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

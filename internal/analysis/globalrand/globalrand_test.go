@@ -1,0 +1,18 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/globalrand"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, "testdata", globalrand.Analyzer, "globalrandtest")
+}
+
+// TestMainPackagesExempt loads a fixture that is a main package; the
+// same calls that fire in a library must be silent there.
+func TestMainPackagesExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", globalrand.Analyzer, "globalrandmain")
+}

@@ -1,0 +1,10 @@
+// Command fixtures: binaries may use the global source for quick
+// defaults; no diagnostics expected anywhere in this file.
+package main
+
+import "math/rand"
+
+func main() {
+	_ = rand.Float64()
+	_ = rand.Intn(10)
+}

@@ -1,0 +1,19 @@
+package globalrandtest
+
+import "math/rand"
+
+func draw(r *rand.Rand) float64 {
+	x := rand.Float64()                // want `global math/rand source`
+	_ = rand.Intn(10)                  // want `global math/rand source`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand source`
+	rand.Seed(1)                       // want `global math/rand source`
+	_ = rand.Perm(4)                   // want `global math/rand source`
+
+	seeded := rand.New(rand.NewSource(42)) // constructors: allowed
+	x += seeded.Float64()                  // method on injected *rand.Rand: allowed
+	x += r.Float64()
+
+	//edgebol:allow globalrand -- fixture demonstrates a justified waiver
+	x += rand.Float64()
+	return x
+}

@@ -1,0 +1,170 @@
+// Package safectrl guards EdgeBOL's actuation boundary: library code
+// must not conjure core.Control or core.GridSpec values out of thin
+// air, because a control that never passed through the grid/safe-set
+// machinery (GridSpec.Enumerate, Nearest, MaxControl and the safe-set
+// filter built on them) can actuate a configuration the safety
+// analysis of §5 never admitted.
+//
+// Flagged: non-empty composite literals of core.Control or
+// core.GridSpec in internal library packages (package core itself, test
+// files, and main packages are out of scope — the driver restricts the
+// package set, and tests must be free to probe arbitrary controls).
+//
+// Allowed without annotation:
+//
+//   - the zero literal core.Control{} / core.GridSpec{}, the
+//     conventional "no value" sentinel on error paths;
+//   - a Control literal passed directly to GridSpec.Nearest, which is
+//     exactly the sanctioned projection onto the grid;
+//   - a GridSpec literal whose method (Validate, Enumerate, ...) is
+//     invoked immediately, so validation happens at the construction
+//     site.
+//
+// Deliberate bypasses (calibration sweeps, serialization boundaries)
+// must carry //edgebol:allow safectrl -- <reason>.
+package safectrl
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// corePath is the package whose types the check protects.
+const corePath = "repro/internal/core"
+
+// Analyzer is the safectrl check.
+var Analyzer = &analysis.Analyzer{
+	Name: "safectrl",
+	Doc:  "forbid core.Control/GridSpec construction that bypasses the grid/safe-set machinery",
+	Match: func(pkgPath string) bool {
+		return strings.HasPrefix(pkgPath, "repro/internal/") && pkgPath != corePath
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			name := guardedTypeName(pass, lit)
+			if name == "" {
+				return true
+			}
+			if len(lit.Elts) == 0 {
+				return true // zero-value sentinel (error returns etc.)
+			}
+			if name == "Control" && feedsNearest(pass, parents, lit) {
+				return true // immediately projected onto the grid
+			}
+			if name == "GridSpec" && methodCalledOnLiteral(parents, lit) {
+				return true // validated/enumerated at the construction site
+			}
+			pass.Reportf(lit.Pos(), "core.%s constructed outside the grid/safe-set machinery; use GridSpec.Enumerate/Nearest/MaxControl, or annotate //edgebol:allow safectrl -- <reason>", name)
+			return true
+		})
+	}
+	return nil
+}
+
+// guardedTypeName returns "Control" or "GridSpec" when the literal has
+// one of the guarded core types, and "" otherwise.
+func guardedTypeName(pass *analysis.Pass, lit *ast.CompositeLit) string {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return ""
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != corePath {
+		return ""
+	}
+	switch named.Obj().Name() {
+	case "Control", "GridSpec":
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// feedsNearest reports whether lit (possibly through & or parens) is an
+// argument of a call to the Nearest method of core.GridSpec.
+func feedsNearest(pass *analysis.Pass, parents map[ast.Node]ast.Node, lit *ast.CompositeLit) bool {
+	n := ast.Node(lit)
+	for {
+		parent := parents[n]
+		switch p := parent.(type) {
+		case *ast.ParenExpr:
+			n = p
+			continue
+		case *ast.UnaryExpr:
+			n = p
+			continue
+		case *ast.CallExpr:
+			for _, arg := range p.Args {
+				if arg != n {
+					continue
+				}
+				sel, ok := ast.Unparen(p.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return false
+				}
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Name() != "Nearest" {
+					return false
+				}
+				recv := fn.Type().(*types.Signature).Recv()
+				if recv == nil {
+					return false
+				}
+				t := recv.Type()
+				if ptr, ok := t.(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				named, ok := t.(*types.Named)
+				return ok && named.Obj().Pkg() != nil &&
+					named.Obj().Pkg().Path() == corePath && named.Obj().Name() == "GridSpec"
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// methodCalledOnLiteral reports whether lit is the receiver of an
+// immediate method call, as in core.GridSpec{...}.Enumerate().
+func methodCalledOnLiteral(parents map[ast.Node]ast.Node, lit *ast.CompositeLit) bool {
+	n := ast.Node(lit)
+	if p, ok := parents[n].(*ast.ParenExpr); ok {
+		n = p
+	}
+	sel, ok := parents[n].(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	call, ok := parents[sel].(*ast.CallExpr)
+	return ok && call.Fun == sel
+}
+
+// parentMap records each node's parent within one file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,27 @@
+package safectrl_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/safectrl"
+)
+
+func TestSafeCtrl(t *testing.T) {
+	analysistest.Run(t, "testdata", safectrl.Analyzer, "safectrltest")
+}
+
+// TestMatchExemptsCoreAndNonInternal: package core is where the grid
+// machinery lives, so it is out of scope, as are main packages and the
+// public facade.
+func TestMatchExemptsCoreAndNonInternal(t *testing.T) {
+	if safectrl.Analyzer.Match("repro/internal/core") {
+		t.Error(`Match("repro/internal/core") = true, want false`)
+	}
+	if !safectrl.Analyzer.Match("repro/internal/oran") {
+		t.Error(`Match("repro/internal/oran") = false, want true`)
+	}
+	if safectrl.Analyzer.Match("repro") {
+		t.Error(`Match("repro") = true, want false`)
+	}
+}

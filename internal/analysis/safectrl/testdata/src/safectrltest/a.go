@@ -1,0 +1,24 @@
+package safectrltest
+
+import "repro/internal/core"
+
+func controls(grid core.GridSpec) ([]core.Control, error) {
+	bad := core.Control{Resolution: 0.5, Airtime: 1, GPUSpeed: 1, MCS: 1} // want `core.Control constructed outside the grid/safe-set machinery`
+
+	zero := core.Control{} // zero-value sentinel: allowed
+
+	snapped := grid.Nearest(core.Control{Resolution: 0.5, Airtime: 0.9, GPUSpeed: 1, MCS: 1}) // immediate projection: allowed
+
+	spec := core.GridSpec{Levels: 5, MinResolution: 0.1, MinAirtime: 0.1} // want `core.GridSpec constructed outside the grid/safe-set machinery`
+
+	all, err := core.GridSpec{Levels: 5, MinResolution: 0.1, MinAirtime: 0.1}.Enumerate() // validated at construction site: allowed
+	if err != nil {
+		return nil, err
+	}
+
+	//edgebol:allow safectrl -- fixture demonstrates a sanctioned bypass
+	waived := core.Control{Resolution: 1, Airtime: 1, GPUSpeed: 1, MCS: 1}
+
+	_ = spec
+	return append(all, bad, zero, snapped, waived), nil
+}

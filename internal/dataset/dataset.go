@@ -57,6 +57,7 @@ func (r Record) Context() core.Context {
 
 // Control returns the record's control.
 func (r Record) Control() core.Control {
+	//edgebol:allow safectrl -- deserialization boundary: records replay controls captured from a grid-driven run, never synthesize new ones
 	return core.Control{Resolution: r.Resolution, Airtime: r.Airtime, GPUSpeed: r.GPUSpeed, MCS: r.MCS}
 }
 

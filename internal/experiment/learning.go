@@ -28,6 +28,7 @@ type record struct {
 
 // grid returns the control grid for a scale.
 func (s Scale) grid() core.GridSpec {
+	//edgebol:allow safectrl -- geometry comes from a Scale checked by Scale.Validate, and every consumer enumerates (and thus re-validates) the spec
 	return core.GridSpec{Levels: s.GridLevels, MinResolution: 0.1, MinAirtime: 0.1}
 }
 

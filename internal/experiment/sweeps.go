@@ -30,6 +30,16 @@ func levels(lo, hi float64, n int) []float64 {
 	return out
 }
 
+// sweepControl builds the probe control for one calibration dot. The §3
+// sweeps chart the testbed's raw dose-response surfaces (Figs. 1–6) and
+// deliberately probe off the learned controller's grid — exactly how
+// the paper calibrated its prototype — so this is the one sanctioned
+// construction site outside the grid/safe-set machinery.
+func sweepControl(res, air, gpu, mcs float64) core.Control {
+	//edgebol:allow safectrl -- calibration sweeps probe the raw response surface off-grid by design and never actuate a learned policy
+	return core.Control{Resolution: res, Airtime: air, GPUSpeed: gpu, MCS: mcs}
+}
+
 // measureDot runs one §3 measurement dot: sweepSamples periods at a fixed
 // control, reporting the per-KPI medians.
 func measureDot(tb *testbed.Testbed, x core.Control) (core.KPIs, error) {
@@ -71,7 +81,7 @@ func Fig1(scale Scale, seed int64) (*Table, error) {
 		Columns: []string{"resolution", "delay_s", "mAP"},
 	}
 	for _, res := range levels(0.25, 1, scale.SweepLevels) {
-		k, err := measureDot(tb, core.Control{Resolution: res, Airtime: 1, GPUSpeed: 1, MCS: 1})
+		k, err := measureDot(tb, sweepControl(res, 1, 1, 1))
 		if err != nil {
 			return nil, err
 		}
@@ -97,7 +107,7 @@ func Fig2(scale Scale, seed int64) (*Table, error) {
 	}
 	for _, air := range []float64{0.2, 0.5, 1.0} {
 		for _, res := range levels(0.25, 1, scale.SweepLevels) {
-			k, err := measureDot(tb, core.Control{Resolution: res, Airtime: air, GPUSpeed: 1, MCS: 1})
+			k, err := measureDot(tb, sweepControl(res, air, 1, 1))
 			if err != nil {
 				return nil, err
 			}
@@ -124,7 +134,7 @@ func Fig3(scale Scale, seed int64) (*Table, error) {
 	}
 	for _, gpu := range []float64{0.1, 0.45, 1.0} {
 		for _, res := range levels(0.25, 1, scale.SweepLevels) {
-			k, err := measureDot(tb, core.Control{Resolution: res, Airtime: 1, GPUSpeed: gpu, MCS: 1})
+			k, err := measureDot(tb, sweepControl(res, 1, gpu, 1))
 			if err != nil {
 				return nil, err
 			}
@@ -150,7 +160,7 @@ func Fig4(scale Scale, seed int64) (*Table, error) {
 		Columns: []string{"resolution", "server_power_w", "mAP"},
 	}
 	for _, res := range levels(0.25, 1, scale.SweepLevels) {
-		k, err := measureDot(tb, core.Control{Resolution: res, Airtime: 1, GPUSpeed: 1, MCS: 1})
+		k, err := measureDot(tb, sweepControl(res, 1, 1, 1))
 		if err != nil {
 			return nil, err
 		}
@@ -176,7 +186,7 @@ func figBSPower(id, title string, loadFactor float64, scale Scale, seed int64) (
 	for _, air := range []float64{0.2, 0.5, 1.0} {
 		for _, mcsNorm := range levels(0, 1, scale.SweepLevels) {
 			for _, res := range []float64{0.25, 0.5, 0.75, 1.0} {
-				x := core.Control{Resolution: res, Airtime: air, GPUSpeed: 1, MCS: mcsNorm}
+				x := sweepControl(res, air, 1, mcsNorm)
 				k, err := measureDot(tb, x)
 				if err != nil {
 					return nil, err

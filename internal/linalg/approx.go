@@ -1,0 +1,23 @@
+package linalg
+
+import "math"
+
+// ApproxEqual reports whether a and b agree to within tol, using a
+// combined absolute/relative criterion:
+//
+//	|a−b| ≤ tol · max(1, |a|, |b|)
+//
+// which behaves like an absolute tolerance near zero and a relative one
+// for large magnitudes. NaNs never compare equal; equal infinities do.
+// This is the comparison the floateq analyzer points to when it flags a
+// raw ==/!= between floating-point values.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b //edgebol:allow floateq -- infinities carry no rounding error; exact compare is the definition
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}

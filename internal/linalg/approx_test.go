@@ -1,0 +1,41 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		tol  float64
+		want bool
+	}{
+		{"identical", 1.5, 1.5, 1e-12, true},
+		{"within absolute tol near zero", 1e-13, -1e-13, 1e-12, true},
+		{"outside absolute tol near zero", 1e-6, -1e-6, 1e-9, false},
+		{"within relative tol large", 1e12, 1e12 * (1 + 1e-13), 1e-12, true},
+		{"outside relative tol large", 1e12, 1.001e12, 1e-9, false},
+		{"nan never equal", math.NaN(), math.NaN(), 1e-3, false},
+		{"nan vs number", math.NaN(), 0, 1e-3, false},
+		{"same infinities", math.Inf(1), math.Inf(1), 1e-12, true},
+		{"opposite infinities", math.Inf(1), math.Inf(-1), 1e-12, false},
+		{"inf vs finite", math.Inf(1), 1e300, 1e-12, false},
+		{"zero tol requires exact", 1, 1 + 1e-15, 0, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("%s: ApproxEqual(%v, %v, %v) = %v, want %v", c.name, c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqualSymmetric(t *testing.T) {
+	pairs := [][2]float64{{1, 1.0000001}, {-3, -3.0000004}, {0, 1e-14}, {1e9, 1e9 + 10}}
+	for _, p := range pairs {
+		if ApproxEqual(p[0], p[1], 1e-6) != ApproxEqual(p[1], p[0], 1e-6) {
+			t.Errorf("ApproxEqual not symmetric for %v", p)
+		}
+	}
+}

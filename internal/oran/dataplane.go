@@ -77,6 +77,7 @@ func (d *DataPlane) SetService(c ServiceConfig) error {
 // next E2 pull.
 func (d *DataPlane) RunPeriod() (PeriodReport, error) {
 	d.mu.Lock()
+	//edgebol:allow safectrl -- actuation boundary: composed from range-checked staged policies and validated below before Measure
 	x := core.Control{
 		Resolution: d.service.Resolution,
 		Airtime:    d.radio.Airtime,
@@ -84,6 +85,9 @@ func (d *DataPlane) RunPeriod() (PeriodReport, error) {
 		MCS:        d.radio.MCS,
 	}
 	d.mu.Unlock()
+	if err := x.Validate(); err != nil {
+		return PeriodReport{}, fmt.Errorf("oran: staged policies compose an invalid control: %w", err)
+	}
 	k, err := d.env.Measure(x)
 	if err != nil {
 		return PeriodReport{}, err

@@ -26,35 +26,38 @@ func Deploy(env core.Environment, timeout time.Duration) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
+	// started tracks components brought up so far; fail tears them down
+	// in reverse order, keeping the constructor error as the cause.
+	var started []interface{ Close() error }
+	fail := func(err error) (*Deployment, error) {
+		for i := len(started) - 1; i >= 0; i-- {
+			_ = started[i].Close() // already failing; surface the root cause
+		}
+		return nil, err
+	}
 	e2, err := NewE2Node("127.0.0.1:0", dp)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
+	started = append(started, e2)
 	svc, err := NewServiceController("127.0.0.1:0", dp)
 	if err != nil {
-		e2.Close()
-		return nil, err
+		return fail(err)
 	}
+	started = append(started, svc)
 	near, err := NewNearRTRIC("127.0.0.1:0", e2.Addr(), timeout)
 	if err != nil {
-		e2.Close()
-		svc.Close()
-		return nil, err
+		return fail(err)
 	}
+	started = append(started, near)
 	non, err := NewNonRTRIC(near.Addr(), timeout)
 	if err != nil {
-		e2.Close()
-		svc.Close()
-		near.Close()
-		return nil, err
+		return fail(err)
 	}
+	started = append(started, non)
 	svcClient, err := Dial(svc.Addr(), timeout)
 	if err != nil {
-		e2.Close()
-		svc.Close()
-		near.Close()
-		non.Close()
-		return nil, err
+		return fail(err)
 	}
 	return &Deployment{
 		DataPlane:  dp,

@@ -119,7 +119,7 @@ func NewNearRTRIC(addr, e2Addr string, timeout time.Duration) (*NearRTRIC, error
 	r := &NearRTRIC{e2: e2}
 	server, err := NewServer(addr, r.handle)
 	if err != nil {
-		e2.Close()
+		_ = e2.Close() // already failing; surface the server error
 		return nil, err
 	}
 	r.server = server

@@ -1,0 +1,170 @@
+package oran
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// raceEnv is a concurrency-safe stub environment: the race regression
+// test hammers the transport/stream/dataplane layers, not the testbed.
+type raceEnv struct {
+	mu      sync.Mutex
+	periods int
+}
+
+func (e *raceEnv) Context() core.Context {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return core.Context{NumUsers: 1, MeanCQI: 12, VarCQI: 1}
+}
+
+func (e *raceEnv) Measure(x core.Control) (core.KPIs, error) {
+	if err := x.Validate(); err != nil {
+		return core.KPIs{}, err
+	}
+	e.mu.Lock()
+	e.periods++
+	e.mu.Unlock()
+	return core.KPIs{Delay: 0.2, GPUDelay: 0.1, MAP: 0.6, ServerPower: 80, BSPower: 30}, nil
+}
+
+// TestRaceConcurrentPublishSubscribeShutdown is the -race regression for
+// the O-RAN concurrency surface: concurrent control periods (publishers),
+// in-process and network KPI subscribers joining and leaving, policy
+// mutators, and finally a shutdown racing in-flight indications. It has
+// no assertions beyond completing without deadlock — its job is to give
+// the race detector interleavings to chew on.
+func TestRaceConcurrentPublishSubscribeShutdown(t *testing.T) {
+	dp, err := NewDataPlane(&raceEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewKPIStreamServer("127.0.0.1:0", dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		publishers = 4
+		periods    = 25
+		netSubs    = 3
+		localSubs  = 3
+		mutators   = 2
+	)
+	var wg sync.WaitGroup
+
+	// Publishers: concurrent control periods fanning KPI reports out.
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < periods; i++ {
+				if _, err := dp.RunPeriod(); err != nil {
+					t.Errorf("RunPeriod: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Policy mutators: stage radio/service changes mid-stream.
+	for m := 0; m < mutators; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for i := 0; i < periods; i++ {
+				air := 0.5 + 0.5*float64((i+m)%2)
+				if err := dp.SetRadio(RadioPolicy{Airtime: air, MCS: 1}); err != nil {
+					t.Errorf("SetRadio: %v", err)
+					return
+				}
+				if err := dp.SetService(ServiceConfig{Resolution: 0.5 + 0.25*float64(i%3), GPUSpeed: 1}); err != nil {
+					t.Errorf("SetService: %v", err)
+					return
+				}
+			}
+		}(m)
+	}
+
+	// In-process subscribers: join, drain a few reports, leave.
+	for s := 0; s < localSubs; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch, cancel := dp.Subscribe()
+			defer cancel()
+			for i := 0; i < 5; i++ {
+				select {
+				case _, ok := <-ch:
+					if !ok {
+						return
+					}
+				case <-time.After(2 * time.Second):
+					return
+				}
+			}
+		}()
+	}
+
+	// Network subscribers: full TCP subscribe/indicate/cancel round trips.
+	for s := 0; s < netSubs; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch, cancel, err := SubscribeKPIs(srv.Addr(), 2*time.Second)
+			if err != nil {
+				// The server may already be closing under us; that
+				// interleaving is part of what the test exercises.
+				return
+			}
+			defer cancel()
+			for i := 0; i < 5; i++ {
+				select {
+				case _, ok := <-ch:
+					if !ok {
+						return
+					}
+				case <-time.After(2 * time.Second):
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+
+	// Shutdown racing one last burst of publishes and a late subscriber.
+	var tail sync.WaitGroup
+	tail.Add(2)
+	go func() {
+		defer tail.Done()
+		for i := 0; i < periods; i++ {
+			if _, err := dp.RunPeriod(); err != nil {
+				t.Errorf("RunPeriod during shutdown: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer tail.Done()
+		if ch, cancel, err := SubscribeKPIs(srv.Addr(), 500*time.Millisecond); err == nil {
+			defer cancel()
+			select {
+			case <-ch:
+			case <-time.After(time.Second):
+			}
+		}
+	}()
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	tail.Wait()
+
+	// Idempotent close must stay clean after everything settled.
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

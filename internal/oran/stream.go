@@ -112,7 +112,7 @@ func (s *KPIStreamServer) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // shutting down; nothing to report to
 			return
 		}
 		s.conns[conn] = struct{}{}
@@ -125,7 +125,7 @@ func (s *KPIStreamServer) acceptLoop() {
 func (s *KPIStreamServer) serve(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
-		conn.Close()
+		_ = conn.Close() // subscriber teardown; the stream is already over
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -186,7 +186,7 @@ func (s *KPIStreamServer) Close() error {
 	close(s.done)
 	err := s.ln.Close()
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close() // forced disconnect; the listener error is the result
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -203,20 +203,26 @@ func SubscribeKPIs(addr string, timeout time.Duration) (<-chan KPIReport, func()
 	}
 	req := Message{Type: TypeE2Subscribe}
 	if err := WriteFrame(conn, req); err != nil {
-		conn.Close()
+		_ = conn.Close() // subscribe failed; report the write error
 		return nil, nil, err
 	}
-	conn.SetReadDeadline(time.Now().Add(timeout))
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		_ = conn.Close()
+		return nil, nil, fmt.Errorf("oran: set ack deadline: %w", err)
+	}
 	ack, err := ReadFrame(conn)
 	if err != nil || ack.Error != "" {
-		conn.Close()
+		_ = conn.Close() // subscribe failed; report the ack error
 		return nil, nil, fmt.Errorf("oran: subscribe failed: %v %s", err, ack.Error)
 	}
-	conn.SetReadDeadline(time.Time{})
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		_ = conn.Close()
+		return nil, nil, fmt.Errorf("oran: clear ack deadline: %w", err)
+	}
 	out := make(chan KPIReport, 16)
 	go func() {
 		defer close(out)
-		defer conn.Close()
+		defer func() { _ = conn.Close() }() // reader exit closes the stream
 		for {
 			msg, err := ReadFrame(conn)
 			if err != nil {
@@ -232,6 +238,6 @@ func SubscribeKPIs(addr string, timeout time.Duration) (<-chan KPIReport, func()
 			out <- r
 		}
 	}()
-	cancel := func() { conn.Close() }
+	cancel := func() { _ = conn.Close() } // cancel is best-effort by contract
 	return out, cancel, nil
 }

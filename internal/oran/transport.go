@@ -145,7 +145,7 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // shutting down; nothing to report to
 			return
 		}
 		s.conns[conn] = struct{}{}
@@ -158,7 +158,7 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
-		conn.Close()
+		_ = conn.Close() // connection teardown; the read loop already ended
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -188,7 +188,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	err := s.ln.Close()
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close() // forced disconnect; the listener error is the result
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -230,7 +230,7 @@ func (c *Client) Call(req Message) (Message, error) {
 	if dialErr != nil {
 		return Message{}, err
 	}
-	c.conn.Close()
+	_ = c.conn.Close() // replacing a conn that already failed
 	c.conn = conn
 	return c.callLocked(req)
 }
