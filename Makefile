@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt fmt-check vet check clean
+.PHONY: all build test race lint fmt fmt-check vet check bench clean
 
 all: build
 
@@ -34,6 +34,18 @@ fmt-check:
 	fi
 
 check: build fmt-check lint test race
+
+# bench reruns the GP-inference benchmarks (posterior sweep over the
+# 14 641-point grid and full SelectControl periods at t ∈ {50, 200, 1000})
+# and regenerates BENCH_gp.json, joining the recorded pre-optimization
+# baseline in results/bench_before.txt to report speedups.
+bench:
+	$(GO) test -run '^$$' -bench 'PosteriorBatch|SelectControl' -benchtime 3x \
+		./internal/gp ./internal/core | tee results/bench_after.txt
+	$(GO) run ./cmd/benchjson -before results/bench_before.txt \
+		-after results/bench_after.txt -out BENCH_gp.json \
+		-note "before = pre-PR serial engine (results/bench_before.txt); after = blocked, worker-sharded engine on the same host. Speedups are per-core (arithmetic only) on single-core hosts; the candidate sharding adds near-linear scaling on multi-core runners. See DESIGN.md, Performance."
+	@echo "wrote BENCH_gp.json"
 
 clean:
 	$(GO) clean ./...

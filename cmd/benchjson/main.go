@@ -1,0 +1,158 @@
+// Command benchjson converts `go test -bench` text output into a small
+// machine-readable JSON report, optionally joining a baseline run to record
+// before/after numbers and speedups. `make bench` uses it to produce
+// BENCH_gp.json, the repository's canonical GP-inference performance record.
+//
+// Usage:
+//
+//	benchjson -after results/bench_after.txt \
+//	    [-before results/bench_before.txt] [-out BENCH_gp.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// Run is one parsed `go test -bench` output stream.
+type Run struct {
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Comparison joins an after result with its baseline counterpart.
+type Comparison struct {
+	Name        string  `json:"name"`
+	BeforeNsOp  float64 `json:"before_ns_per_op,omitempty"`
+	AfterNsOp   float64 `json:"after_ns_per_op"`
+	Speedup     float64 `json:"speedup,omitempty"`
+	BaselineCPU string  `json:"baseline_cpu,omitempty"`
+}
+
+// Report is the JSON document benchjson emits.
+type Report struct {
+	CPU        string       `json:"cpu,omitempty"`
+	Note       string       `json:"note,omitempty"`
+	Benchmarks []Comparison `json:"benchmarks"`
+}
+
+var (
+	benchLine = regexp.MustCompile(`^Benchmark(\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+	// gomaxprocsSuffix is the -N decoration go test appends to benchmark
+	// names when GOMAXPROCS > 1; it is stripped so runs from machines with
+	// different core counts join on the same name.
+	gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+)
+
+// parseBench extracts benchmark results and the reported CPU from `go test
+// -bench` output. Unrelated lines (goos, pkg, PASS, test logs) are ignored.
+func parseBench(text string) Run {
+	var run Run
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			run.CPU = cpu
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		run.Results = append(run.Results, Result{
+			Name:       gomaxprocsSuffix.ReplaceAllString(m[1], ""),
+			Iterations: iters,
+			NsPerOp:    ns,
+		})
+	}
+	return run
+}
+
+// compare joins after results against the baseline by benchmark name.
+func compare(before, after Run) []Comparison {
+	base := make(map[string]float64, len(before.Results))
+	for _, r := range before.Results {
+		base[r.Name] = r.NsPerOp
+	}
+	out := make([]Comparison, 0, len(after.Results))
+	for _, r := range after.Results {
+		c := Comparison{Name: r.Name, AfterNsOp: r.NsPerOp}
+		if b, ok := base[r.Name]; ok && r.NsPerOp > 0 {
+			c.BeforeNsOp = b
+			c.Speedup = b / r.NsPerOp
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func run(beforePath, afterPath, outPath, note string) error {
+	afterText, err := os.ReadFile(afterPath)
+	if err != nil {
+		return err
+	}
+	after := parseBench(string(afterText))
+	if len(after.Results) == 0 {
+		return fmt.Errorf("no benchmark results found in %s", afterPath)
+	}
+	var before Run
+	if beforePath != "" {
+		beforeText, err := os.ReadFile(beforePath)
+		if err != nil {
+			return err
+		}
+		before = parseBench(string(beforeText))
+	}
+	report := Report{CPU: after.CPU, Note: note, Benchmarks: compare(before, after)}
+	if before.CPU != "" && before.CPU != after.CPU {
+		for i := range report.Benchmarks {
+			report.Benchmarks[i].BaselineCPU = before.CPU
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" || outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+func main() {
+	beforePath := flag.String("before", "", "baseline `file` of go test -bench output (optional)")
+	afterPath := flag.String("after", "", "current `file` of go test -bench output (required)")
+	outPath := flag.String("out", "-", "output JSON `file` (- for stdout)")
+	note := flag.String("note", "", "free-form note recorded in the report")
+	flag.Parse()
+	if *afterPath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -after is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*beforePath, *afterPath, *outPath, *note); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+const sampleAfter = `goos: linux
+goarch: amd64
+pkg: repro/internal/gp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPosteriorBatch/t=50         	       5	  12345678 ns/op
+BenchmarkPosteriorBatch/t=200-8      	       5	 147000000 ns/op
+PASS
+ok  	repro/internal/gp	1.5s
+`
+
+const sampleBefore = `cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPosteriorBatch/t=200        	       3	 301083834 ns/op
+BenchmarkPosteriorBatch/t=1000       	       3	6780283977 ns/op
+`
+
+func TestParseBench(t *testing.T) {
+	run := parseBench(sampleAfter)
+	if run.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("cpu = %q", run.CPU)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.Name != "PosteriorBatch/t=50" || first.Iterations != 5 {
+		t.Fatalf("first result = %+v", first)
+	}
+	if math.Abs(first.NsPerOp-12345678) > 0.5 {
+		t.Fatalf("first ns/op = %v", first.NsPerOp)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped so cross-machine runs join.
+	if run.Results[1].Name != "PosteriorBatch/t=200" {
+		t.Fatalf("suffixed name parsed as %q", run.Results[1].Name)
+	}
+}
+
+func TestCompareJoinsBaseline(t *testing.T) {
+	cmp := compare(parseBench(sampleBefore), parseBench(sampleAfter))
+	if len(cmp) != 2 {
+		t.Fatalf("compared %d entries, want 2", len(cmp))
+	}
+	// t=50 has no baseline: speedup omitted.
+	if cmp[0].Name != "PosteriorBatch/t=50" || cmp[0].Speedup != 0 {
+		t.Fatalf("entry without baseline = %+v", cmp[0])
+	}
+	// t=200 joins across the suffix difference.
+	want := 301083834.0 / 147000000.0
+	if math.Abs(cmp[1].Speedup-want) > 1e-9 {
+		t.Fatalf("speedup = %v, want %v", cmp[1].Speedup, want)
+	}
+	if math.Abs(cmp[1].BeforeNsOp-301083834) > 0.5 {
+		t.Fatalf("before ns/op = %v", cmp[1].BeforeNsOp)
+	}
+}
+
+func TestParseBenchIgnoresGarbage(t *testing.T) {
+	run := parseBench("hello\nBenchmarkBroken abc ns/op\n\nPASS\n")
+	if len(run.Results) != 0 {
+		t.Fatalf("parsed %d results from garbage", len(run.Results))
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchAgent builds an agent on the paper's full 11⁴ grid with t seeded
+// synthetic observations, matching the per-period state of a long run.
+func benchAgent(b *testing.B, t int) (*Agent, Context) {
+	b.Helper()
+	opts := Options{
+		Grid:        DefaultGridSpec(),
+		Weights:     CostWeights{Delta1: 1, Delta2: 8},
+		Constraints: Constraints{MaxDelay: 0.4, MinMAP: 0.5},
+	}
+	a, err := NewAgent(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	grid := a.Grid()
+	for i := 0; i < t; i++ {
+		ctx := Context{NumUsers: 1 + rng.Intn(4), MeanCQI: 8 + 7*rng.Float64(), VarCQI: 3 * rng.Float64()}
+		x := grid[rng.Intn(len(grid))]
+		k := KPIs{
+			Delay:       0.15 + 0.3*rng.Float64(),
+			GPUDelay:    0.05 + 0.1*rng.Float64(),
+			MAP:         0.45 + 0.25*rng.Float64(),
+			ServerPower: 80 + 120*rng.Float64(),
+			BSPower:     4.5 + 3*rng.Float64(),
+		}
+		if err := a.Observe(ctx, x, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return a, Context{NumUsers: 2, MeanCQI: 12, VarCQI: 1.5}
+}
+
+// BenchmarkSelectControl measures one full acquisition step — three GP
+// posterior sweeps over the 14 641-point grid, the safe-set filter, and
+// the constrained-LCB argmin — at several history sizes t.
+func BenchmarkSelectControl(b *testing.B) {
+	for _, t := range []int{50, 200, 1000} {
+		if testing.Short() && t > 200 {
+			continue
+		}
+		a, ctx := benchAgent(b, t)
+		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a.SelectControl(ctx)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/gp"
 )
@@ -95,6 +96,12 @@ type Options struct {
 	Norm Normalization
 	// MaxObservations bounds each GP's retained history (0 = unlimited).
 	MaxObservations int
+	// InferenceWorkers is the degree of parallelism of the per-period
+	// posterior sweep: each objective's batched posterior is sharded across
+	// this many goroutines, and the objectives themselves run concurrently.
+	// 0 selects GOMAXPROCS; 1 runs the whole sweep serially on the calling
+	// goroutine. Selected controls are bitwise identical for every setting.
+	InferenceWorkers int
 	// DisableSafeSet turns off the eq. 8 safety filter, reducing EdgeBOL
 	// to plain contextual LCB minimization over the whole grid — the
 	// safe-set ablation of the evaluation suite.
@@ -220,6 +227,9 @@ func (o *Options) applyDefaults() error {
 	if o.MaxObservations < 0 {
 		return fmt.Errorf("core: negative observation bound")
 	}
+	if o.InferenceWorkers < 0 {
+		return fmt.Errorf("core: negative inference worker count")
+	}
 	return nil
 }
 
@@ -266,7 +276,10 @@ type Agent struct {
 	// powerGPs learn p_s (0) and p_b (1) in decomposed-cost mode.
 	powerGPs [2]*gp.GP
 
-	// Scratch buffers reused across periods.
+	// feats is the grid's joint feature matrix, one row per grid point,
+	// backed by a single flat allocation. The control portion of every row
+	// (slots [ContextDims:]) is filled once at construction — the grid never
+	// changes — and SelectControl refreshes only the context slots.
 	feats      [][]float64
 	mu, sigma  [numGPs][]float64
 	powMu      [2][]float64
@@ -317,20 +330,19 @@ func NewAgent(opts Options) (*Agent, error) {
 			a.powSigma[i] = make([]float64, len(grid))
 		}
 	}
+	const dims = ContextDims + ControlDims
 	a.feats = make([][]float64, len(grid))
-	for i := range a.feats {
-		a.feats[i] = make([]float64, ContextDims+ControlDims)
+	flat := make([]float64, len(grid)*dims)
+	for i, x := range grid {
+		row := flat[i*dims : (i+1)*dims : (i+1)*dims]
+		x.appendFeatures(row[ContextDims:ContextDims])
+		a.feats[i] = row
 	}
 	a.safe = make([]bool, len(grid))
-	// Locate seed controls on the grid (snap if off-grid).
+	// Locate seed controls on the grid (snapped if off-grid) by direct
+	// index arithmetic.
 	for _, s := range opts.SafeSeed {
-		snapped := opts.Grid.Nearest(s)
-		for gi, g := range grid {
-			if controlsClose(g, snapped) {
-				a.safeSeedIx = append(a.safeSeedIx, gi)
-				break
-			}
-		}
+		a.safeSeedIx = append(a.safeSeedIx, opts.Grid.Index(s))
 	}
 	if len(a.safeSeedIx) == 0 {
 		return nil, fmt.Errorf("core: no safe seed maps onto the grid")
@@ -381,19 +393,43 @@ func (a *Agent) Observations() int { return a.t }
 // compute the three posteriors over the whole grid, build the safe set
 // (eq. 8, always including S₀), and minimize the constrained LCB (eq. 9).
 func (a *Agent) SelectControl(ctx Context) (Control, SelectionInfo) {
-	for i, x := range a.grid {
-		a.feats[i] = x.appendFeatures(ctx.appendFeatures(a.feats[i][:0]))
+	// The control portion of every feature row was precomputed at
+	// construction; only the context slots change between periods.
+	var cbuf [ContextDims]float64
+	cf := ctx.appendFeatures(cbuf[:0])
+	for _, row := range a.feats {
+		copy(row[:ContextDims], cf)
+	}
+	// The per-objective posterior sweeps are independent — each reads the
+	// shared feature matrix and writes only its own mu/sigma buffers, and
+	// the GP read path holds no mutable state — so they run concurrently,
+	// each internally sharded by PosteriorBatchWorkers.
+	workers := a.opts.InferenceWorkers
+	var wg sync.WaitGroup
+	sweep := func(g *gp.GP, mu, sigma []float64) {
+		if workers == 1 {
+			g.PosteriorBatchWorkers(a.feats, mu, sigma, 1)
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.PosteriorBatchWorkers(a.feats, mu, sigma, workers)
+		}()
 	}
 	for i := range a.gps {
 		if i == gpCost && a.opts.DecomposedCost {
 			continue
 		}
-		a.gps[i].PosteriorBatch(a.feats, a.mu[i], a.sigma[i])
+		sweep(a.gps[i], a.mu[i], a.sigma[i])
 	}
 	if a.opts.DecomposedCost {
 		for i := range a.powerGPs {
-			a.powerGPs[i].PosteriorBatch(a.feats, a.powMu[i], a.powSigma[i])
+			sweep(a.powerGPs[i], a.powMu[i], a.powSigma[i])
 		}
+	}
+	wg.Wait()
+	if a.opts.DecomposedCost {
 		// Combine the power posteriors into a cost posterior in raw
 		// monetary units (only the ranking matters for the acquisition):
 		// μ_u = δ₁·p̂_s + δ₂·p̂_b and, with the two surfaces modeled as

@@ -53,6 +53,46 @@ func levelsIn(lo, hi float64, n int) []float64 {
 	return out
 }
 
+// levelIndex returns the index of the grid level nearest to v on a
+// dimension spanning [lo, 1], clamped into [0, Levels−1].
+func (g GridSpec) levelIndex(v, lo float64) int {
+	step := (1 - lo) / float64(g.Levels-1)
+	k := int(math.Round((v - lo) / step))
+	if k < 0 {
+		k = 0
+	}
+	if k > g.Levels-1 {
+		k = g.Levels - 1
+	}
+	return k
+}
+
+// levelValue returns level i of a dimension spanning [lo, 1], with
+// arithmetic identical to levelsIn so snapped controls match the entries
+// produced by Enumerate bitwise.
+func (g GridSpec) levelValue(i int, lo float64) float64 {
+	if i == 0 {
+		return lo
+	}
+	if i == g.Levels-1 {
+		return 1
+	}
+	return lo + (1-lo)*float64(i)/float64(g.Levels-1)
+}
+
+// Index returns the position within Enumerate's output of the grid point
+// nearest to x, by inverting Enumerate's resolution → airtime → GPU → MCS
+// nesting in O(1). Arbitrary (off-grid, even out-of-range) controls are
+// snapped per dimension exactly like Nearest.
+func (g GridSpec) Index(x Control) int {
+	n := g.Levels
+	ri := g.levelIndex(x.Resolution, g.MinResolution)
+	ai := g.levelIndex(x.Airtime, g.MinAirtime)
+	si := g.levelIndex(x.GPUSpeed, 0)
+	mi := g.levelIndex(x.MCS, 0)
+	return ((ri*n+ai)*n+si)*n + mi
+}
+
 // Enumerate returns every control in the grid, in a deterministic order.
 func (g GridSpec) Enumerate() ([]Control, error) {
 	if err := g.Validate(); err != nil {
@@ -85,23 +125,13 @@ func (g GridSpec) MaxControl() Control {
 
 // Nearest returns the grid control closest (in normalized L∞ distance) to
 // an arbitrary control, used to project continuous baseline actions (e.g.
-// DDPG outputs) onto the discrete action space.
+// DDPG outputs) onto the discrete action space. The result is bitwise
+// equal to the corresponding Enumerate entry (the one at Index(x)).
 func (g GridSpec) Nearest(x Control) Control {
-	snap := func(v, lo float64) float64 {
-		if v < lo {
-			v = lo
-		}
-		if v > 1 {
-			v = 1
-		}
-		step := (1 - lo) / float64(g.Levels-1)
-		k := math.Round((v - lo) / step)
-		return lo + k*step
-	}
 	return Control{
-		Resolution: snap(x.Resolution, g.MinResolution),
-		Airtime:    snap(x.Airtime, g.MinAirtime),
-		GPUSpeed:   snap(x.GPUSpeed, 0),
-		MCS:        snap(x.MCS, 0),
+		Resolution: g.levelValue(g.levelIndex(x.Resolution, g.MinResolution), g.MinResolution),
+		Airtime:    g.levelValue(g.levelIndex(x.Airtime, g.MinAirtime), g.MinAirtime),
+		GPUSpeed:   g.levelValue(g.levelIndex(x.GPUSpeed, 0), 0),
+		MCS:        g.levelValue(g.levelIndex(x.MCS, 0), 0),
 	}
 }

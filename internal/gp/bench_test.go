@@ -1,0 +1,85 @@
+package gp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchDims matches the agent's joint feature space (3 context + 4 control).
+const benchDims = 7
+
+// benchGridSize matches the paper's 11⁴-point control grid.
+const benchGridSize = 14641
+
+// benchGP builds a GP with t seeded pseudo-random observations over the
+// joint feature space, mimicking the agent's per-period state.
+func benchGP(b *testing.B, t int) *GP {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	ls := []float64{0.6, 0.6, 0.6, 1.0, 1.0, 1.2, 1.2}
+	g := New(NewMatern32(ls), 1e-3, 0)
+	for i := 0; i < t; i++ {
+		x := make([]float64, benchDims)
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		if err := g.Add(x, rng.NormFloat64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return g
+}
+
+// benchCandidates enumerates a deterministic pseudo-grid of candidate
+// feature vectors the size of the paper's control grid.
+func benchCandidates(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(7))
+	cands := make([][]float64, n)
+	for i := range cands {
+		c := make([]float64, benchDims)
+		for d := range c {
+			c[d] = rng.Float64()
+		}
+		cands[i] = c
+	}
+	return cands
+}
+
+// BenchmarkPosteriorBatch measures the per-period posterior sweep over the
+// full 14 641-point grid at several history sizes t — the dominant
+// wall-clock of every EdgeBOL experiment. Fixed seeds make runs
+// reproducible; `make bench` records the results in BENCH_gp.json.
+func BenchmarkPosteriorBatch(b *testing.B) {
+	for _, t := range []int{50, 200, 1000} {
+		if testing.Short() && t > 200 {
+			continue
+		}
+		g := benchGP(b, t)
+		cands := benchCandidates(benchGridSize)
+		mu := make([]float64, len(cands))
+		sigma := make([]float64, len(cands))
+		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.PosteriorBatch(cands, mu, sigma)
+			}
+		})
+	}
+}
+
+// BenchmarkPosteriorBatchWorkers fixes t=200 and varies the explicit worker
+// count, exposing the sharding scaling on multi-core runners (results are
+// bitwise identical across the variants; only wall-clock differs).
+func BenchmarkPosteriorBatchWorkers(b *testing.B) {
+	g := benchGP(b, 200)
+	cands := benchCandidates(benchGridSize)
+	mu := make([]float64, len(cands))
+	sigma := make([]float64, len(cands))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.PosteriorBatchWorkers(cands, mu, sigma, workers)
+			}
+		})
+	}
+}

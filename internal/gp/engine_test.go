@@ -1,0 +1,226 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// engineGP builds a seeded 2-D test GP with n observations and the given
+// sliding-window bound.
+func engineGP(t *testing.T, n, window int) *GP {
+	t.Helper()
+	g := New(NewMatern32([]float64{0.4, 0.8}), 1e-3, window)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		if err := g.Add(x, math.Sin(3*x[0])+0.5*x[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func engineCandidates(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(7))
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{rng.Float64() * 1.2, rng.Float64() * 1.2}
+	}
+	return out
+}
+
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestPosteriorBatchWorkersBitwiseIdentical pins the engine's central
+// determinism contract: the posterior over a candidate set is bitwise
+// independent of the worker count, across edge cases from empty candidate
+// sets to post-eviction states.
+func TestPosteriorBatchWorkersBitwiseIdentical(t *testing.T) {
+	cases := []struct {
+		name       string
+		obs        int
+		window     int
+		candidates int
+	}{
+		{name: "empty candidates", obs: 12, window: 0, candidates: 0},
+		{name: "no observations", obs: 0, window: 0, candidates: 17},
+		{name: "single observation", obs: 1, window: 0, candidates: 33},
+		{name: "post-eviction", obs: 20, window: 8, candidates: 41},
+		{name: "many observations", obs: 60, window: 0, candidates: 101},
+		{name: "fewer candidates than a block", obs: 10, window: 0, candidates: 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := engineGP(t, tc.obs, tc.window)
+			cands := engineCandidates(tc.candidates)
+			ref := struct{ mu, sigma []float64 }{
+				make([]float64, len(cands)), make([]float64, len(cands)),
+			}
+			g.PosteriorBatchWorkers(cands, ref.mu, ref.sigma, 1)
+			for _, workers := range []int{0, 2, 3, 8} {
+				mu := make([]float64, len(cands))
+				sigma := make([]float64, len(cands))
+				g.PosteriorBatchWorkers(cands, mu, sigma, workers)
+				for i := range cands {
+					if !bitsEqual(mu[i], ref.mu[i]) || !bitsEqual(sigma[i], ref.sigma[i]) {
+						t.Fatalf("workers=%d diverges at %d: (%v,%v) vs serial (%v,%v)",
+							workers, i, mu[i], sigma[i], ref.mu[i], ref.sigma[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentPosteriorReads exercises the read path from many goroutines
+// at once — the data-race check (run under -race in CI) that the posterior
+// sweep holds no shared mutable state, and a correctness check that
+// concurrent callers see the same answers as a serial one.
+func TestConcurrentPosteriorReads(t *testing.T) {
+	g := engineGP(t, 30, 0)
+	cands := engineCandidates(64)
+	refMu := make([]float64, len(cands))
+	refSigma := make([]float64, len(cands))
+	g.PosteriorBatchWorkers(cands, refMu, refSigma, 1)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				mu := make([]float64, len(cands))
+				sigma := make([]float64, len(cands))
+				g.PosteriorBatchWorkers(cands, mu, sigma, 1+w%3)
+				for i := range cands {
+					if !bitsEqual(mu[i], refMu[i]) || !bitsEqual(sigma[i], refSigma[i]) {
+						errs <- "concurrent batch read diverged from serial reference"
+						return
+					}
+				}
+			} else {
+				for i, c := range cands {
+					mu, sigma := g.Posterior(c)
+					if !bitsEqual(mu, refMu[i]) || !bitsEqual(sigma, refSigma[i]) {
+						errs <- "concurrent single read diverged from serial reference"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// TestEvictionRebuildMatchesBatchFit verifies that the post-eviction factor
+// rebuild and the from-scratch batch factorization (NewFromData) go through
+// the same Gram construction. The windowed GP's state right after the
+// eviction-triggering Add is rebuild(survivors) plus one incremental
+// append; a batch fit of the survivors followed by the same Add must agree
+// bitwise — any difference in the rebuilt factor would propagate.
+func TestEvictionRebuildMatchesBatchFit(t *testing.T) {
+	const window = 8
+	w := New(NewMatern32([]float64{0.4, 0.8}), 1e-3, window)
+	rng := rand.New(rand.NewSource(42))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < window+1; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := math.Sin(3*x[0]) + 0.5*x[1]
+		xs = append(xs, x)
+		ys = append(ys, y)
+		if err := w.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The final Add hit the bound: the oldest half was dropped and the
+	// factor rebuilt on the survivors before the new point was appended.
+	if want := window/2 + 1; w.Len() != want {
+		t.Fatalf("retained %d observations, want %d", w.Len(), want)
+	}
+	fresh, err := NewFromData(w.Kernel(), w.NoiseVar(), 0, xs[window/2:window], ys[window/2:window])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Add(xs[window], ys[window]); err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEqual(w.LogMarginalLikelihood(), fresh.LogMarginalLikelihood()) {
+		t.Fatalf("evidence diverges: windowed %v vs batch %v",
+			w.LogMarginalLikelihood(), fresh.LogMarginalLikelihood())
+	}
+	for _, c := range engineCandidates(25) {
+		mw, sw := w.Posterior(c)
+		mf, sf := fresh.Posterior(c)
+		if !bitsEqual(mw, mf) || !bitsEqual(sw, sf) {
+			t.Fatalf("posteriors diverge at %v: windowed (%v,%v) vs batch (%v,%v)", c, mw, sw, mf, sf)
+		}
+	}
+}
+
+// TestEvalBatchAgreesWithEval checks the bulk kernel path against the
+// scalar one for every kernel family, including a padded-stride matrix.
+// The batch path multiplies by reciprocal length scales where Eval
+// divides, so agreement is to rounding tolerance, not bitwise.
+func TestEvalBatchAgreesWithEval(t *testing.T) {
+	ls := []float64{0.4, 0.8, 1.3}
+	kernels := map[string]Kernel{
+		"matern32": NewMatern32(ls),
+		"matern52": NewMatern52(ls),
+		"rbf":      NewRBF(ls),
+	}
+	rng := rand.New(rand.NewSource(9))
+	const rows = 37
+	for name, k := range kernels {
+		t.Run(name, func(t *testing.T) {
+			for _, stride := range []int{3, 5} {
+				xs := make([]float64, rows*stride)
+				for i := range xs {
+					xs[i] = rng.Float64() * 2
+				}
+				z := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+				out := make([]float64, rows)
+				k.EvalBatch(xs, stride, z, out)
+				for i := 0; i < rows; i++ {
+					want := k.Eval(xs[i*stride:i*stride+3], z)
+					if math.Abs(out[i]-want) > 1e-12 {
+						t.Fatalf("stride %d row %d: EvalBatch %v vs Eval %v", stride, i, out[i], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestEvalBatchValidation(t *testing.T) {
+	k := NewMatern32([]float64{0.5, 0.5})
+	expectPanic := func(name string, fn func()) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+	expectPanic("wrong query dimension", func() {
+		k.EvalBatch(make([]float64, 8), 2, []float64{0}, make([]float64, 4))
+	})
+	expectPanic("stride below dimension", func() {
+		k.EvalBatch(make([]float64, 8), 1, []float64{0, 0}, make([]float64, 4))
+	})
+	expectPanic("matrix too short", func() {
+		k.EvalBatch(make([]float64, 6), 2, []float64{0, 0}, make([]float64, 4))
+	})
+}

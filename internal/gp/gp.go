@@ -3,6 +3,8 @@ package gp
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/linalg"
 )
@@ -15,19 +17,26 @@ import (
 // sliding window (MaxObservations) bounds memory and per-step cost for long
 // runs by discarding the oldest observations.
 //
-// The zero value is not usable; construct with New.
+// Training inputs are stored in one flat row-major matrix so the batched
+// posterior sweep streams them cache-linearly through Kernel.EvalBatch.
+//
+// Concurrency: mutating calls (Add) must not run concurrently with
+// anything else, but the read paths — Posterior, PosteriorBatch,
+// PosteriorBatchWorkers, LogMarginalLikelihood — touch no shared mutable
+// state and are safe to call from multiple goroutines between mutations.
+//
+// The zero value is not usable; construct with New or NewFromData.
 type GP struct {
 	kernel   Kernel
 	noiseVar float64
+	dim      int
 
-	xs    [][]float64 // observed inputs, owned copies
-	ys    []float64   // observed targets
+	xs    []float64 // flat row-major observed inputs, Len()×dim
+	ys    []float64 // observed targets
 	chol  *linalg.Cholesky
 	alpha []float64 // (K + ζ²I)⁻¹ y
 
 	maxObs int
-	// scratch buffers reused across calls
-	kbuf []float64
 }
 
 // New returns a GP with the given kernel and observation-noise variance.
@@ -47,7 +56,61 @@ func New(kernel Kernel, noiseVar float64, maxObservations int) *GP {
 	if maxObservations > 0 && maxObservations < 2 {
 		panic("gp: observation bound must be at least 2")
 	}
-	return &GP{kernel: kernel, noiseVar: noiseVar, maxObs: maxObservations}
+	return &GP{kernel: kernel, noiseVar: noiseVar, dim: kernel.Dim(), maxObs: maxObservations}
+}
+
+// NewFromData builds a GP on a full prior dataset at once: one Gram-matrix
+// build and one O(n³) factorization instead of n incremental O(n²)
+// appends. It validates like New plus per-observation like Add.
+func NewFromData(kernel Kernel, noiseVar float64, maxObservations int, xs [][]float64, ys []float64) (*GP, error) {
+	g := New(kernel, noiseVar, maxObservations)
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("gp: %d inputs but %d targets", len(xs), len(ys))
+	}
+	if maxObservations > 0 && len(xs) > maxObservations {
+		return nil, fmt.Errorf("gp: %d observations exceed the bound %d", len(xs), maxObservations)
+	}
+	if len(xs) == 0 {
+		return g, nil
+	}
+	flat := make([]float64, 0, len(xs)*g.dim)
+	for i, x := range xs {
+		if len(x) != g.dim {
+			return nil, fmt.Errorf("gp: input %d dimension %d does not match kernel dimension %d", i, len(x), g.dim)
+		}
+		if math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			return nil, fmt.Errorf("gp: non-finite observation %v", ys[i])
+		}
+		flat = append(flat, x...)
+	}
+	chol, err := linalg.NewCholesky(gram(kernel, noiseVar, flat, len(xs)))
+	if err != nil {
+		return nil, err
+	}
+	g.xs = flat
+	g.ys = append([]float64(nil), ys...)
+	g.chol = chol
+	g.refreshAlpha()
+	return g, nil
+}
+
+// gram builds the noise-regularized kernel (Gram) matrix K + ζ²·I of the n
+// flat row-major inputs. It is the single construction path shared by
+// batch fitting (NewFromData, hyperparameter evidence) and the
+// post-eviction factor rebuild.
+func gram(k Kernel, noiseVar float64, xs []float64, n int) *linalg.Matrix {
+	dim := k.Dim()
+	m := linalg.NewMatrix(n, n)
+	diag := k.Prior() + noiseVar
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		k.EvalBatch(xs, dim, xs[i*dim:(i+1)*dim], row[:i])
+		for j := 0; j < i; j++ {
+			m.Set(j, i, row[j])
+		}
+		row[i] = diag
+	}
+	return m
 }
 
 // Kernel returns the kernel in use.
@@ -57,60 +120,46 @@ func (g *GP) Kernel() Kernel { return g.kernel }
 func (g *GP) NoiseVar() float64 { return g.noiseVar }
 
 // Len returns the number of retained observations.
-func (g *GP) Len() int { return len(g.xs) }
+func (g *GP) Len() int { return len(g.ys) }
 
 // Add incorporates the observation (x, y). The input is copied.
 func (g *GP) Add(x []float64, y float64) error {
-	if len(x) != g.kernel.Dim() {
-		return fmt.Errorf("gp: input dimension %d does not match kernel dimension %d", len(x), g.kernel.Dim())
+	if len(x) != g.dim {
+		return fmt.Errorf("gp: input dimension %d does not match kernel dimension %d", len(x), g.dim)
 	}
 	if math.IsNaN(y) || math.IsInf(y, 0) {
 		return fmt.Errorf("gp: non-finite observation %v", y)
 	}
-	if g.maxObs > 0 && len(g.xs) >= g.maxObs {
+	if g.maxObs > 0 && g.Len() >= g.maxObs {
 		g.evict(g.maxObs / 2)
 	}
-	xc := append([]float64(nil), x...)
-	n := len(g.xs)
+	n := g.Len()
+	diag := g.kernel.Prior() + g.noiseVar
 	if n == 0 {
-		k00 := g.kernel.Eval(xc, xc) + g.noiseVar
-		chol, err := linalg.NewCholesky(linalg.NewMatrixFrom(1, 1, []float64{k00}))
+		chol, err := linalg.NewCholesky(linalg.NewMatrixFrom(1, 1, []float64{diag}))
 		if err != nil {
 			return err
 		}
 		g.chol = chol
 	} else {
 		b := make([]float64, n)
-		for i, xi := range g.xs {
-			b[i] = g.kernel.Eval(xi, xc)
-		}
-		if err := g.chol.Append(b, g.kernel.Eval(xc, xc)+g.noiseVar); err != nil {
+		g.kernel.EvalBatch(g.xs, g.dim, x, b)
+		if err := g.chol.Append(b, diag); err != nil {
 			return err
 		}
 	}
-	g.xs = append(g.xs, xc)
+	g.xs = append(g.xs, x...)
 	g.ys = append(g.ys, y)
 	g.refreshAlpha()
 	return nil
 }
 
-// evict drops the oldest keepFrom observations and rebuilds the factor.
+// evict drops the oldest dropCount observations and rebuilds the factor
+// from a fresh Gram matrix.
 func (g *GP) evict(dropCount int) {
-	g.xs = append([][]float64(nil), g.xs[dropCount:]...)
+	g.xs = append([]float64(nil), g.xs[dropCount*g.dim:]...)
 	g.ys = append([]float64(nil), g.ys[dropCount:]...)
-	n := len(g.xs)
-	k := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			v := g.kernel.Eval(g.xs[i], g.xs[j])
-			if i == j {
-				v += g.noiseVar
-			}
-			k.Set(i, j, v)
-			k.Set(j, i, v)
-		}
-	}
-	chol, err := linalg.NewCholesky(k)
+	chol, err := linalg.NewCholesky(gram(g.kernel, g.noiseVar, g.xs, g.Len()))
 	if err != nil {
 		// The kernel matrix with ζ² on the diagonal is positive definite by
 		// construction; a failure here indicates corrupted state.
@@ -126,25 +175,22 @@ func (g *GP) refreshAlpha() {
 
 // Posterior returns the posterior mean and standard deviation at x
 // (paper eq. 3–4). With no observations it returns the prior (0, √k(x,x)).
+// It shares the exact arithmetic of the batched path, so single and batch
+// queries agree bitwise.
 func (g *GP) Posterior(x []float64) (mu, sigma float64) {
-	if len(x) != g.kernel.Dim() {
-		panic(fmt.Sprintf("gp: input dimension %d does not match kernel dimension %d", len(x), g.kernel.Dim()))
+	if len(x) != g.dim {
+		panic(fmt.Sprintf("gp: input dimension %d does not match kernel dimension %d", len(x), g.dim))
 	}
-	prior := g.kernel.Eval(x, x)
-	if len(g.xs) == 0 {
+	prior := g.kernel.Prior()
+	n := g.Len()
+	if n == 0 {
 		return 0, math.Sqrt(prior)
 	}
-	n := len(g.xs)
-	if cap(g.kbuf) < n {
-		g.kbuf = make([]float64, n)
-	}
-	k := g.kbuf[:n]
-	for i, xi := range g.xs {
-		k[i] = g.kernel.Eval(xi, x)
-	}
+	k := make([]float64, n)
+	g.kernel.EvalBatch(g.xs, g.dim, x, k)
 	mu = linalg.Dot(k, g.alpha)
 	// v = L⁻¹ k; var = k(x,x) − ‖v‖².
-	g.chol.ForwardSolve(k)
+	g.chol.ForwardSolveBatch([][]float64{k})
 	v := prior - linalg.Dot(k, k)
 	if v < 0 {
 		v = 0
@@ -152,38 +198,100 @@ func (g *GP) Posterior(x []float64) (mu, sigma float64) {
 	return mu, math.Sqrt(v)
 }
 
+// batchBlock is the number of candidates a posterior worker advances
+// together; it matches the block width of linalg.ForwardSolveBatch.
+const batchBlock = 4
+
 // PosteriorBatch evaluates the posterior over a candidate set, writing the
 // results into mu and sigma (each of length len(candidates)). It is the hot
-// path of EdgeBOL's per-period safe-set and acquisition computation and runs
-// in O(B·t²) for B candidates and t observations.
+// path of EdgeBOL's per-period safe-set and acquisition computation and
+// shards the candidates across GOMAXPROCS goroutines; see
+// PosteriorBatchWorkers for an explicit worker count.
 func (g *GP) PosteriorBatch(candidates [][]float64, mu, sigma []float64) {
+	g.PosteriorBatchWorkers(candidates, mu, sigma, 0)
+}
+
+// PosteriorBatchWorkers is PosteriorBatch with an explicit degree of
+// parallelism: candidates are split into contiguous shards evaluated by
+// `workers` goroutines, each with its own scratch buffers (the read path
+// holds no shared mutable state, so sharding is race-free by
+// construction). workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1
+// runs serially on the calling goroutine. Every candidate's arithmetic is
+// independent of the sharding, so results are bitwise identical for every
+// worker count.
+func (g *GP) PosteriorBatchWorkers(candidates [][]float64, mu, sigma []float64, workers int) {
 	if len(mu) != len(candidates) || len(sigma) != len(candidates) {
 		panic("gp: PosteriorBatch output length mismatch")
 	}
-	n := len(g.xs)
+	n := g.Len()
 	if n == 0 {
-		for i, c := range candidates {
+		prior := math.Sqrt(g.kernel.Prior())
+		for i := range candidates {
 			mu[i] = 0
-			sigma[i] = math.Sqrt(g.kernel.Eval(c, c))
+			sigma[i] = prior
 		}
 		return
 	}
-	if cap(g.kbuf) < n {
-		g.kbuf = make([]float64, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	k := g.kbuf[:n]
-	for ci, c := range candidates {
-		prior := g.kernel.Eval(c, c)
-		for i, xi := range g.xs {
-			k[i] = g.kernel.Eval(xi, c)
+	// A shard below one block per worker gains nothing; shrink instead of
+	// spawning idle goroutines.
+	if maxShards := (len(candidates) + batchBlock - 1) / batchBlock; workers > maxShards {
+		workers = maxShards
+	}
+	if workers <= 1 {
+		g.posteriorRange(candidates, mu, sigma)
+		return
+	}
+	// Block-aligned contiguous shards keep every worker's inner loop on
+	// full blocks (alignment affects speed only, never results).
+	chunk := (len(candidates) + workers - 1) / workers
+	chunk = (chunk + batchBlock - 1) / batchBlock * batchBlock
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(candidates); lo += chunk {
+		hi := lo + chunk
+		if hi > len(candidates) {
+			hi = len(candidates)
 		}
-		mu[ci] = linalg.Dot(k, g.alpha)
-		g.chol.ForwardSolve(k)
-		v := prior - linalg.Dot(k, k)
-		if v < 0 {
-			v = 0
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			g.posteriorRange(candidates[lo:hi], mu[lo:hi], sigma[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// posteriorRange evaluates one shard of candidates serially, advancing
+// batchBlock candidates per pass so the triangular factor is streamed once
+// per block. The scratch buffers are local to the call: read-path
+// inference shares no mutable state.
+func (g *GP) posteriorRange(candidates [][]float64, mu, sigma []float64) {
+	n := g.Len()
+	prior := g.kernel.Prior()
+	buf := make([]float64, batchBlock*n)
+	views := make([][]float64, batchBlock)
+	for b := range views {
+		views[b] = buf[b*n : (b+1)*n]
+	}
+	for lo := 0; lo < len(candidates); lo += batchBlock {
+		m := len(candidates) - lo
+		if m > batchBlock {
+			m = batchBlock
 		}
-		sigma[ci] = math.Sqrt(v)
+		for b := 0; b < m; b++ {
+			g.kernel.EvalBatch(g.xs, g.dim, candidates[lo+b], views[b])
+			mu[lo+b] = linalg.Dot(views[b], g.alpha)
+		}
+		g.chol.ForwardSolveBatch(views[:m])
+		for b := 0; b < m; b++ {
+			v := prior - linalg.Dot(views[b], views[b])
+			if v < 0 {
+				v = 0
+			}
+			sigma[lo+b] = math.Sqrt(v)
+		}
 	}
 }
 
@@ -192,7 +300,7 @@ func (g *GP) PosteriorBatch(candidates [][]float64, mu, sigma []float64) {
 //
 //	log p(y|X) = −½ yᵀα − ½ log det(K+ζ²I) − (n/2) log 2π.
 func (g *GP) LogMarginalLikelihood() float64 {
-	n := len(g.xs)
+	n := g.Len()
 	if n == 0 {
 		return 0
 	}

@@ -99,13 +99,12 @@ func Fit(factory KernelFactory, xs [][]float64, ys []float64, opts FitOptions) (
 }
 
 // evidence computes the log marginal likelihood of (xs, ys) under the given
-// kernel and noise by fitting a throwaway GP.
+// kernel and noise by fitting a throwaway GP in one batch factorization —
+// the Gram-matrix build is shared with the GP's own eviction rebuild.
 func evidence(k Kernel, noiseVar float64, xs [][]float64, ys []float64) (float64, error) {
-	g := New(k, noiseVar, 0)
-	for i, x := range xs {
-		if err := g.Add(x, ys[i]); err != nil {
-			return 0, err
-		}
+	g, err := NewFromData(k, noiseVar, 0, xs, ys)
+	if err != nil {
+		return 0, err
 	}
 	return g.LogMarginalLikelihood(), nil
 }

@@ -99,24 +99,3 @@ func TestFactories(t *testing.T) {
 		}
 	}
 }
-
-func BenchmarkPosteriorBatch(b *testing.B) {
-	rng := rand.New(rand.NewSource(9))
-	g := New(NewMatern32([]float64{0.3, 0.3, 0.3, 0.3}), 1e-3, 0)
-	for i := 0; i < 100; i++ {
-		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
-		if err := g.Add(x, rng.NormFloat64()); err != nil {
-			b.Fatal(err)
-		}
-	}
-	cands := make([][]float64, 1000)
-	for i := range cands {
-		cands[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
-	}
-	mu := make([]float64, len(cands))
-	sigma := make([]float64, len(cands))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		g.PosteriorBatch(cands, mu, sigma)
-	}
-}
