@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt fmt-check vet check bench clean
+.PHONY: all build test race lint fmt fmt-check vet check bench metrics-smoke clean
 
 all: build
 
@@ -34,6 +34,11 @@ fmt-check:
 	fi
 
 check: build fmt-check lint test race
+
+# metrics-smoke boots the O-RAN deployment with -metrics, curls /metrics,
+# and greps for the documented core/gp/oran/testbed metric families.
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
 
 # bench reruns the GP-inference benchmarks (posterior sweep over the
 # 14 641-point grid and full SelectControl periods at t ∈ {50, 200, 1000})

@@ -6,17 +6,25 @@
 //
 //	edgebol-sim [-periods N] [-users N] [-snr DB] [-delta1 F] [-delta2 F]
 //	            [-dmax S] [-rmin F] [-grid LEVELS] [-seed N] [-quiet]
+//	            [-metrics ADDR]
+//
+// With -metrics, a registry instruments the agent and the testbed and an
+// HTTP server on ADDR serves /metrics (Prometheus text) and /debug/pprof
+// so a long run can be watched live.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	"repro/internal/bandit"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/ran"
+	"repro/internal/telemetry"
 	"repro/internal/testbed"
 )
 
@@ -31,7 +39,19 @@ func main() {
 	gridLevels := flag.Int("grid", 7, "control-grid levels per dimension")
 	seed := flag.Int64("seed", 1, "random seed")
 	quiet := flag.Bool("quiet", false, "suppress per-period lines")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		go func() { _ = http.Serve(ln, telemetry.Mux(reg)) }() // lives until exit
+		fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
+	}
 
 	us := make([]ran.User, *users)
 	for i := range us {
@@ -41,10 +61,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	tb.Instrument(reg)
 	w := core.CostWeights{Delta1: *delta1, Delta2: *delta2}
 	cons := core.Constraints{MaxDelay: *dmax, MinMAP: *rmin}
 	grid := core.GridSpec{Levels: *gridLevels, MinResolution: 0.1, MinAirtime: 0.1}
-	agent, err := core.NewAgent(core.Options{Grid: grid, Weights: w, Constraints: cons})
+	agent, err := core.NewAgent(core.Options{Grid: grid, Weights: w, Constraints: cons, Telemetry: reg})
 	if err != nil {
 		fatal(err)
 	}

@@ -4,19 +4,26 @@
 // Usage:
 //
 //	figures [-fig all|fig1..fig6|fig9..fig14] [-scale quick|paper] [-seed N] [-out DIR]
+//	        [-metrics ADDR]
 //
 // Each table holds exactly the series the corresponding paper figure
-// plots; EXPERIMENTS.md records the paper-vs-measured comparison.
+// plots; EXPERIMENTS.md records the paper-vs-measured comparison. With
+// -metrics, every agent and testbed the experiments create reports into
+// one registry served as /metrics (plus /debug/pprof) on ADDR — paper-
+// scale regenerations take hours and can be watched live.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -26,6 +33,7 @@ func main() {
 	out := flag.String("out", "", "directory for CSV output (omit to print only)")
 	maxRows := flag.Int("rows", 12, "max rows of each table to print (0 = all)")
 	verify := flag.Bool("verify", false, "check the paper's qualitative claims against each regenerated table")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	var scale experiment.Scale
@@ -37,6 +45,16 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		os.Exit(2)
+	}
+	if *metricsAddr != "" {
+		scale.Telemetry = telemetry.NewRegistry()
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		go func() { _ = http.Serve(ln, telemetry.Mux(scale.Telemetry)) }() // lives until exit
+		fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
 	}
 
 	type gen func() ([]*experiment.Table, error)

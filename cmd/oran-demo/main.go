@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	oran-demo [-periods N] [-seed N]
+//	oran-demo [-periods N] [-seed N] [-metrics ADDR]
+//
+// With -metrics, the deployment serves /metrics and /debug/pprof on ADDR
+// and one registry instruments all four layers: core (agent), gp, oran
+// (control plane), and testbed.
 package main
 
 import (
@@ -18,19 +22,31 @@ import (
 	"repro/internal/core"
 	"repro/internal/oran"
 	"repro/internal/ran"
+	"repro/internal/telemetry"
 	"repro/internal/testbed"
 )
 
 func main() {
 	periods := flag.Int("periods", 40, "control periods to run")
 	seed := flag.Int64("seed", 1, "random seed")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	hold := flag.Duration("hold", 0, "keep the process (and the metrics endpoint) alive this long after the run")
 	flag.Parse()
 
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
 	tb, err := testbed.New(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	dep, err := oran.Deploy(tb, 5*time.Second)
+	tb.Instrument(reg)
+	dep, err := oran.DeployWithOptions(tb, oran.DeployOptions{
+		Timeout:     5 * time.Second,
+		MetricsAddr: *metricsAddr,
+		Telemetry:   reg,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -40,6 +56,9 @@ func main() {
 	fmt.Printf("  E2 node (vBS):        %s\n", dep.E2Node.Addr())
 	fmt.Printf("  service controller:   %s\n", dep.ServiceCtl.Addr())
 	fmt.Printf("  near-RT RIC (A1/O1):  %s\n", dep.NearRT.Addr())
+	if addr := dep.MetricsAddr(); addr != "" {
+		fmt.Printf("  metrics:              http://%s/metrics\n", addr)
+	}
 	fmt.Println()
 
 	w := core.CostWeights{Delta1: 1, Delta2: 1}
@@ -48,6 +67,7 @@ func main() {
 		Grid:        core.GridSpec{Levels: 6, MinResolution: 0.1, MinAirtime: 0.1},
 		Weights:     w,
 		Constraints: cons,
+		Telemetry:   reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -63,6 +83,11 @@ func main() {
 			t, x.Airtime, x.MCS, x.Resolution, x.GPUSpeed, k.BSPower, k.Delay, k.MAP, w.Cost(k), info.SafeSetSize)
 	}
 	fmt.Println("\ndone: all policies and KPIs traversed the loopback control plane")
+	if *hold > 0 {
+		// Leave the deployment (and its /metrics endpoint) up so a scraper
+		// can read the finished run — the metrics-smoke gate relies on it.
+		time.Sleep(*hold)
+	}
 }
 
 func fatal(err error) {

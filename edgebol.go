@@ -14,8 +14,10 @@
 //     CostWeights),
 //   - the simulated prototype (Testbed) standing in for the paper's
 //     srsRAN + USRP + RTX 2080 Ti testbed,
-//   - the O-RAN control plane (Deploy) for driving the loop over real
-//     loopback TCP interfaces,
+//   - the O-RAN control plane (Deploy, DeployContext) for driving the
+//     loop over real loopback TCP interfaces,
+//   - the telemetry subsystem (Registry, PeriodRecord, Snapshot) that
+//     instruments all of the above,
 //   - the benchmark controllers (DDPG, Oracle) of the paper's evaluation,
 //   - and the experiment harness that regenerates every figure.
 //
@@ -23,25 +25,34 @@
 //
 //	tb, _ := edgebol.NewTestbed(edgebol.DefaultTestbedConfig(),
 //		[]edgebol.User{{SNRdB: 35}}, 1)
+//	reg := edgebol.NewRegistry() // optional; nil disables telemetry
+//	tb.Instrument(reg)
 //	agent, _ := edgebol.NewAgent(edgebol.Options{
 //		Grid:        edgebol.DefaultGridSpec(),
 //		Weights:     edgebol.CostWeights{Delta1: 1, Delta2: 1},
 //		Constraints: edgebol.Constraints{MaxDelay: 0.4, MinMAP: 0.5},
+//		Telemetry:   reg,
 //	})
 //	for t := 0; t < 150; t++ {
 //		x, kpis, info, err := agent.Step(tb)
 //		...
+//	}
+//	for _, rec := range reg.Periods() { // one PeriodRecord per period
+//		fmt.Println(rec.Period, rec.Cost, rec.SafeSetSize)
 //	}
 //
 // See examples/ for complete programs and DESIGN.md for the system map.
 package edgebol
 
 import (
+	"context"
+
 	"repro/internal/bandit"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/oran"
 	"repro/internal/ran"
+	"repro/internal/telemetry"
 	"repro/internal/testbed"
 )
 
@@ -149,14 +160,45 @@ func Oracle(expected bandit.ExpectedFn, grid GridSpec, w CostWeights, cons Const
 	return bandit.Oracle(expected, grid, w, cons)
 }
 
+// Telemetry (runtime observability of the whole loop).
+type (
+	// Registry collects counters, gauges, histograms, and the per-period
+	// event stream; it is the one handle shared across layers. All methods
+	// are safe on a nil *Registry, which disables telemetry at zero cost.
+	Registry = telemetry.Registry
+	// PeriodRecord is one control period's full structured trace: context,
+	// control, KPIs, cost, safe-set diagnostics, per-objective posterior at
+	// the chosen control, GP training-set size, and sweep latency.
+	PeriodRecord = telemetry.PeriodRecord
+	// Snapshot is a point-in-time copy of every metric in a Registry.
+	Snapshot = telemetry.Snapshot
+)
+
+// NewRegistry returns an empty telemetry registry; attach it via
+// Options.Telemetry, Testbed.Instrument, and DeployOptions.Telemetry so
+// one registry carries core, gp, oran, and testbed metrics together.
+func NewRegistry() *Registry { return telemetry.NewRegistry() }
+
 // O-RAN control plane (Fig. 7).
 type (
 	// Deployment is the loopback A1/E2/O1 stack.
 	Deployment = oran.Deployment
+	// DeployOptions configure Deploy: request timeout, optional /metrics +
+	// /debug/pprof listen address, and the telemetry registry.
+	DeployOptions = oran.DeployOptions
 )
 
-// Deploy stands up the control plane around an environment.
-var Deploy = oran.Deploy
+// Deploy stands up the control plane around an environment. The zero
+// DeployOptions is valid (default timeout, telemetry off).
+func Deploy(env Environment, opts DeployOptions) (*Deployment, error) {
+	return oran.DeployWithOptions(env, opts)
+}
+
+// DeployContext is Deploy scoped to ctx: cancellation tears the
+// deployment down.
+func DeployContext(ctx context.Context, env Environment, opts DeployOptions) (*Deployment, error) {
+	return oran.DeployContext(ctx, env, opts)
+}
 
 // Experiments (§3 and §6).
 type (

@@ -97,7 +97,7 @@ func TestFacadeORANDeployment(t *testing.T) {
 		t.Fatal(err)
 	}
 	var dep *Deployment
-	dep, err = Deploy(tb, 3*time.Second)
+	dep, err = Deploy(tb, DeployOptions{Timeout: 3 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

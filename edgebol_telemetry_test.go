@@ -1,0 +1,166 @@
+package edgebol
+
+import (
+	"context"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTelemetryEndToEnd runs the full loop with a registry attached and
+// checks the per-period event stream: a 50-period run must emit exactly 50
+// PeriodRecords whose KPIs and cost match what Step returned.
+func TestTelemetryEndToEnd(t *testing.T) {
+	tb, err := NewTestbed(DefaultTestbedConfig(), []User{{SNRdB: 35}}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	tb.Instrument(reg)
+	w := CostWeights{Delta1: 1, Delta2: 1}
+	agent, err := NewAgent(Options{
+		Grid:        GridSpec{Levels: 5, MinResolution: 0.1, MinAirtime: 0.1},
+		Weights:     w,
+		Constraints: Constraints{MaxDelay: 0.4, MinMAP: 0.5},
+		Telemetry:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const periods = 50
+	kpis := make([]KPIs, 0, periods)
+	for i := 0; i < periods; i++ {
+		_, k, _, err := agent.Step(tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kpis = append(kpis, k)
+	}
+	recs := reg.Periods()
+	if len(recs) != periods {
+		t.Fatalf("emitted %d PeriodRecords, want %d", len(recs), periods)
+	}
+	for i, rec := range recs {
+		if rec.Period != i+1 {
+			t.Fatalf("record %d has period %d", i, rec.Period)
+		}
+		k := kpis[i]
+		if rec.Delay != k.Delay || rec.MAP != k.MAP ||
+			rec.ServerPower != k.ServerPower || rec.BSPower != k.BSPower {
+			t.Fatalf("record %d KPIs %+v do not match step KPIs %+v", i, rec, k)
+		}
+		if math.Abs(rec.Cost-w.Cost(k)) > 1e-12 {
+			t.Fatalf("record %d cost %v, want %v", i, rec.Cost, w.Cost(k))
+		}
+		if rec.SafeSetSize <= 0 {
+			t.Fatalf("record %d has empty safe set", i)
+		}
+		if rec.TrainSize <= 0 {
+			t.Fatalf("record %d has no GP training data", i)
+		}
+	}
+	// The counters agree with the event stream.
+	snap := reg.Snapshot()
+	if snap.Counters["edgebol_core_periods_total"] != periods {
+		t.Fatalf("period counter %d", snap.Counters["edgebol_core_periods_total"])
+	}
+	if snap.Counters["edgebol_testbed_measures_total"] != periods {
+		t.Fatalf("testbed counter %d", snap.Counters["edgebol_testbed_measures_total"])
+	}
+	if snap.Histograms[`edgebol_core_sweep_seconds`].Count != periods {
+		t.Fatalf("sweep histogram count %d", snap.Histograms[`edgebol_core_sweep_seconds`].Count)
+	}
+}
+
+// TestMetricsEndpointAllLayers boots the full O-RAN deployment with a
+// shared registry and asserts the served /metrics exposition carries all
+// four metric families: core, gp, oran, and testbed.
+func TestMetricsEndpointAllLayers(t *testing.T) {
+	tb, err := NewTestbed(DefaultTestbedConfig(), []User{{SNRdB: 35}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	tb.Instrument(reg)
+	dep, err := Deploy(tb, DeployOptions{
+		Timeout:     3 * time.Second,
+		MetricsAddr: "127.0.0.1:0",
+		Telemetry:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	if dep.Registry() != reg {
+		t.Fatal("deployment must adopt the supplied registry")
+	}
+	agent, err := NewAgent(Options{
+		Grid:        GridSpec{Levels: 5, MinResolution: 0.1, MinAirtime: 0.1},
+		Weights:     CostWeights{Delta1: 1, Delta2: 1},
+		Constraints: Constraints{MaxDelay: 0.4, MinMAP: 0.5},
+		Telemetry:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := dep.Env()
+	for i := 0; i < 3; i++ {
+		if _, _, _, err := agent.Step(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get("http://" + dep.MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", resp.Header.Get("Content-Type"))
+	}
+	for _, family := range []string{
+		"edgebol_core_periods_total",
+		"edgebol_core_sweep_seconds_bucket",
+		"edgebol_gp_observations_total",
+		`edgebol_oran_requests_total{iface="a1"}`,
+		`edgebol_oran_requests_total{iface="svc"}`,
+		"edgebol_oran_periods_total",
+		"edgebol_testbed_delay_seconds",
+		"edgebol_testbed_bs_power_watts",
+	} {
+		if !strings.Contains(text, family) {
+			t.Fatalf("/metrics missing %q:\n%s", family, text)
+		}
+	}
+}
+
+// TestDeployContextCancellation checks that canceling the DeployContext
+// context tears the whole control plane down.
+func TestDeployContextCancellation(t *testing.T) {
+	tb, err := NewTestbed(DefaultTestbedConfig(), []User{{SNRdB: 35}}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	dep, err := DeployContext(ctx, tb, DeployOptions{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case <-dep.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not tear the deployment down")
+	}
+	// Measuring against a torn-down deployment fails rather than hanging.
+	if _, err := dep.Env().Measure(Control{Resolution: 0.8, Airtime: 1, GPUSpeed: 0.8, MCS: 1}); err == nil {
+		t.Fatal("measure succeeded after teardown")
+	}
+}

@@ -15,6 +15,11 @@ func TestMatchScopesInternalPackages(t *testing.T) {
 	if !errignore.Analyzer.Match("repro/internal/oran") {
 		t.Error(`Match("repro/internal/oran") = false, want true`)
 	}
+	// The telemetry subsystem is inside the enforced tree: its exposition
+	// writers must assign discarded errors to _ explicitly.
+	if !errignore.Analyzer.Match("repro/internal/telemetry") {
+		t.Error(`Match("repro/internal/telemetry") = false, want true`)
+	}
 	if errignore.Analyzer.Match("repro") {
 		t.Error(`Match("repro") = true, want false`)
 	}

@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/gp"
+	"repro/internal/telemetry"
 )
 
 // Affine maps a raw KPI y onto the GP's working units:
@@ -121,6 +125,12 @@ type Options struct {
 	// and BS power GPs in decomposed mode; zeros default to the testbed's
 	// meter noise under DefaultNormalization.
 	PowerNoiseVars [2]float64
+	// Telemetry attaches a metrics registry to the agent: per-period
+	// counters/gauges, the acquisition-sweep latency histogram, the GP
+	// observation/eviction counters, and one telemetry.PeriodRecord per
+	// completed period. Nil disables instrumentation with zero overhead
+	// on the inference hot path.
+	Telemetry *telemetry.Registry
 }
 
 func (o *Options) applyDefaults() error {
@@ -287,6 +297,24 @@ type Agent struct {
 	safe       []bool
 	safeSeedIx []int // indices of seed controls within the grid
 	t          int
+
+	met agentMetrics
+	// lastInfo pairs the most recent SelectControl diagnostics with the
+	// subsequent Observe, so a PeriodRecord can be emitted even when the
+	// caller drives SelectControl and Observe separately (as Fig. 14 does).
+	lastInfo SelectionInfo
+}
+
+// agentMetrics holds the agent's pre-registered telemetry handles; the
+// zero value (all nil) is the disabled state.
+type agentMetrics struct {
+	reg          *telemetry.Registry
+	periods      *telemetry.Counter
+	seedFallback *telemetry.Counter
+	safeSize     *telemetry.Gauge
+	lcb          *telemetry.Gauge
+	trainSize    *telemetry.Gauge
+	sweep        *telemetry.Histogram
 }
 
 // SelectionInfo reports diagnostics from one acquisition step.
@@ -298,6 +326,16 @@ type SelectionInfo struct {
 	FromSeed bool
 	// LCB is the acquisition value of the selected control (normalized).
 	LCB float64
+	// Cost, Delay, MAP are the posterior beliefs at the selected control
+	// in normalized GP units — the per-objective mean/σ the safe set and
+	// acquisition acted on.
+	Cost, Delay, MAP Posterior
+	// Workers is the resolved degree of parallelism of the posterior
+	// sweep (Options.InferenceWorkers after defaulting).
+	Workers int
+	// SweepSeconds is the wall-clock latency of the whole acquisition:
+	// posterior sweep, safe-set construction, and control selection.
+	SweepSeconds float64
 }
 
 // NewAgent builds an EdgeBOL agent.
@@ -310,12 +348,14 @@ func NewAgent(opts Options) (*Agent, error) {
 		return nil, err
 	}
 	a := &Agent{opts: opts, grid: grid}
+	gpNames := [numGPs]string{"cost", "delay", "map"}
 	for i := range a.gps {
 		ls := opts.LengthScales
 		if perGP := opts.LengthScalesPerGP[i]; perGP != nil {
 			ls = perGP
 		}
 		a.gps[i] = gp.New(opts.KernelFactory(ls), opts.NoiseVars[i], opts.MaxObservations)
+		a.gps[i].Instrument(opts.Telemetry, gpNames[i])
 		a.mu[i] = make([]float64, len(grid))
 		a.sigma[i] = make([]float64, len(grid))
 	}
@@ -324,11 +364,24 @@ func NewAgent(opts Options) (*Agent, error) {
 		if perGP := opts.LengthScalesPerGP[gpCost]; perGP != nil {
 			ls = perGP
 		}
+		powerNames := [2]string{"server_power", "bs_power"}
 		for i := range a.powerGPs {
 			a.powerGPs[i] = gp.New(opts.KernelFactory(ls), opts.PowerNoiseVars[i], opts.MaxObservations)
+			a.powerGPs[i].Instrument(opts.Telemetry, powerNames[i])
 			a.powMu[i] = make([]float64, len(grid))
 			a.powSigma[i] = make([]float64, len(grid))
 		}
+	}
+	// Registry methods are nil-safe: with Telemetry == nil every handle is
+	// nil and each instrumented site costs one predictable branch.
+	a.met = agentMetrics{
+		reg:          opts.Telemetry,
+		periods:      opts.Telemetry.Counter("edgebol_core_periods_total"),
+		seedFallback: opts.Telemetry.Counter("edgebol_core_seed_fallback_total"),
+		safeSize:     opts.Telemetry.Gauge("edgebol_core_safe_set_size"),
+		lcb:          opts.Telemetry.Gauge("edgebol_core_acquisition_lcb"),
+		trainSize:    opts.Telemetry.Gauge("edgebol_core_gp_train_size"),
+		sweep:        opts.Telemetry.Histogram("edgebol_core_sweep_seconds", telemetry.LatencyBuckets()),
 	}
 	const dims = ContextDims + ControlDims
 	a.feats = make([][]float64, len(grid))
@@ -393,6 +446,7 @@ func (a *Agent) Observations() int { return a.t }
 // compute the three posteriors over the whole grid, build the safe set
 // (eq. 8, always including S₀), and minimize the constrained LCB (eq. 9).
 func (a *Agent) SelectControl(ctx Context) (Control, SelectionInfo) {
+	start := time.Now()
 	// The control portion of every feature row was precomputed at
 	// construction; only the context slots change between periods.
 	var cbuf [ContextDims]float64
@@ -538,7 +592,29 @@ func (a *Agent) SelectControl(ctx Context) (Control, SelectionInfo) {
 	// safety test on its own merits.
 	fromSeed := a.mu[gpDelay][best]+a.opts.SafeBeta*a.sigma[gpDelay][best] > dmax ||
 		a.mu[gpMAP][best]-a.opts.SafeBeta*a.sigma[gpMAP][best] < rmin
-	return a.grid[best], SelectionInfo{SafeSetSize: nSafe, FromSeed: fromSeed, LCB: bestLCB}
+
+	resolvedWorkers := workers
+	if resolvedWorkers <= 0 {
+		resolvedWorkers = runtime.GOMAXPROCS(0)
+	}
+	info := SelectionInfo{
+		SafeSetSize:  nSafe,
+		FromSeed:     fromSeed,
+		LCB:          bestLCB,
+		Cost:         Posterior{Mean: a.mu[gpCost][best], Sigma: a.sigma[gpCost][best]},
+		Delay:        Posterior{Mean: a.mu[gpDelay][best], Sigma: a.sigma[gpDelay][best]},
+		MAP:          Posterior{Mean: a.mu[gpMAP][best], Sigma: a.sigma[gpMAP][best]},
+		Workers:      resolvedWorkers,
+		SweepSeconds: time.Since(start).Seconds(),
+	}
+	a.met.safeSize.Set(float64(nSafe))
+	a.met.lcb.Set(bestLCB)
+	a.met.sweep.Observe(info.SweepSeconds)
+	if fromSeed {
+		a.met.seedFallback.Inc()
+	}
+	a.lastInfo = info
+	return a.grid[best], info
 }
 
 // pickSafeOpt implements the SafeOpt-style acquisition over the current
@@ -623,20 +699,96 @@ func (a *Agent) Observe(ctx Context, x Control, k KPIs) error {
 		return fmt.Errorf("core: mAP GP: %w", err)
 	}
 	a.t++
+	a.met.periods.Inc()
+	a.met.trainSize.Set(float64(a.gps[gpDelay].Len()))
+	a.emitPeriod(ctx, x, k)
 	return nil
+}
+
+// emitPeriod streams one telemetry.PeriodRecord combining the Observe
+// arguments with the diagnostics of the preceding SelectControl. When the
+// caller drives SelectControl and Observe separately the pairing is
+// positional: the record's posterior/safe-set fields describe the most
+// recent selection.
+func (a *Agent) emitPeriod(ctx Context, x Control, k KPIs) {
+	if a.met.reg == nil {
+		return
+	}
+	evictions := a.gps[gpDelay].Evictions() + a.gps[gpMAP].Evictions() + a.gps[gpCost].Evictions()
+	if a.opts.DecomposedCost {
+		evictions += a.powerGPs[0].Evictions() + a.powerGPs[1].Evictions()
+	}
+	info := a.lastInfo
+	a.met.reg.EmitPeriod(telemetry.PeriodRecord{
+		Period:       a.t,
+		NumUsers:     ctx.NumUsers,
+		MeanCQI:      ctx.MeanCQI,
+		VarCQI:       ctx.VarCQI,
+		Resolution:   x.Resolution,
+		Airtime:      x.Airtime,
+		GPUSpeed:     x.GPUSpeed,
+		MCS:          x.MCS,
+		Delay:        k.Delay,
+		GPUDelay:     k.GPUDelay,
+		MAP:          k.MAP,
+		ServerPower:  k.ServerPower,
+		BSPower:      k.BSPower,
+		Cost:         a.opts.Weights.Cost(k),
+		SafeSetSize:  info.SafeSetSize,
+		FromSeed:     info.FromSeed,
+		LCB:          info.LCB,
+		PostMean:     [3]float64{info.Cost.Mean, info.Delay.Mean, info.MAP.Mean},
+		PostSigma:    [3]float64{info.Cost.Sigma, info.Delay.Sigma, info.MAP.Sigma},
+		TrainSize:    a.gps[gpDelay].Len(),
+		Evictions:    evictions,
+		Workers:      info.Workers,
+		SweepSeconds: info.SweepSeconds,
+	})
 }
 
 // Step performs one full control period against an environment: observe
 // the context, select a control, measure, and learn. It returns the
 // selected control, the observed KPIs, and the selection diagnostics.
 func (a *Agent) Step(env Environment) (Control, KPIs, SelectionInfo, error) {
-	ctx := env.Context()
-	x, info := a.SelectControl(ctx)
-	k, err := env.Measure(x)
+	return a.StepCtx(context.Background(), env)
+}
+
+// ContextEnvironment is an Environment whose measurement path honors a
+// context.Context — the oran control plane implements it so an in-flight
+// period can be bounded or canceled.
+type ContextEnvironment interface {
+	Environment
+	// MeasureCtx is Measure bounded by ctx: cancellation or deadline
+	// expiry aborts the period with ctx's error.
+	MeasureCtx(ctx context.Context, x Control) (KPIs, error)
+}
+
+// StepCtx is Step bounded by a context: the period is abandoned (with
+// ctx's error) if ctx is done before selection or learning, and the
+// measurement itself is canceled mid-flight when the environment
+// implements ContextEnvironment.
+func (a *Agent) StepCtx(ctx context.Context, env Environment) (Control, KPIs, SelectionInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return Control{}, KPIs{}, SelectionInfo{}, err
+	}
+	c := env.Context()
+	x, info := a.SelectControl(c)
+	if err := ctx.Err(); err != nil {
+		return x, KPIs{}, info, err
+	}
+	var k KPIs
+	var err error
+	if ce, ok := env.(ContextEnvironment); ok {
+		k, err = ce.MeasureCtx(ctx, x)
+	} else {
+		k, err = env.Measure(x)
+	}
 	if err != nil {
 		return x, KPIs{}, info, err
 	}
-	if err := a.Observe(ctx, x, k); err != nil {
+	// The measurement happened: learn from it even if ctx expired while it
+	// ran, so a bounded period never discards a paid-for observation.
+	if err := a.Observe(c, x, k); err != nil {
 		return x, k, info, err
 	}
 	return x, k, info, nil

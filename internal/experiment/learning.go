@@ -39,7 +39,19 @@ func newAgent(scale Scale, w core.CostWeights, cons core.Constraints) (*core.Age
 		Weights:         w,
 		Constraints:     cons,
 		MaxObservations: scale.MaxObservations,
+		Telemetry:       scale.Telemetry,
 	})
+}
+
+// newTestbed builds and, when the scale carries a registry, instruments a
+// testbed for an experiment run.
+func (s Scale) newTestbed(cfg testbed.Config, users []ran.User, seed int64) (*testbed.Testbed, error) {
+	tb, err := testbed.New(cfg, users, seed)
+	if err != nil {
+		return nil, err
+	}
+	tb.Instrument(s.Telemetry)
+	return tb, nil
 }
 
 // runAgent drives an agent for the given number of periods.
@@ -78,7 +90,7 @@ func Fig9(scale Scale, seed int64) (*Table, error) {
 		w := core.CostWeights{Delta1: 1, Delta2: d2}
 		runs := make([][]record, 0, scale.Reps)
 		for rep := 0; rep < scale.Reps; rep++ {
-			tb, err := testbed.New(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, seed+int64(rep)*101)
+			tb, err := scale.newTestbed(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, seed+int64(rep)*101)
 			if err != nil {
 				return nil, err
 			}
@@ -158,7 +170,7 @@ func Fig10And11(scale Scale, seed int64) (*Table, *Table, error) {
 			var oracleCost float64
 			oracleFeasible := true
 			for rep := 0; rep < scale.Reps; rep++ {
-				tb, err := testbed.New(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, seed+int64(rep)*131)
+				tb, err := scale.newTestbed(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, seed+int64(rep)*131)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -230,7 +242,7 @@ func Fig12(scale Scale, seed int64) (*Table, error) {
 			violations, total := 0, 0
 			var oracleCost float64
 			for rep := 0; rep < scale.Reps; rep++ {
-				tb, err := testbed.New(testbed.DefaultConfig(), testbed.HeterogeneousUsers(n), seed+int64(rep)*151)
+				tb, err := scale.newTestbed(testbed.DefaultConfig(), testbed.HeterogeneousUsers(n), seed+int64(rep)*151)
 				if err != nil {
 					return nil, err
 				}
@@ -305,7 +317,7 @@ func Fig13(scale Scale, seed int64) (*Table, error) {
 	runs := make([][]dynRec, 0, scale.Reps)
 	for rep := 0; rep < scale.Reps; rep++ {
 		repSeed := seed + int64(rep)*171
-		tb, err := testbed.New(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, repSeed)
+		tb, err := scale.newTestbed(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, repSeed)
 		if err != nil {
 			return nil, err
 		}
@@ -373,7 +385,7 @@ func Fig14(scale Scale, seed int64) (*Table, error) {
 	}
 
 	run := func(algo int) error {
-		tb, err := testbed.New(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, seed+int64(algo))
+		tb, err := scale.newTestbed(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, seed+int64(algo))
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,10 @@
 package experiment
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
 
 // Scale sets the experiment sizes. PaperScale matches the paper's settings
 // (11-level grids, 150-period convergence runs, 10 repetitions, 3000-period
@@ -27,6 +31,10 @@ type Scale struct {
 	TailWindow int
 	// MaxObservations caps GP history on long runs (0 = unlimited).
 	MaxObservations int
+	// Telemetry, when non-nil, instruments every agent and testbed the
+	// experiment creates, so a long figure regeneration can be watched
+	// live over /metrics. Nil (the default scales) disables telemetry.
+	Telemetry *telemetry.Registry
 }
 
 // PaperScale reproduces the paper's experiment sizes. Expect long runtimes:

@@ -5,8 +5,10 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/linalg"
+	"repro/internal/telemetry"
 )
 
 // GP is a Gaussian-process regressor with zero prior mean and i.i.d.
@@ -37,6 +39,20 @@ type GP struct {
 	alpha []float64 // (K + ζ²I)⁻¹ y
 
 	maxObs int
+
+	// evictions counts sliding-window evictions for diagnostics even when
+	// telemetry is disabled; mutated only under the Add path, which is
+	// single-writer by the concurrency contract above.
+	evictions uint64
+	met       gpMetrics
+}
+
+// gpMetrics holds the GP's pre-registered telemetry handles. The zero
+// value (all nil) is the disabled state: every update no-ops.
+type gpMetrics struct {
+	observations *telemetry.Counter
+	evictionsCtr *telemetry.Counter
+	sweep        *telemetry.Histogram
 }
 
 // New returns a GP with the given kernel and observation-noise variance.
@@ -113,6 +129,22 @@ func gram(k Kernel, noiseVar float64, xs []float64, n int) *linalg.Matrix {
 	return m
 }
 
+// Instrument registers this GP's telemetry series on reg, labeled with
+// the objective name (e.g. "cost", "delay", "map"): observation and
+// eviction counters plus the batched posterior-sweep latency histogram.
+// Call it before concurrent use; a nil registry leaves telemetry
+// disabled at zero cost on the inference hot path.
+func (g *GP) Instrument(reg *telemetry.Registry, objective string) {
+	g.met = gpMetrics{
+		observations: reg.Counter("edgebol_gp_observations_total", "gp", objective),
+		evictionsCtr: reg.Counter("edgebol_gp_evictions_total", "gp", objective),
+		sweep:        reg.Histogram("edgebol_gp_sweep_seconds", telemetry.LatencyBuckets(), "gp", objective),
+	}
+}
+
+// Evictions returns the cumulative number of sliding-window evictions.
+func (g *GP) Evictions() uint64 { return g.evictions }
+
 // Kernel returns the kernel in use.
 func (g *GP) Kernel() Kernel { return g.kernel }
 
@@ -151,6 +183,7 @@ func (g *GP) Add(x []float64, y float64) error {
 	g.xs = append(g.xs, x...)
 	g.ys = append(g.ys, y)
 	g.refreshAlpha()
+	g.met.observations.Inc()
 	return nil
 }
 
@@ -166,6 +199,8 @@ func (g *GP) evict(dropCount int) {
 		panic(fmt.Sprintf("gp: rebuild after eviction failed: %v", err))
 	}
 	g.chol = chol
+	g.evictions++
+	g.met.evictionsCtr.Inc()
 }
 
 func (g *GP) refreshAlpha() {
@@ -222,6 +257,13 @@ func (g *GP) PosteriorBatch(candidates [][]float64, mu, sigma []float64) {
 func (g *GP) PosteriorBatchWorkers(candidates [][]float64, mu, sigma []float64, workers int) {
 	if len(mu) != len(candidates) || len(sigma) != len(candidates) {
 		panic("gp: PosteriorBatch output length mismatch")
+	}
+	// Sweep timing is gated on the handle so a nil registry adds exactly
+	// one nil check to the hot path (the zero-overhead-when-disabled
+	// contract the inference benchmarks hold the package to).
+	if g.met.sweep != nil {
+		start := time.Now()
+		defer func() { g.met.sweep.ObserveDuration(time.Since(start)) }()
 	}
 	n := g.Len()
 	if n == 0 {

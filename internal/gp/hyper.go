@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/telemetry"
 )
 
 // Hyperparams bundles the tunables of a GP model: per-dimension length
@@ -38,6 +40,10 @@ type FitOptions struct {
 	NoiseVarMin, NoiseVarMax float64
 	// Rand supplies randomness; required.
 	Rand *rand.Rand
+	// Telemetry optionally counts candidate evidence evaluations
+	// (edgebol_gp_hyper_evals_total / edgebol_gp_hyper_failures_total);
+	// nil disables.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultFitOptions returns bounds suited to inputs normalized to [0,1].
@@ -77,14 +83,18 @@ func Fit(factory KernelFactory, xs [][]float64, ys []float64, opts FitOptions) (
 	dim := len(xs[0])
 	best := Hyperparams{}
 	bestLL := math.Inf(-1)
+	evals := opts.Telemetry.Counter("edgebol_gp_hyper_evals_total")
+	failures := opts.Telemetry.Counter("edgebol_gp_hyper_failures_total")
 	for it := 0; it < opts.Iterations; it++ {
 		ls := make([]float64, dim)
 		for d := range ls {
 			ls[d] = logUniform(opts.Rand, opts.LengthScaleMin, opts.LengthScaleMax)
 		}
 		noise := logUniform(opts.Rand, opts.NoiseVarMin, opts.NoiseVarMax)
+		evals.Inc()
 		ll, err := evidence(factory(ls), noise, xs, ys)
 		if err != nil {
+			failures.Inc()
 			continue
 		}
 		if ll > bestLL {

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // DataPlane is the simulated machine room: the vBS and the GPU edge server
@@ -28,7 +29,8 @@ type DataPlane struct {
 	lastKPI core.KPIs
 	hasKPI  bool
 
-	subs subscriptions
+	subs    subscriptions
+	periods *telemetry.Counter
 }
 
 // NewDataPlane wraps an environment (typically *testbed.Testbed) with
@@ -42,6 +44,21 @@ func NewDataPlane(env core.Environment) (*DataPlane, error) {
 		radio:   RadioPolicy{Airtime: 1, MCS: 1},
 		service: ServiceConfig{Resolution: 1, GPUSpeed: 1},
 	}, nil
+}
+
+// Instrument publishes data-plane activity into reg:
+// edgebol_oran_periods_total for completed control periods,
+// edgebol_oran_indications_published_total /
+// edgebol_oran_indications_dropped_total for the KPI REPORT fan-out.
+// Call it before the deployment serves traffic; nil disables.
+func (d *DataPlane) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	d.mu.Lock()
+	d.periods = reg.Counter("edgebol_oran_periods_total")
+	d.mu.Unlock()
+	d.subs.instrument(reg)
 }
 
 // SetRadio stages an E2 radio policy.
@@ -96,6 +113,7 @@ func (d *DataPlane) RunPeriod() (PeriodReport, error) {
 	d.period++
 	d.lastKPI = k
 	d.hasKPI = true
+	d.periods.Inc()
 	report := KPIReport{BSPowerW: k.BSPower, Period: d.period}
 	d.mu.Unlock()
 	d.subs.publish(report)

@@ -1,11 +1,38 @@
 package oran
 
 import (
+	"context"
 	"fmt"
+	"net"
+	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
+
+// DefaultTimeout bounds each control-plane request when DeployOptions
+// leaves Timeout zero.
+const DefaultTimeout = 5 * time.Second
+
+// DeployOptions configures a Deploy/DeployContext call. The zero value is
+// valid: default timeout, no metrics endpoint, no telemetry.
+type DeployOptions struct {
+	// Timeout bounds every control-plane request (A1, E2, O1, and the
+	// custom service interface). Zero or negative means DefaultTimeout.
+	Timeout time.Duration
+	// MetricsAddr, when non-empty, starts an HTTP server on that address
+	// serving /metrics (Prometheus text format) and /debug/pprof. Use
+	// "127.0.0.1:0" for an ephemeral port; Deployment.MetricsAddr reports
+	// the bound address.
+	MetricsAddr string
+	// Telemetry receives the deployment's metrics and may be shared with
+	// the learning agent (core.Options.Telemetry) so one registry carries
+	// the whole loop. Nil with MetricsAddr set auto-creates a registry;
+	// nil otherwise disables instrumentation entirely.
+	Telemetry *telemetry.Registry
+}
 
 // Deployment is a complete loopback control plane: data plane, E2 node,
 // service controller, near-RT RIC, and non-RT RIC, all wired over TCP.
@@ -17,15 +44,52 @@ type Deployment struct {
 	NonRT      *NonRTRIC
 
 	svcClient *Client
+	reg       *telemetry.Registry
+	httpLn    net.Listener
+	httpSrv   *http.Server
+	stopWatch func() bool
+
+	closeOnce sync.Once
+	closeErr  error
+	done      chan struct{}
 }
 
 // Deploy stands up the whole Fig. 7 stack on loopback ephemeral ports
 // around the given environment (typically a *testbed.Testbed).
+//
+// Deprecated: use DeployWithOptions or DeployContext, which add telemetry
+// and cancellation. This shim survives for pre-telemetry callers.
 func Deploy(env core.Environment, timeout time.Duration) (*Deployment, error) {
+	return DeployContext(context.Background(), env, DeployOptions{Timeout: timeout})
+}
+
+// DeployWithOptions stands up the stack with the given options and no
+// cancellation scope.
+func DeployWithOptions(env core.Environment, opts DeployOptions) (*Deployment, error) {
+	return DeployContext(context.Background(), env, opts)
+}
+
+// DeployContext stands up the whole Fig. 7 stack on loopback ephemeral
+// ports around the given environment. Canceling ctx after a successful
+// return tears the deployment down (equivalent to Close); cancellation
+// during bring-up aborts the in-flight dials.
+func DeployContext(ctx context.Context, env core.Environment, opts DeployOptions) (*Deployment, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	reg := opts.Telemetry
+	if reg == nil && opts.MetricsAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
 	dp, err := NewDataPlane(env)
 	if err != nil {
 		return nil, err
 	}
+	dp.Instrument(reg)
 	// started tracks components brought up so far; fail tears them down
 	// in reverse order, keeping the constructor error as the cause.
 	var started []interface{ Close() error }
@@ -40,44 +104,93 @@ func Deploy(env core.Environment, timeout time.Duration) (*Deployment, error) {
 		return fail(err)
 	}
 	started = append(started, e2)
+	e2.Instrument(reg)
 	svc, err := NewServiceController("127.0.0.1:0", dp)
 	if err != nil {
 		return fail(err)
 	}
 	started = append(started, svc)
-	near, err := NewNearRTRIC("127.0.0.1:0", e2.Addr(), timeout)
+	svc.Instrument(reg)
+	near, err := NewNearRTRICContext(ctx, "127.0.0.1:0", e2.Addr(), timeout)
 	if err != nil {
 		return fail(err)
 	}
 	started = append(started, near)
-	non, err := NewNonRTRIC(near.Addr(), timeout)
+	near.Instrument(reg)
+	non, err := NewNonRTRICContext(ctx, near.Addr(), timeout)
 	if err != nil {
 		return fail(err)
 	}
 	started = append(started, non)
-	svcClient, err := Dial(svc.Addr(), timeout)
+	non.Instrument(reg)
+	svcClient, err := DialContext(ctx, svc.Addr(), timeout)
 	if err != nil {
 		return fail(err)
 	}
-	return &Deployment{
+	started = append(started, svcClient)
+	svcClient.Instrument(reg, "svc")
+	d := &Deployment{
 		DataPlane:  dp,
 		E2Node:     e2,
 		ServiceCtl: svc,
 		NearRT:     near,
 		NonRT:      non,
 		svcClient:  svcClient,
-	}, nil
+		reg:        reg,
+		done:       make(chan struct{}),
+	}
+	if opts.MetricsAddr != "" {
+		ln, err := net.Listen("tcp", opts.MetricsAddr)
+		if err != nil {
+			return fail(fmt.Errorf("oran: metrics listen %s: %w", opts.MetricsAddr, err))
+		}
+		d.httpLn = ln
+		d.httpSrv = &http.Server{Handler: telemetry.Mux(reg)}
+		go func() { _ = d.httpSrv.Serve(ln) }() // Serve returns ErrServerClosed on Close
+	}
+	// After this point the deployment owns its components; a ctx cancel
+	// closes the whole stack instead of individual dials.
+	d.stopWatch = context.AfterFunc(ctx, func() { _ = d.Close() })
+	return d, nil
 }
 
-// Close tears the stack down.
-func (d *Deployment) Close() error {
-	var first error
-	for _, c := range []interface{ Close() error }{d.svcClient, d.NonRT, d.NearRT, d.ServiceCtl, d.E2Node} {
-		if err := c.Close(); err != nil && first == nil {
-			first = err
-		}
+// Registry returns the telemetry registry instrumenting this deployment,
+// or nil when telemetry is disabled.
+func (d *Deployment) Registry() *telemetry.Registry { return d.reg }
+
+// MetricsAddr returns the bound address of the metrics HTTP endpoint, or
+// "" when none was requested.
+func (d *Deployment) MetricsAddr() string {
+	if d.httpLn == nil {
+		return ""
 	}
-	return first
+	return d.httpLn.Addr().String()
+}
+
+// Done is closed when the deployment has been torn down, whether by Close
+// or by the DeployContext context being canceled.
+func (d *Deployment) Done() <-chan struct{} { return d.done }
+
+// Close tears the stack down. It is idempotent and safe to race with the
+// context watcher installed by DeployContext.
+func (d *Deployment) Close() error {
+	d.closeOnce.Do(func() {
+		if d.stopWatch != nil {
+			d.stopWatch()
+		}
+		if d.httpSrv != nil {
+			_ = d.httpSrv.Close() // shutting down; nothing left to serve
+		}
+		var first error
+		for _, c := range []interface{ Close() error }{d.svcClient, d.NonRT, d.NearRT, d.ServiceCtl, d.E2Node} {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		d.closeErr = first
+		close(d.done)
+	})
+	return d.closeErr
 }
 
 // Environment adapts the deployment to core.Environment: every Measure
@@ -105,11 +218,18 @@ func (e *Environment) Context() core.Context {
 
 // Measure implements core.Environment across the control plane.
 func (e *Environment) Measure(x core.Control) (core.KPIs, error) {
+	return e.MeasureCtx(context.Background(), x)
+}
+
+// MeasureCtx implements core.ContextEnvironment: the same Fig. 7 round
+// trip as Measure, with every control-plane request bounded by ctx so a
+// caller can abandon a period mid-flight.
+func (e *Environment) MeasureCtx(ctx context.Context, x core.Control) (core.KPIs, error) {
 	if err := x.Validate(); err != nil {
 		return core.KPIs{}, err
 	}
 	// rApp → A1 → xApp → E2: radio policies.
-	if err := e.d.NonRT.ApplyRadioPolicy(x.Airtime, x.MCS); err != nil {
+	if err := e.d.NonRT.ApplyRadioPolicyCtx(ctx, x.Airtime, x.MCS); err != nil {
 		return core.KPIs{}, fmt.Errorf("oran: radio policy: %w", err)
 	}
 	// Edge orchestrator → service controller: service policies.
@@ -117,11 +237,11 @@ func (e *Environment) Measure(x core.Control) (core.KPIs, error) {
 	if err != nil {
 		return core.KPIs{}, err
 	}
-	if _, err := e.d.svcClient.Call(cfg); err != nil {
+	if _, err := e.d.svcClient.CallCtx(ctx, cfg); err != nil {
 		return core.KPIs{}, fmt.Errorf("oran: service config: %w", err)
 	}
 	// Run the period and collect the service-side KPIs.
-	resp, err := e.d.svcClient.Call(Message{Type: TypeServicePeriod})
+	resp, err := e.d.svcClient.CallCtx(ctx, Message{Type: TypeServicePeriod})
 	if err != nil {
 		return core.KPIs{}, fmt.Errorf("oran: period: %w", err)
 	}
@@ -130,7 +250,7 @@ func (e *Environment) Measure(x core.Control) (core.KPIs, error) {
 		return core.KPIs{}, err
 	}
 	// Data-collector rApp ← O1 ← database xApp ← E2: vBS power.
-	kpi, err := e.d.NonRT.CollectBSPower()
+	kpi, err := e.d.NonRT.CollectBSPowerCtx(ctx)
 	if err != nil {
 		return core.KPIs{}, fmt.Errorf("oran: KPI collection: %w", err)
 	}
@@ -143,4 +263,7 @@ func (e *Environment) Measure(x core.Control) (core.KPIs, error) {
 	}, nil
 }
 
-var _ core.Environment = (*Environment)(nil)
+var (
+	_ core.Environment        = (*Environment)(nil)
+	_ core.ContextEnvironment = (*Environment)(nil)
+)

@@ -1,8 +1,11 @@
 package oran
 
 import (
+	"context"
 	"fmt"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // E2Node is the vBS-side E2 termination (the srsRAN modification of §6.1):
@@ -26,6 +29,9 @@ func NewE2Node(addr string, dp *DataPlane) (*E2Node, error) {
 
 // Addr returns the E2 endpoint address.
 func (n *E2Node) Addr() string { return n.server.Addr() }
+
+// Instrument counts E2 messages handled by the node in reg.
+func (n *E2Node) Instrument(reg *telemetry.Registry) { n.server.Instrument(reg, "e2") }
 
 // Close stops the node.
 func (n *E2Node) Close() error { return n.server.Close() }
@@ -76,6 +82,9 @@ func NewServiceController(addr string, dp *DataPlane) (*ServiceController, error
 // Addr returns the controller's address.
 func (c *ServiceController) Addr() string { return c.server.Addr() }
 
+// Instrument counts custom-interface messages handled by the controller.
+func (c *ServiceController) Instrument(reg *telemetry.Registry) { c.server.Instrument(reg, "svc") }
+
 // Close stops the controller.
 func (c *ServiceController) Close() error { return c.server.Close() }
 
@@ -112,7 +121,12 @@ type NearRTRIC struct {
 
 // NewNearRTRIC starts the near-RT RIC on addr, connected to the E2 node.
 func NewNearRTRIC(addr, e2Addr string, timeout time.Duration) (*NearRTRIC, error) {
-	e2, err := Dial(e2Addr, timeout)
+	return NewNearRTRICContext(context.Background(), addr, e2Addr, timeout)
+}
+
+// NewNearRTRICContext is NewNearRTRIC with the E2 dial bounded by ctx.
+func NewNearRTRICContext(ctx context.Context, addr, e2Addr string, timeout time.Duration) (*NearRTRIC, error) {
+	e2, err := DialContext(ctx, e2Addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("oran: near-RT RIC: %w", err)
 	}
@@ -128,6 +142,13 @@ func NewNearRTRIC(addr, e2Addr string, timeout time.Duration) (*NearRTRIC, error
 
 // Addr returns the RIC's A1/O1 endpoint address.
 func (r *NearRTRIC) Addr() string { return r.server.Addr() }
+
+// Instrument counts A1/O1 messages handled by the RIC and the latency of
+// its xApp-side E2 calls.
+func (r *NearRTRIC) Instrument(reg *telemetry.Registry) {
+	r.server.Instrument(reg, "a1")
+	r.e2.Instrument(reg, "e2")
+}
 
 // Close stops the RIC.
 func (r *NearRTRIC) Close() error {
@@ -186,7 +207,12 @@ type NonRTRIC struct {
 
 // NewNonRTRIC connects the non-RT RIC to a near-RT RIC endpoint.
 func NewNonRTRIC(nearRTAddr string, timeout time.Duration) (*NonRTRIC, error) {
-	a1, err := Dial(nearRTAddr, timeout)
+	return NewNonRTRICContext(context.Background(), nearRTAddr, timeout)
+}
+
+// NewNonRTRICContext is NewNonRTRIC with the A1 dial bounded by ctx.
+func NewNonRTRICContext(ctx context.Context, nearRTAddr string, timeout time.Duration) (*NonRTRIC, error) {
+	a1, err := DialContext(ctx, nearRTAddr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("oran: non-RT RIC: %w", err)
 	}
@@ -196,9 +222,17 @@ func NewNonRTRIC(nearRTAddr string, timeout time.Duration) (*NonRTRIC, error) {
 // Close disconnects the RIC.
 func (r *NonRTRIC) Close() error { return r.a1.Close() }
 
+// Instrument counts the rApps' A1/O1 requests and their latency.
+func (r *NonRTRIC) Instrument(reg *telemetry.Registry) { r.a1.Instrument(reg, "a1") }
+
 // ApplyRadioPolicy deploys the radio policies through the A1 Policy
 // Management Service.
 func (r *NonRTRIC) ApplyRadioPolicy(airtime, mcs float64) error {
+	return r.ApplyRadioPolicyCtx(context.Background(), airtime, mcs)
+}
+
+// ApplyRadioPolicyCtx is ApplyRadioPolicy bounded by ctx.
+func (r *NonRTRIC) ApplyRadioPolicyCtx(ctx context.Context, airtime, mcs float64) error {
 	r.policyID++
 	req, err := NewMessage(TypeA1PolicySetup, RadioPolicy{
 		PolicyID: fmt.Sprintf("edgebol-%d", r.policyID),
@@ -208,13 +242,18 @@ func (r *NonRTRIC) ApplyRadioPolicy(airtime, mcs float64) error {
 	if err != nil {
 		return err
 	}
-	_, err = r.a1.Call(req)
+	_, err = r.a1.CallCtx(ctx, req)
 	return err
 }
 
 // CollectBSPower pulls the latest vBS power reading over O1.
 func (r *NonRTRIC) CollectBSPower() (KPIReport, error) {
-	resp, err := r.a1.Call(Message{Type: TypeO1Collect})
+	return r.CollectBSPowerCtx(context.Background())
+}
+
+// CollectBSPowerCtx is CollectBSPower bounded by ctx.
+func (r *NonRTRIC) CollectBSPowerCtx(ctx context.Context) (KPIReport, error) {
+	resp, err := r.a1.CallCtx(ctx, Message{Type: TypeO1Collect})
 	if err != nil {
 		return KPIReport{}, err
 	}
@@ -227,13 +266,18 @@ func (r *NonRTRIC) CollectBSPower() (KPIReport, error) {
 
 // CollectContext pulls the slice context.
 func (r *NonRTRIC) CollectContext() (ContextReport, error) {
-	resp, err := r.a1.Call(Message{Type: TypeE2Context})
+	return r.CollectContextCtx(context.Background())
+}
+
+// CollectContextCtx is CollectContext bounded by ctx.
+func (r *NonRTRIC) CollectContextCtx(ctx context.Context) (ContextReport, error) {
+	resp, err := r.a1.CallCtx(ctx, Message{Type: TypeE2Context})
 	if err != nil {
 		return ContextReport{}, err
 	}
-	var ctx ContextReport
-	if err := resp.Decode(&ctx); err != nil {
+	var rep ContextReport
+	if err := resp.Decode(&rep); err != nil {
 		return ContextReport{}, err
 	}
-	return ctx, nil
+	return rep, nil
 }

@@ -1,10 +1,13 @@
 package oran
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Subscription message types (E2SM-KPM-style REPORT service).
@@ -19,6 +22,18 @@ type subscriptions struct {
 	mu   sync.Mutex
 	next int
 	subs map[int]chan KPIReport
+
+	published *telemetry.Counter
+	dropped   *telemetry.Counter
+}
+
+// instrument counts published and dropped indications; nil handles are
+// no-ops, so an uninstrumented publish path is unchanged.
+func (s *subscriptions) instrument(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.published = reg.Counter("edgebol_oran_indications_published_total")
+	s.dropped = reg.Counter("edgebol_oran_indications_dropped_total")
 }
 
 // subscribe registers a subscriber with a small buffer.
@@ -53,7 +68,11 @@ func (s *subscriptions) publish(r KPIReport) {
 	for _, ch := range s.subs {
 		select {
 		case ch <- r:
+			s.published.Inc()
 		default:
+			// A stalled subscriber loses indications instead of stalling
+			// the data plane; the drop counter makes that visible.
+			s.dropped.Inc()
 		}
 	}
 }
@@ -197,7 +216,15 @@ func (s *KPIStreamServer) Close() error {
 // indications. The channel closes when the connection drops; call the
 // returned cancel function to disconnect.
 func SubscribeKPIs(addr string, timeout time.Duration) (<-chan KPIReport, func(), error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	return SubscribeKPIsContext(context.Background(), addr, timeout)
+}
+
+// SubscribeKPIsContext is SubscribeKPIs with the dial and the stream's
+// lifetime bounded by ctx: cancellation disconnects the subscription and
+// closes the returned channel.
+func SubscribeKPIsContext(ctx context.Context, addr string, timeout time.Duration) (<-chan KPIReport, func(), error) {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("oran: dial %s: %w", addr, err)
 	}
@@ -220,7 +247,11 @@ func SubscribeKPIs(addr string, timeout time.Duration) (<-chan KPIReport, func()
 		return nil, nil, fmt.Errorf("oran: clear ack deadline: %w", err)
 	}
 	out := make(chan KPIReport, 16)
+	// Cancellation closes the conn, which unblocks the reader and closes
+	// the channel — the same teardown path as an explicit cancel call.
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
 	go func() {
+		defer stop()
 		defer close(out)
 		defer func() { _ = conn.Close() }() // reader exit closes the stream
 		for {

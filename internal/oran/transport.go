@@ -12,6 +12,7 @@
 package oran
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -19,7 +20,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // MaxFrameSize bounds a single message to keep a misbehaving peer from
@@ -103,12 +107,32 @@ func ReadFrame(r io.Reader) (Message, error) {
 // Handler processes one request message and produces a response.
 type Handler func(Message) (Message, error)
 
+// serverMetrics counts handled messages per interface; a nil pointer is a
+// no-op so uninstrumented servers pay only a nil check per frame.
+type serverMetrics struct {
+	reg   *telemetry.Registry
+	iface string
+}
+
+func (m *serverMetrics) message(msgType string, failed bool) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter("edgebol_oran_messages_total", "iface", m.iface, "type", msgType).Inc()
+	if failed {
+		m.reg.Counter("edgebol_oran_handler_errors_total", "iface", m.iface).Inc()
+	}
+}
+
 // Server is a minimal request/response TCP server: each inbound frame is
 // answered with exactly one frame. Connections are handled concurrently;
 // frames within a connection are processed in order.
 type Server struct {
 	ln      net.Listener
 	handler Handler
+	// met is swapped atomically: Instrument may race with connections that
+	// arrived between NewServer and the Instrument call.
+	met atomic.Pointer[serverMetrics]
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -134,6 +158,17 @@ func NewServer(addr string, handler Handler) (*Server, error) {
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Instrument counts handled messages in reg under the given interface
+// label (edgebol_oran_messages_total{iface,type} and
+// edgebol_oran_handler_errors_total{iface}). Call it before the server
+// receives traffic; a nil registry leaves the server uninstrumented.
+func (s *Server) Instrument(reg *telemetry.Registry, iface string) {
+	if reg == nil {
+		return
+	}
+	s.met.Store(&serverMetrics{reg: reg, iface: iface})
+}
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -169,6 +204,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return // EOF or broken peer: drop the connection
 		}
 		resp, err := s.handler(req)
+		s.met.Load().message(req.Type, err != nil)
 		if err != nil {
 			resp = Message{Type: req.Type + ".error", Error: err.Error()}
 		}
@@ -195,6 +231,16 @@ func (s *Server) Close() error {
 	return err
 }
 
+// clientMetrics holds the per-interface request instrumentation; all
+// fields are nil-safe no-ops when the client is uninstrumented.
+type clientMetrics struct {
+	requests   *telemetry.Counter
+	errors     *telemetry.Counter
+	reconnects *telemetry.Counter
+	timeouts   *telemetry.Counter
+	latency    *telemetry.Histogram
+}
+
 // Client is a synchronous request/response client over one TCP connection.
 // It is safe for concurrent use; requests are serialized.
 type Client struct {
@@ -202,49 +248,125 @@ type Client struct {
 	conn    net.Conn
 	addr    string
 	timeout time.Duration
+	met     clientMetrics
 }
 
 // Dial connects a client to addr with the given per-request timeout.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
+	return DialContext(context.Background(), addr, timeout)
+}
+
+// DialContext connects like Dial but aborts the connection attempt when
+// ctx is canceled. The timeout still bounds every individual request.
+func DialContext(ctx context.Context, addr string, timeout time.Duration) (*Client, error) {
 	if timeout <= 0 {
 		return nil, fmt.Errorf("oran: non-positive timeout")
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("oran: dial %s: %w", addr, err)
 	}
 	return &Client{conn: conn, addr: addr, timeout: timeout}, nil
 }
 
+// Instrument publishes the client's request metrics into reg under the
+// given interface label: edgebol_oran_requests_total,
+// edgebol_oran_request_errors_total, edgebol_oran_reconnects_total,
+// edgebol_oran_timeouts_total, and the edgebol_oran_request_seconds
+// latency histogram, each with {iface}. Call it before issuing requests;
+// a nil registry leaves the client uninstrumented.
+func (c *Client) Instrument(reg *telemetry.Registry, iface string) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.met = clientMetrics{
+		requests:   reg.Counter("edgebol_oran_requests_total", "iface", iface),
+		errors:     reg.Counter("edgebol_oran_request_errors_total", "iface", iface),
+		reconnects: reg.Counter("edgebol_oran_reconnects_total", "iface", iface),
+		timeouts:   reg.Counter("edgebol_oran_timeouts_total", "iface", iface),
+		latency:    reg.Histogram("edgebol_oran_request_seconds", telemetry.LatencyBuckets(), "iface", iface),
+	}
+}
+
 // Call sends a request and waits for the response. On a broken connection
 // it redials once before failing.
 func (c *Client) Call(req Message) (Message, error) {
+	return c.CallCtx(context.Background(), req)
+}
+
+// CallCtx is Call bounded by a context: cancellation aborts an in-flight
+// request by force-closing the connection (a partial frame would poison
+// the stream anyway; the next call redials), and no reconnect is
+// attempted once ctx is done.
+func (c *Client) CallCtx(ctx context.Context, req Message) (Message, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	resp, err := c.callLocked(req)
+	if err := ctx.Err(); err != nil {
+		return Message{}, err
+	}
+	c.met.requests.Inc()
+	start := time.Now()
+	resp, err := c.callLocked(ctx, req)
 	if err == nil {
+		c.met.latency.ObserveDuration(time.Since(start))
 		return resp, nil
 	}
+	c.noteError(err)
+	if ctx.Err() != nil {
+		return resp, err
+	}
 	// One reconnect attempt: control-plane endpoints restart in practice.
-	conn, dialErr := net.DialTimeout("tcp", c.addr, c.timeout)
+	d := net.Dialer{Timeout: c.timeout}
+	conn, dialErr := d.DialContext(ctx, "tcp", c.addr)
 	if dialErr != nil {
 		return Message{}, err
 	}
+	c.met.reconnects.Inc()
 	_ = c.conn.Close() // replacing a conn that already failed
 	c.conn = conn
-	return c.callLocked(req)
+	resp, err = c.callLocked(ctx, req)
+	if err != nil {
+		c.noteError(err)
+		return resp, err
+	}
+	c.met.latency.ObserveDuration(time.Since(start))
+	return resp, nil
 }
 
-func (c *Client) callLocked(req Message) (Message, error) {
+// noteError classifies a failed request for the error counters.
+func (c *Client) noteError(err error) {
+	c.met.errors.Inc()
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		c.met.timeouts.Inc()
+	}
+}
+
+func (c *Client) callLocked(ctx context.Context, req Message) (Message, error) {
+	conn := c.conn
 	deadline := time.Now().Add(c.timeout)
-	if err := c.conn.SetDeadline(deadline); err != nil {
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
 		return Message{}, err
 	}
-	if err := WriteFrame(c.conn, req); err != nil {
+	// Cancellation must unblock the in-flight read, so the abort closes the
+	// captured conn from the AfterFunc goroutine; callLocked's caller holds
+	// c.mu, which is why the callback touches only the local variable.
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	defer stop()
+	if err := WriteFrame(conn, req); err != nil {
 		return Message{}, err
 	}
-	resp, err := ReadFrame(c.conn)
+	resp, err := ReadFrame(conn)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return Message{}, cerr
+		}
 		return Message{}, err
 	}
 	if resp.Error != "" {

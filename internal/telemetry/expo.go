@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of every registered metric, keyed by
+// the metric's full identity (family name plus rendered label set, e.g.
+// `edgebol_oran_requests_total{iface="a1"}`). It backs tests and
+// programmatic consumers that don't want to parse the exposition text.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot captures all metrics. A nil registry returns the zero value.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	for _, m := range r.sorted() {
+		switch m.kind {
+		case kindCounter:
+			s.Counters[m.identity()] = m.counter.Value()
+		case kindGauge:
+			s.Gauges[m.identity()] = m.gauge.Value()
+		case kindHistogram:
+			s.Histograms[m.identity()] = m.hist.snapshot()
+		}
+	}
+	return s
+}
+
+// formatValue renders a float in the Prometheus text format.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labeledName splices extra label pairs into an identity that may or may
+// not already carry a label block: name{a="b"} + le="x" → name{a="b",le="x"}.
+func labeledName(name, labels, extra string) string {
+	if labels == "" {
+		return name + "{" + extra + "}"
+	}
+	return name + strings.TrimSuffix(labels, "}") + "," + extra + "}"
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per family followed by its
+// samples, families and label sets in lexicographic order. A nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b bytes.Buffer
+	lastFamily := ""
+	for _, m := range r.sorted() {
+		if m.name != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+			lastFamily = m.name
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s%s %d\n", m.name, m.labels, m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s%s %s\n", m.name, m.labels, formatValue(m.gauge.Value()))
+		case kindHistogram:
+			hs := m.hist.snapshot()
+			for _, bkt := range hs.Buckets {
+				le := "+Inf"
+				if !math.IsInf(bkt.UpperBound, +1) {
+					le = formatValue(bkt.UpperBound)
+				}
+				fmt.Fprintf(&b, "%s %d\n", labeledName(m.name+"_bucket", m.labels, `le="`+le+`"`), bkt.Count)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", m.name, m.labels, formatValue(hs.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", m.name, m.labels, hs.Count)
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// Handler returns an http.Handler serving the exposition text. It is safe
+// on a nil registry (serves an empty body).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The body was fully assembled before writing; a failed write means
+		// the scraper went away.
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Mux returns an http.ServeMux exposing the registry at /metrics and the
+// runtime profiles at /debug/pprof/ — the deployment's observability
+// endpoint surface.
+func Mux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

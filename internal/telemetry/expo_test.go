@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGoldenFormat pins the exposition byte-for-byte: families
+// in lexicographic order, one TYPE line per family, label sets ordered,
+// histograms expanded into cumulative _bucket/_sum/_count series.
+func TestPrometheusGoldenFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("edgebol_oran_requests_total", "iface", "a1").Add(3)
+	r.Counter("edgebol_oran_requests_total", "iface", "e2").Add(7)
+	r.Gauge("edgebol_core_safe_set_size").Set(42)
+	h := r.Histogram("edgebol_core_sweep_seconds", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	const want = `# TYPE edgebol_core_safe_set_size gauge
+edgebol_core_safe_set_size 42
+# TYPE edgebol_core_sweep_seconds histogram
+edgebol_core_sweep_seconds_bucket{le="0.01"} 1
+edgebol_core_sweep_seconds_bucket{le="0.1"} 2
+edgebol_core_sweep_seconds_bucket{le="+Inf"} 3
+edgebol_core_sweep_seconds_sum 0.555
+edgebol_core_sweep_seconds_count 3
+# TYPE edgebol_oran_requests_total counter
+edgebol_oran_requests_total{iface="a1"} 3
+edgebol_oran_requests_total{iface="e2"} 7
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestHandlerServesMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Inc()
+	srv := httptest.NewServer(Mux(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "x_total 1") {
+		t.Fatalf("body %q", buf[:n])
+	}
+
+	// pprof surface is mounted alongside /metrics.
+	pp, err := srv.Client().Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pp.Body.Close() }()
+	if pp.StatusCode != 200 {
+		t.Fatalf("pprof status %d", pp.StatusCode)
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	var r *Registry
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Fatalf("nil registry: code %d body %q", rec.Code, rec.Body.String())
+	}
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets are chosen at
+// registration and never change, so Observe is a binary search plus two
+// atomic adds — lock-free and allocation-free.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf implicit
+	counts []atomic.Uint64 // per-bucket (non-cumulative), len(bounds)+1
+	count  atomic.Uint64
+	sum    Gauge // atomic float accumulator
+}
+
+// newHistogram validates the bounds and allocates the bucket array.
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		panic("telemetry: histogram needs at least one bucket")
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("telemetry: histogram buckets %v not ascending", buckets))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic(fmt.Sprintf("telemetry: duplicate histogram bucket %v", buckets[i]))
+		}
+	}
+	if math.IsInf(buckets[len(buckets)-1], +1) {
+		buckets = buckets[:len(buckets)-1] // +Inf is implicit
+	}
+	bounds := append([]float64(nil), buckets...)
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound contains v (≤, per Prometheus).
+	i := sort.SearchFloat64s(h.bounds, v)
+	// SearchFloat64s returns the insertion point for v; when v equals a
+	// bound it lands on that bound's index, which is the right bucket.
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations (0 on a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil handle).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// BucketCount is one cumulative histogram bucket in a snapshot.
+type BucketCount struct {
+	// UpperBound is the bucket's inclusive upper bound (le); the final
+	// bucket's bound is +Inf.
+	UpperBound float64
+	// Count is the cumulative number of observations ≤ UpperBound.
+	Count uint64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     float64
+	Buckets []BucketCount
+}
+
+// snapshot copies the histogram state. Buckets are cumulative, matching
+// the Prometheus exposition.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Buckets: make([]BucketCount, len(h.bounds)+1)}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		bound := math.Inf(+1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		s.Buckets[i] = BucketCount{UpperBound: bound, Count: cum}
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Value()
+	return s
+}
+
+// LatencyBuckets returns the default request-latency bucket bounds in
+// seconds (100 µs .. 2.5 s), suited to loopback control-plane round trips
+// and per-period acquisition sweeps alike.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+	}
+}

@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryAndHandlesNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h", LatencyBuckets())
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	// Every operation on nil handles must be a safe no-op.
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(0.2)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	r.EmitPeriod(PeriodRecord{})
+	if r.Periods() != nil {
+		t.Fatal("nil registry retains no periods")
+	}
+	r.AddPeriodSink(func(PeriodRecord) {})
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs_total", "iface", "a1")
+	b := r.Counter("reqs_total", "iface", "a1")
+	if a != b {
+		t.Fatal("same identity must return the same handle")
+	}
+	other := r.Counter("reqs_total", "iface", "e2")
+	if a == other {
+		t.Fatal("distinct label sets must be distinct series")
+	}
+	a.Inc()
+	a.Inc()
+	other.Inc()
+	snap := r.Snapshot()
+	if snap.Counters[`reqs_total{iface="a1"}`] != 2 {
+		t.Fatalf("snapshot = %+v", snap.Counters)
+	}
+	if snap.Counters[`reqs_total{iface="e2"}`] != 1 {
+		t.Fatalf("snapshot = %+v", snap.Counters)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name under two kinds must panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.1, 0.3, 0.9, 2} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat_seconds"]
+	if s.Count != 5 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if math.Abs(s.Sum-3.35) > 1e-12 {
+		t.Fatalf("sum %v", s.Sum)
+	}
+	// Cumulative buckets: ≤0.1 → {0.05, 0.1}; ≤0.5 → +0.3; ≤1 → +0.9; +Inf → +2.
+	wantCum := []uint64{2, 3, 4, 5}
+	for i, want := range wantCum {
+		if s.Buckets[i].Count != want {
+			t.Fatalf("bucket %d: got %d want %d (%+v)", i, s.Buckets[i].Count, want, s.Buckets)
+		}
+	}
+	if !math.IsInf(s.Buckets[3].UpperBound, +1) {
+		t.Fatal("last bucket must be +Inf")
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("v")
+	g.Set(2.5)
+	g.Add(-1)
+	if math.Abs(g.Value()-1.5) > 1e-12 {
+		t.Fatalf("gauge %v", g.Value())
+	}
+}
+
+// TestConcurrentUpdates exercises the lock-free hot path under the race
+// detector: counters, gauges, histograms, and period emission from many
+// goroutines, interleaved with registration and reads.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Registration from every goroutine: same identities must
+			// converge on the same handles.
+			c := r.Counter("ops_total")
+			g := r.Gauge("level")
+			h := r.Histogram("lat_seconds", LatencyBuckets())
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001 * float64(i%10))
+				if i%100 == 0 {
+					r.EmitPeriod(PeriodRecord{Period: id*perWorker + i})
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap.Counters["ops_total"] != workers*perWorker {
+		t.Fatalf("lost counter increments: %d", snap.Counters["ops_total"])
+	}
+	if math.Abs(snap.Gauges["level"]-workers*perWorker) > 1e-9 {
+		t.Fatalf("lost gauge adds: %v", snap.Gauges["level"])
+	}
+	if snap.Histograms["lat_seconds"].Count != workers*perWorker {
+		t.Fatalf("lost observations: %d", snap.Histograms["lat_seconds"].Count)
+	}
+	if got := len(r.Periods()); got != workers*perWorker/100 {
+		t.Fatalf("period records %d", got)
+	}
+}
+
+func TestPeriodRingEviction(t *testing.T) {
+	r := NewRegistry()
+	r.SetPeriodCapacity(4)
+	for i := 1; i <= 6; i++ {
+		r.EmitPeriod(PeriodRecord{Period: i})
+	}
+	got := r.Periods()
+	if len(got) != 4 {
+		t.Fatalf("retained %d", len(got))
+	}
+	for i, want := range []int{3, 4, 5, 6} {
+		if got[i].Period != want {
+			t.Fatalf("order %v", got)
+		}
+	}
+	// Capacity is frozen after first use.
+	r.SetPeriodCapacity(100)
+	r.EmitPeriod(PeriodRecord{Period: 7})
+	if len(r.Periods()) != 4 {
+		t.Fatal("capacity must not change after first emit")
+	}
+}
+
+func TestPeriodSinks(t *testing.T) {
+	r := NewRegistry()
+	var mu sync.Mutex
+	var seen []int
+	r.AddPeriodSink(func(rec PeriodRecord) {
+		mu.Lock()
+		seen = append(seen, rec.Period)
+		mu.Unlock()
+	})
+	for i := 1; i <= 3; i++ {
+		r.EmitPeriod(PeriodRecord{Period: i})
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 || seen[0] != 1 || seen[2] != 3 {
+		t.Fatalf("sink saw %v", seen)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/edge"
 	"repro/internal/power"
 	"repro/internal/ran"
+	"repro/internal/telemetry"
 	"repro/internal/vision"
 )
 
@@ -144,6 +145,20 @@ type Testbed struct {
 	// mapMean memoizes the noise-free expected mAP per resolution (keyed by
 	// resolution in milli-units): mAP depends only on the resolution policy.
 	mapMean map[int]float64
+
+	met testbedMetrics
+}
+
+// testbedMetrics mirrors the paper's dashboard view of the prototype: the
+// latest measured KPIs as gauges plus a measurement counter. All handles
+// are nil-safe no-ops when the testbed is uninstrumented.
+type testbedMetrics struct {
+	measures    *telemetry.Counter
+	delay       *telemetry.Gauge
+	gpuDelay    *telemetry.Gauge
+	mAP         *telemetry.Gauge
+	serverPower *telemetry.Gauge
+	bsPower     *telemetry.Gauge
 }
 
 // New builds a testbed with the given users. seed drives all observation
@@ -231,6 +246,26 @@ func (tb *Testbed) Context() core.Context {
 	return core.Context{NumUsers: len(tb.users), MeanCQI: mean, VarCQI: varCQI}
 }
 
+// Instrument publishes the testbed's per-period KPI readings into reg:
+// edgebol_testbed_measures_total plus the edgebol_testbed_delay_seconds,
+// edgebol_testbed_gpu_delay_seconds, edgebol_testbed_map,
+// edgebol_testbed_server_power_watts, and edgebol_testbed_bs_power_watts
+// gauges (the software counterparts of the prototype's power meter and
+// KPI logs). A nil registry leaves the testbed uninstrumented.
+func (tb *Testbed) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	tb.met = testbedMetrics{
+		measures:    reg.Counter("edgebol_testbed_measures_total"),
+		delay:       reg.Gauge("edgebol_testbed_delay_seconds"),
+		gpuDelay:    reg.Gauge("edgebol_testbed_gpu_delay_seconds"),
+		mAP:         reg.Gauge("edgebol_testbed_map"),
+		serverPower: reg.Gauge("edgebol_testbed_server_power_watts"),
+		bsPower:     reg.Gauge("edgebol_testbed_bs_power_watts"),
+	}
+}
+
 // Measure implements core.Environment: it applies the control for one
 // period and returns noisy KPI observations.
 func (tb *Testbed) Measure(x core.Control) (core.KPIs, error) {
@@ -248,6 +283,12 @@ func (tb *Testbed) Measure(x core.Control) (core.KPIs, error) {
 	k.GPUDelay *= 1 + tb.rng.NormFloat64()*tb.cfg.DelayNoiseFrac
 	k.BSPower = tb.bsMeter.Read(k.BSPower)
 	k.ServerPower = tb.serverMeter.Read(k.ServerPower)
+	tb.met.measures.Inc()
+	tb.met.delay.Set(k.Delay)
+	tb.met.gpuDelay.Set(k.GPUDelay)
+	tb.met.mAP.Set(k.MAP)
+	tb.met.serverPower.Set(k.ServerPower)
+	tb.met.bsPower.Set(k.BSPower)
 	return k, nil
 }
 
