@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt fmt-check vet check bench metrics-smoke clean
+.PHONY: all build test race lint fmt fmt-check vet check bench bench-check metrics-smoke clean
 
 all: build
 
@@ -45,12 +45,18 @@ metrics-smoke:
 # and regenerates BENCH_gp.json, joining the recorded pre-optimization
 # baseline in results/bench_before.txt to report speedups.
 bench:
-	$(GO) test -run '^$$' -bench 'PosteriorBatch|SelectControl' -benchtime 3x \
+	$(GO) test -run '^$$' -bench 'PosteriorBatch|SelectControl|GridSweep' -benchtime 3x \
 		./internal/gp ./internal/core | tee results/bench_after.txt
 	$(GO) run ./cmd/benchjson -before results/bench_before.txt \
 		-after results/bench_after.txt -out BENCH_gp.json \
-		-note "before = pre-PR serial engine (results/bench_before.txt); after = blocked, worker-sharded engine on the same host. Speedups are per-core (arithmetic only) on single-core hosts; the candidate sharding adds near-linear scaling on multi-core runners. See DESIGN.md, Performance."
+		-note "before = generic block-4 engine at the previous release (results/bench_before.txt); after = AVX fused-panel solves plus grid SweepPlan distance tables on the same host. vs_generic compares the SweepPlan against the generic path within the after run. See DESIGN.md, Performance."
 	@echo "wrote BENCH_gp.json"
+
+# bench-check is the CI regression gate: rerun the tracked benchmarks in
+# short mode and fail if any regressed >25% against BENCH_gp.json. Skips
+# itself on foreign CPUs or with EDGEBOL_SKIP_BENCH_CHECK=1.
+bench-check:
+	sh scripts/bench_regress.sh
 
 clean:
 	$(GO) clean ./...

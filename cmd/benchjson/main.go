@@ -6,7 +6,21 @@
 // Usage:
 //
 //	benchjson -after results/bench_after.txt \
-//	    [-before results/bench_before.txt] [-out BENCH_gp.json]
+//	    [-after more.txt] [-before results/bench_before.txt] [-out BENCH_gp.json]
+//
+//	benchjson -check BENCH_gp.json -after current.txt [-tolerance 1.25]
+//
+// -after may repeat, and each file may itself hold several measurements per
+// benchmark (`go test -count N`); benchjson keeps the best (minimum) ns/op
+// per benchmark, the standard guard against scheduler noise. Benchmarks named
+// `.../engine=plan` are paired with their `.../engine=generic` counterpart
+// from the same run and reported with a vs_generic speedup column.
+//
+// -check compares a current run against a recorded report and exits nonzero
+// when any tracked benchmark regressed beyond the tolerance factor. Recorded
+// benchmarks absent from the run (e.g. skipped under -short) are ignored, and
+// the whole check is skipped when the report was recorded on a different CPU
+// — cross-machine ns/op comparisons measure the hardware, not the code.
 package main
 
 import (
@@ -39,6 +53,9 @@ type Comparison struct {
 	AfterNsOp   float64 `json:"after_ns_per_op"`
 	Speedup     float64 `json:"speedup,omitempty"`
 	BaselineCPU string  `json:"baseline_cpu,omitempty"`
+	// VsGeneric is the same-run speedup of an engine=plan benchmark over
+	// its engine=generic counterpart.
+	VsGeneric float64 `json:"vs_generic,omitempty"`
 }
 
 // Report is the JSON document benchjson emits.
@@ -58,6 +75,8 @@ var (
 
 // parseBench extracts benchmark results and the reported CPU from `go test
 // -bench` output. Unrelated lines (goos, pkg, PASS, test logs) are ignored.
+// Repeated measurements of one benchmark (`-count N`) all survive parsing;
+// mergeBest collapses them.
 func parseBench(text string) Run {
 	var run Run
 	for _, line := range strings.Split(text, "\n") {
@@ -87,11 +106,43 @@ func parseBench(text string) Run {
 	return run
 }
 
-// compare joins after results against the baseline by benchmark name.
+// mergeBest collapses several runs into one, keeping the minimum ns/op per
+// benchmark name (first-appearance order) — the least-noise estimate across
+// -count repetitions and repeated -after files.
+func mergeBest(runs ...Run) Run {
+	var merged Run
+	index := make(map[string]int)
+	for _, r := range runs {
+		if merged.CPU == "" {
+			merged.CPU = r.CPU
+		}
+		for _, res := range r.Results {
+			i, seen := index[res.Name]
+			if !seen {
+				index[res.Name] = len(merged.Results)
+				merged.Results = append(merged.Results, res)
+				continue
+			}
+			if res.NsPerOp < merged.Results[i].NsPerOp {
+				merged.Results[i] = res
+			}
+		}
+	}
+	return merged
+}
+
+// compare joins after results against the baseline by benchmark name and
+// pairs engine=plan entries with their same-run engine=generic counterpart.
 func compare(before, after Run) []Comparison {
 	base := make(map[string]float64, len(before.Results))
 	for _, r := range before.Results {
 		base[r.Name] = r.NsPerOp
+	}
+	generic := make(map[string]float64, len(after.Results))
+	for _, r := range after.Results {
+		if strings.Contains(r.Name, "/engine=generic") {
+			generic[r.Name] = r.NsPerOp
+		}
 	}
 	out := make([]Comparison, 0, len(after.Results))
 	for _, r := range after.Results {
@@ -100,19 +151,72 @@ func compare(before, after Run) []Comparison {
 			c.BeforeNsOp = b
 			c.Speedup = b / r.NsPerOp
 		}
+		if strings.Contains(r.Name, "/engine=plan") && r.NsPerOp > 0 {
+			pair := strings.Replace(r.Name, "/engine=plan", "/engine=generic", 1)
+			if g, ok := generic[pair]; ok {
+				c.VsGeneric = g / r.NsPerOp
+			}
+		}
 		out = append(out, c)
 	}
 	return out
 }
 
-func run(beforePath, afterPath, outPath, note string) error {
-	afterText, err := os.ReadFile(afterPath)
+// checkRegression compares the current run against a recorded report.
+// It returns the failure messages (nil means pass) and whether the check
+// actually applied — a CPU mismatch or an empty intersection skips it.
+func checkRegression(report Report, current Run, tolerance float64) (failures []string, applied bool) {
+	if report.CPU != "" && current.CPU != "" && report.CPU != current.CPU {
+		return nil, false
+	}
+	cur := make(map[string]float64, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = r.NsPerOp
+	}
+	for _, b := range report.Benchmarks {
+		ns, ok := cur[b.Name]
+		if !ok || b.AfterNsOp <= 0 {
+			continue // skipped under -short, or not recorded with a time
+		}
+		applied = true
+		if ns > b.AfterNsOp*tolerance {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f ns/op vs recorded %.0f ns/op (%.2fx, tolerance %.2fx)",
+				b.Name, ns, b.AfterNsOp, ns/b.AfterNsOp, tolerance))
+		}
+	}
+	return failures, applied
+}
+
+// stringList implements a repeatable -after flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func parseAfter(paths []string) (Run, error) {
+	runs := make([]Run, 0, len(paths))
+	for _, p := range paths {
+		text, err := os.ReadFile(p)
+		if err != nil {
+			return Run{}, err
+		}
+		runs = append(runs, parseBench(string(text)))
+	}
+	after := mergeBest(runs...)
+	if len(after.Results) == 0 {
+		return Run{}, fmt.Errorf("no benchmark results found in %s", strings.Join(paths, ", "))
+	}
+	return after, nil
+}
+
+func runReport(beforePath string, afterPaths []string, outPath, note string) error {
+	after, err := parseAfter(afterPaths)
 	if err != nil {
 		return err
-	}
-	after := parseBench(string(afterText))
-	if len(after.Results) == 0 {
-		return fmt.Errorf("no benchmark results found in %s", afterPath)
 	}
 	var before Run
 	if beforePath != "" {
@@ -120,7 +224,7 @@ func run(beforePath, afterPath, outPath, note string) error {
 		if err != nil {
 			return err
 		}
-		before = parseBench(string(beforeText))
+		before = mergeBest(parseBench(string(beforeText)))
 	}
 	report := Report{CPU: after.CPU, Note: note, Benchmarks: compare(before, after)}
 	if before.CPU != "" && before.CPU != after.CPU {
@@ -140,18 +244,59 @@ func run(beforePath, afterPath, outPath, note string) error {
 	return os.WriteFile(outPath, data, 0o644)
 }
 
+// runCheck executes the regression gate. The returned error carries the
+// failure report; a nil error means pass or skip.
+func runCheck(checkPath string, afterPaths []string, tolerance float64) error {
+	data, err := os.ReadFile(checkPath)
+	if err != nil {
+		return err
+	}
+	var report Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		return fmt.Errorf("parsing %s: %w", checkPath, err)
+	}
+	after, err := parseAfter(afterPaths)
+	if err != nil {
+		return err
+	}
+	failures, applied := checkRegression(report, after, tolerance)
+	if !applied {
+		if report.CPU != after.CPU {
+			fmt.Printf("benchjson: check skipped: recorded on %q, running on %q\n", report.CPU, after.CPU)
+		} else {
+			fmt.Println("benchjson: check skipped: no recorded benchmark appears in the run")
+		}
+		return nil
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("regression beyond %.2fx tolerance:\n  %s",
+			tolerance, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("benchjson: %s: no regression beyond %.2fx\n", checkPath, tolerance)
+	return nil
+}
+
 func main() {
+	var afterPaths stringList
 	beforePath := flag.String("before", "", "baseline `file` of go test -bench output (optional)")
-	afterPath := flag.String("after", "", "current `file` of go test -bench output (required)")
+	flag.Var(&afterPaths, "after", "current `file` of go test -bench output (required; repeatable, best ns/op wins)")
 	outPath := flag.String("out", "-", "output JSON `file` (- for stdout)")
 	note := flag.String("note", "", "free-form note recorded in the report")
+	checkPath := flag.String("check", "", "recorded report `file` to check the run against instead of emitting JSON")
+	tolerance := flag.Float64("tolerance", 1.25, "regression `factor` allowed by -check")
 	flag.Parse()
-	if *afterPath == "" {
+	if len(afterPaths) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: -after is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*beforePath, *afterPath, *outPath, *note); err != nil {
+	var err error
+	if *checkPath != "" {
+		err = runCheck(*checkPath, afterPaths, *tolerance)
+	} else {
+		err = runReport(*beforePath, afterPaths, *outPath, *note)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}

@@ -66,3 +66,110 @@ func TestParseBenchIgnoresGarbage(t *testing.T) {
 		t.Fatalf("parsed %d results from garbage", len(run.Results))
 	}
 }
+
+const sampleCount2 = `cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPosteriorBatch/t=50         	       5	  13000000 ns/op
+BenchmarkPosteriorBatch/t=50         	       5	  12000000 ns/op
+BenchmarkPosteriorBatch/t=50         	       5	  12500000 ns/op
+`
+
+func TestMergeBestWithinOneFile(t *testing.T) {
+	merged := mergeBest(parseBench(sampleCount2))
+	if len(merged.Results) != 1 {
+		t.Fatalf("merged to %d results, want 1", len(merged.Results))
+	}
+	if math.Abs(merged.Results[0].NsPerOp-12000000) > 0.5 {
+		t.Fatalf("best-of ns/op = %v, want the minimum 12000000", merged.Results[0].NsPerOp)
+	}
+}
+
+func TestMergeBestAcrossFiles(t *testing.T) {
+	a := parseBench("BenchmarkX/t=1 1 2000 ns/op\nBenchmarkY/t=1 1 900 ns/op\n")
+	b := parseBench("cpu: somecpu\nBenchmarkX/t=1 1 1500 ns/op\n")
+	merged := mergeBest(a, b)
+	if len(merged.Results) != 2 {
+		t.Fatalf("merged to %d results, want 2", len(merged.Results))
+	}
+	// First-appearance order is kept; X takes the later, faster measurement.
+	if merged.Results[0].Name != "X/t=1" || merged.Results[0].NsPerOp != 1500 {
+		t.Fatalf("X merged to %+v", merged.Results[0])
+	}
+	if merged.Results[1].Name != "Y/t=1" || merged.Results[1].NsPerOp != 900 {
+		t.Fatalf("Y merged to %+v", merged.Results[1])
+	}
+	if merged.CPU != "somecpu" {
+		t.Fatalf("merged CPU = %q", merged.CPU)
+	}
+}
+
+const sampleEngines = `cpu: somecpu
+BenchmarkGridSweep/t=200/engine=generic 	       3	 300000000 ns/op
+BenchmarkGridSweep/t=200/engine=plan    	       3	 100000000 ns/op
+BenchmarkGridSweep/t=50/engine=plan     	       3	  40000000 ns/op
+`
+
+func TestCompareVsGeneric(t *testing.T) {
+	cmp := compare(Run{}, parseBench(sampleEngines))
+	byName := make(map[string]Comparison)
+	for _, c := range cmp {
+		byName[c.Name] = c
+	}
+	paired := byName["GridSweep/t=200/engine=plan"]
+	if math.Abs(paired.VsGeneric-3) > 1e-9 {
+		t.Fatalf("vs_generic = %v, want 3", paired.VsGeneric)
+	}
+	if byName["GridSweep/t=200/engine=generic"].VsGeneric != 0 {
+		t.Fatal("generic entry should not carry vs_generic")
+	}
+	// t=50 has no generic counterpart in this run: column omitted.
+	if byName["GridSweep/t=50/engine=plan"].VsGeneric != 0 {
+		t.Fatal("unpaired plan entry should not carry vs_generic")
+	}
+}
+
+func regressionReport() Report {
+	return Report{
+		CPU: "somecpu",
+		Benchmarks: []Comparison{
+			{Name: "PosteriorBatch/t=200", AfterNsOp: 100000000},
+			{Name: "SelectControl/t=1000", AfterNsOp: 4000000000},
+		},
+	}
+}
+
+func TestCheckRegressionPasses(t *testing.T) {
+	run := parseBench("cpu: somecpu\nBenchmarkPosteriorBatch/t=200 1 110000000 ns/op\n")
+	failures, applied := checkRegression(regressionReport(), run, 1.25)
+	if !applied {
+		t.Fatal("check should apply: same CPU, benchmark present")
+	}
+	if len(failures) != 0 {
+		t.Fatalf("within-tolerance run failed: %v", failures)
+	}
+}
+
+func TestCheckRegressionFails(t *testing.T) {
+	run := parseBench("cpu: somecpu\nBenchmarkPosteriorBatch/t=200 1 130000000 ns/op\n")
+	failures, applied := checkRegression(regressionReport(), run, 1.25)
+	if !applied || len(failures) != 1 {
+		t.Fatalf("regressed run: applied=%v failures=%v", applied, failures)
+	}
+}
+
+func TestCheckRegressionSkipsAbsentBenchmarks(t *testing.T) {
+	// SelectControl/t=1000 is not in the run (e.g. skipped under -short):
+	// its recorded entry must not fail the check.
+	run := parseBench("cpu: somecpu\nBenchmarkPosteriorBatch/t=200 1 100000000 ns/op\n")
+	failures, applied := checkRegression(regressionReport(), run, 1.25)
+	if !applied || len(failures) != 0 {
+		t.Fatalf("applied=%v failures=%v", applied, failures)
+	}
+}
+
+func TestCheckRegressionSkipsOnCPUMismatch(t *testing.T) {
+	run := parseBench("cpu: othercpu\nBenchmarkPosteriorBatch/t=200 1 900000000 ns/op\n")
+	failures, applied := checkRegression(regressionReport(), run, 1.25)
+	if applied || failures != nil {
+		t.Fatalf("cross-CPU check must skip: applied=%v failures=%v", applied, failures)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 	"time"
 
@@ -286,10 +285,20 @@ type Agent struct {
 	// powerGPs learn p_s (0) and p_b (1) in decomposed-cost mode.
 	powerGPs [2]*gp.GP
 
+	// plans are the per-objective grid sweep engines: distance tables over
+	// the grid levels that turn each period's cross-covariance into table
+	// lookups plus a per-training-point context scalar. A nil entry (the
+	// kernel factory produced a non-package kernel) falls back to the
+	// generic PosteriorBatchWorkers path; either way results are bitwise
+	// identical.
+	plans    [numGPs]*gp.SweepPlan
+	powPlans [2]*gp.SweepPlan
+
 	// feats is the grid's joint feature matrix, one row per grid point,
 	// backed by a single flat allocation. The control portion of every row
 	// (slots [ContextDims:]) is filled once at construction — the grid never
-	// changes — and SelectControl refreshes only the context slots.
+	// changes — and SelectControl refreshes only the context slots, and
+	// only when some objective actually sweeps through the generic path.
 	feats      [][]float64
 	mu, sigma  [numGPs][]float64
 	powMu      [2][]float64
@@ -348,6 +357,21 @@ func NewAgent(opts Options) (*Agent, error) {
 		return nil, err
 	}
 	a := &Agent{opts: opts, grid: grid}
+	// One sweep plan per objective, built from the grid's level values;
+	// a constructor error (e.g. a custom kernel the plan cannot factorize)
+	// leaves the entry nil and that objective on the generic path.
+	levelVals, err := opts.Grid.LevelValues()
+	if err != nil {
+		return nil, err
+	}
+	buildPlan := func(g *gp.GP, objective string) *gp.SweepPlan {
+		plan, err := gp.NewSweepPlan(g, ContextDims, levelVals)
+		if err != nil {
+			return nil
+		}
+		plan.Instrument(opts.Telemetry, objective)
+		return plan
+	}
 	gpNames := [numGPs]string{"cost", "delay", "map"}
 	for i := range a.gps {
 		ls := opts.LengthScales
@@ -356,6 +380,7 @@ func NewAgent(opts Options) (*Agent, error) {
 		}
 		a.gps[i] = gp.New(opts.KernelFactory(ls), opts.NoiseVars[i], opts.MaxObservations)
 		a.gps[i].Instrument(opts.Telemetry, gpNames[i])
+		a.plans[i] = buildPlan(a.gps[i], gpNames[i])
 		a.mu[i] = make([]float64, len(grid))
 		a.sigma[i] = make([]float64, len(grid))
 	}
@@ -368,6 +393,7 @@ func NewAgent(opts Options) (*Agent, error) {
 		for i := range a.powerGPs {
 			a.powerGPs[i] = gp.New(opts.KernelFactory(ls), opts.PowerNoiseVars[i], opts.MaxObservations)
 			a.powerGPs[i].Instrument(opts.Telemetry, powerNames[i])
+			a.powPlans[i] = buildPlan(a.powerGPs[i], powerNames[i])
 			a.powMu[i] = make([]float64, len(grid))
 			a.powSigma[i] = make([]float64, len(grid))
 		}
@@ -401,6 +427,27 @@ func NewAgent(opts Options) (*Agent, error) {
 		return nil, fmt.Errorf("core: no safe seed maps onto the grid")
 	}
 	return a, nil
+}
+
+// needsGenericSweep reports whether any objective active this period lacks
+// a grid sweep plan and therefore reads the shared feature matrix.
+func (a *Agent) needsGenericSweep() bool {
+	for i := range a.gps {
+		if i == gpCost && a.opts.DecomposedCost {
+			continue
+		}
+		if a.plans[i] == nil {
+			return true
+		}
+	}
+	if a.opts.DecomposedCost {
+		for i := range a.powerGPs {
+			if a.powPlans[i] == nil {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Grid returns the enumerated control space.
@@ -447,39 +494,51 @@ func (a *Agent) Observations() int { return a.t }
 // (eq. 8, always including S₀), and minimize the constrained LCB (eq. 9).
 func (a *Agent) SelectControl(ctx Context) (Control, SelectionInfo) {
 	start := time.Now()
-	// The control portion of every feature row was precomputed at
-	// construction; only the context slots change between periods.
 	var cbuf [ContextDims]float64
 	cf := ctx.appendFeatures(cbuf[:0])
-	for _, row := range a.feats {
-		copy(row[:ContextDims], cf)
+	// The control portion of every feature row was precomputed at
+	// construction; only the context slots change between periods — and
+	// objectives swept through a grid plan never read the feature matrix
+	// at all, so the refresh runs only when some objective lacks a plan.
+	if a.needsGenericSweep() {
+		for _, row := range a.feats {
+			copy(row[:ContextDims], cf)
+		}
 	}
 	// The per-objective posterior sweeps are independent — each reads the
-	// shared feature matrix and writes only its own mu/sigma buffers, and
-	// the GP read path holds no mutable state — so they run concurrently,
-	// each internally sharded by PosteriorBatchWorkers.
+	// shared feature matrix (or its own plan's distance tables) and writes
+	// only its own mu/sigma buffers, and the GP read path holds no mutable
+	// state — so they run concurrently, each internally sharded across
+	// workers. Plan and generic paths are bitwise interchangeable.
 	workers := a.opts.InferenceWorkers
 	var wg sync.WaitGroup
-	sweep := func(g *gp.GP, mu, sigma []float64) {
+	sweep := func(g *gp.GP, plan *gp.SweepPlan, mu, sigma []float64) {
+		run := func(w int) {
+			if plan != nil {
+				plan.Sweep(cf, mu, sigma, w)
+				return
+			}
+			g.PosteriorBatchWorkers(a.feats, mu, sigma, w)
+		}
 		if workers == 1 {
-			g.PosteriorBatchWorkers(a.feats, mu, sigma, 1)
+			run(1)
 			return
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			g.PosteriorBatchWorkers(a.feats, mu, sigma, workers)
+			run(workers)
 		}()
 	}
 	for i := range a.gps {
 		if i == gpCost && a.opts.DecomposedCost {
 			continue
 		}
-		sweep(a.gps[i], a.mu[i], a.sigma[i])
+		sweep(a.gps[i], a.plans[i], a.mu[i], a.sigma[i])
 	}
 	if a.opts.DecomposedCost {
 		for i := range a.powerGPs {
-			sweep(a.powerGPs[i], a.powMu[i], a.powSigma[i])
+			sweep(a.powerGPs[i], a.powPlans[i], a.powMu[i], a.powSigma[i])
 		}
 	}
 	wg.Wait()
@@ -593,10 +652,7 @@ func (a *Agent) SelectControl(ctx Context) (Control, SelectionInfo) {
 	fromSeed := a.mu[gpDelay][best]+a.opts.SafeBeta*a.sigma[gpDelay][best] > dmax ||
 		a.mu[gpMAP][best]-a.opts.SafeBeta*a.sigma[gpMAP][best] < rmin
 
-	resolvedWorkers := workers
-	if resolvedWorkers <= 0 {
-		resolvedWorkers = runtime.GOMAXPROCS(0)
-	}
+	resolvedWorkers := gp.ResolveWorkers(a.gps[gpDelay].Len(), len(a.grid), workers)
 	info := SelectionInfo{
 		SafeSetSize:  nSafe,
 		FromSeed:     fromSeed,

@@ -115,6 +115,23 @@ func (g GridSpec) Enumerate() ([]Control, error) {
 	return out, nil
 }
 
+// LevelValues returns the per-dimension grid level values in feature
+// order (resolution, airtime, GPU speed, MCS). The values are computed by
+// the same arithmetic as Enumerate, so they equal the control features of
+// the enumerated grid bitwise — the property the gp.SweepPlan distance
+// tables depend on.
+func (g GridSpec) LevelValues() ([][]float64, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return [][]float64{
+		levelsIn(g.MinResolution, 1, g.Levels),
+		levelsIn(g.MinAirtime, 1, g.Levels),
+		levelsIn(0, 1, g.Levels),
+		levelsIn(0, 1, g.Levels),
+	}, nil
+}
+
 // MaxControl returns the most resource-rich control in the grid: full
 // resolution, airtime, GPU speed, and MCS. This is the canonical member of
 // the initial safe set S₀ — the paper seeds S₀ with the lowest-delay,

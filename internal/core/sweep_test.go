@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gp"
+)
+
+// opaqueKernel hides the concrete kernel type from gp.NewSweepPlan, forcing
+// an agent built with it onto the generic PosteriorBatchWorkers path while
+// computing exactly the same covariances.
+type opaqueKernel struct{ gp.Kernel }
+
+func opaqueMatern32(ls []float64) gp.Kernel { return &opaqueKernel{gp.NewMatern32(ls)} }
+
+func sameBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func controlsBitwiseEqual(a, b Control) bool {
+	return sameBits(a.Resolution, b.Resolution) && sameBits(a.Airtime, b.Airtime) &&
+		sameBits(a.GPUSpeed, b.GPUSpeed) && sameBits(a.MCS, b.MCS)
+}
+
+func posteriorsBitwiseEqual(a, b Posterior) bool {
+	return sameBits(a.Mean, b.Mean) && sameBits(a.Sigma, b.Sigma)
+}
+
+// TestAgentSweepPlanMatchesGeneric pins the agent-level contract of the grid
+// sweep engine: an agent whose objectives sweep through SweepPlans selects
+// bitwise-identical controls — with bitwise-identical posteriors and
+// diagnostics — to one forced onto the generic path, across worker counts,
+// cost decomposition, and sliding-window evictions.
+func TestAgentSweepPlanMatchesGeneric(t *testing.T) {
+	cases := []struct {
+		name       string
+		workers    int
+		decomposed bool
+		maxObs     int
+	}{
+		{"serial", 1, false, 0},
+		{"autoworkers", 0, false, 0},
+		{"workers4", 4, false, 0},
+		{"decomposed", 1, true, 0},
+		{"eviction", 4, false, 20},
+		{"decomposed_eviction", 0, true, 20},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			build := func(factory gp.KernelFactory) *Agent {
+				a, err := NewAgent(Options{
+					Grid:             testGrid(),
+					Weights:          CostWeights{Delta1: 1, Delta2: 1},
+					Constraints:      Constraints{MaxDelay: 0.9, MinMAP: 0.3},
+					Norm:             quadNorm(),
+					NoiseVars:        [3]float64{1e-4, 1e-4, 1e-4},
+					KernelFactory:    factory,
+					InferenceWorkers: tc.workers,
+					DecomposedCost:   tc.decomposed,
+					MaxObservations:  tc.maxObs,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return a
+			}
+			planned := build(gp.Matern32Factory)
+			generic := build(opaqueMatern32)
+			if planned.needsGenericSweep() {
+				t.Fatal("default factory should give every objective a sweep plan")
+			}
+			if !generic.needsGenericSweep() {
+				t.Fatal("opaque kernel should defeat plan construction")
+			}
+
+			env := &quadEnv{}
+			const steps = 35
+			for i := 0; i < steps; i++ {
+				// Vary the context so the plans' per-period context partials
+				// (not just the cached tables) are exercised.
+				ctx := Context{
+					NumUsers: 1 + i%3,
+					MeanCQI:  10 + float64(i%5),
+					VarCQI:   float64(i%4) / 2,
+				}
+				xp, ip := planned.SelectControl(ctx)
+				xg, ig := generic.SelectControl(ctx)
+				if !controlsBitwiseEqual(xp, xg) {
+					t.Fatalf("step %d: plan selected %+v, generic %+v", i, xp, xg)
+				}
+				if !posteriorsBitwiseEqual(ip.Cost, ig.Cost) ||
+					!posteriorsBitwiseEqual(ip.Delay, ig.Delay) ||
+					!posteriorsBitwiseEqual(ip.MAP, ig.MAP) {
+					t.Fatalf("step %d: posterior mismatch: plan %+v, generic %+v", i, ip, ig)
+				}
+				if !sameBits(ip.LCB, ig.LCB) || ip.SafeSetSize != ig.SafeSetSize ||
+					ip.FromSeed != ig.FromSeed || ip.Workers != ig.Workers {
+					t.Fatalf("step %d: diagnostics mismatch: plan %+v, generic %+v", i, ip, ig)
+				}
+				k, err := env.Measure(xp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := planned.Observe(ctx, xp, k); err != nil {
+					t.Fatal(err)
+				}
+				if err := generic.Observe(ctx, xg, k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if tc.maxObs > 0 && planned.gps[gpDelay].Evictions() == 0 {
+				t.Fatal("eviction case never evicted: the rebuild path went unexercised")
+			}
+		})
+	}
+}

@@ -82,4 +82,61 @@ func BenchmarkPosteriorBatchWorkers(b *testing.B) {
 			}
 		})
 	}
+	// workers=auto guards the ResolveWorkers policy: auto must never lose
+	// meaningfully to the best explicit count on the same machine.
+	b.Run("workers=auto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.PosteriorBatchWorkers(cands, mu, sigma, 0)
+		}
+	})
+}
+
+// benchLevels is the paper's 11-level control grid as per-dimension level
+// values: 4 control dimensions × 11 levels = the 14 641-point sweep.
+func benchLevels() [][]float64 {
+	out := make([][]float64, 4)
+	for d := range out {
+		lv := make([]float64, 11)
+		for i := range lv {
+			lv[i] = float64(i) / 10
+		}
+		out[d] = lv
+	}
+	return out
+}
+
+// BenchmarkGridSweep compares the generic posterior path against the
+// grid-structured SweepPlan on the same grid, same GP, same context — the
+// tentpole speedup. The two engines produce bitwise-identical posteriors;
+// benchjson pairs the engine=plan entries with their engine=generic
+// counterparts to print the speedup column.
+func BenchmarkGridSweep(b *testing.B) {
+	levels := benchLevels()
+	ctx := []float64{0.4, 0.55, 0.3}
+	for _, t := range []int{50, 200, 1000} {
+		if testing.Short() && t > 200 {
+			continue
+		}
+		g := benchGP(b, t)
+		feats := enumerateGrid(ctx, levels)
+		if len(feats) != benchGridSize {
+			b.Fatalf("grid enumerated to %d points, want %d", len(feats), benchGridSize)
+		}
+		mu := make([]float64, len(feats))
+		sigma := make([]float64, len(feats))
+		b.Run(fmt.Sprintf("t=%d/engine=generic", t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.PosteriorBatchWorkers(feats, mu, sigma, 0)
+			}
+		})
+		plan, err := NewSweepPlan(g, 3, levels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("t=%d/engine=plan", t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan.Sweep(ctx, mu, sigma, 0)
+			}
+		})
+	}
 }

@@ -233,14 +233,47 @@ func (g *GP) Posterior(x []float64) (mu, sigma float64) {
 	return mu, math.Sqrt(v)
 }
 
-// batchBlock is the number of candidates a posterior worker advances
-// together; it matches the block width of linalg.ForwardSolveBatch.
-const batchBlock = 4
+// sweepTile is the number of candidates a posterior worker advances
+// together; it matches linalg.PanelWidth so full tiles hit the fused
+// interleaved-panel solve and shard boundaries stay tile-aligned.
+const sweepTile = linalg.PanelWidth
+
+// autoWorkPairs is the number of training-point × candidate pairs that
+// justifies one worker when the caller requests automatic parallelism.
+// One worker sweeps ~10⁸ pairs/s on commodity cores, so the threshold
+// keeps sub-millisecond sweeps serial (goroutine fan-out would dominate)
+// while the full 11⁴-point grid against a mature training window still
+// fans out to every core.
+const autoWorkPairs = 1 << 17
+
+// ResolveWorkers maps a requested worker count to the effective degree of
+// parallelism of a sweep of `candidates` posteriors against `trainLen`
+// observations. Explicit requests (> 0) are honored; requested <= 0 scales
+// the count with the total work n×m — tiny sweeps run serially instead of
+// paying fan-out for sub-millisecond work, large ones use every core.
+// Either way the count is capped by the number of tile-aligned shards.
+// The resolution affects scheduling only, never results.
+func ResolveWorkers(trainLen, candidates, requested int) int {
+	if requested <= 0 {
+		w := int(int64(trainLen) * int64(candidates) / autoWorkPairs)
+		if w < 1 {
+			w = 1
+		}
+		if p := runtime.GOMAXPROCS(0); w > p {
+			w = p
+		}
+		requested = w
+	}
+	if maxShards := (candidates + sweepTile - 1) / sweepTile; requested > maxShards {
+		requested = maxShards
+	}
+	return requested
+}
 
 // PosteriorBatch evaluates the posterior over a candidate set, writing the
 // results into mu and sigma (each of length len(candidates)). It is the hot
 // path of EdgeBOL's per-period safe-set and acquisition computation and
-// shards the candidates across GOMAXPROCS goroutines; see
+// shards the candidates across a work-scaled number of goroutines; see
 // PosteriorBatchWorkers for an explicit worker count.
 func (g *GP) PosteriorBatch(candidates [][]float64, mu, sigma []float64) {
 	g.PosteriorBatchWorkers(candidates, mu, sigma, 0)
@@ -250,10 +283,10 @@ func (g *GP) PosteriorBatch(candidates [][]float64, mu, sigma []float64) {
 // parallelism: candidates are split into contiguous shards evaluated by
 // `workers` goroutines, each with its own scratch buffers (the read path
 // holds no shared mutable state, so sharding is race-free by
-// construction). workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1
-// runs serially on the calling goroutine. Every candidate's arithmetic is
-// independent of the sharding, so results are bitwise identical for every
-// worker count.
+// construction). workers <= 0 scales the count with the total work (see
+// ResolveWorkers); workers == 1 runs serially on the calling goroutine.
+// Every candidate's arithmetic is independent of the sharding, so results
+// are bitwise identical for every worker count.
 func (g *GP) PosteriorBatchWorkers(candidates [][]float64, mu, sigma []float64, workers int) {
 	if len(mu) != len(candidates) || len(sigma) != len(candidates) {
 		panic("gp: PosteriorBatch output length mismatch")
@@ -274,22 +307,15 @@ func (g *GP) PosteriorBatchWorkers(candidates [][]float64, mu, sigma []float64, 
 		}
 		return
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	// A shard below one block per worker gains nothing; shrink instead of
-	// spawning idle goroutines.
-	if maxShards := (len(candidates) + batchBlock - 1) / batchBlock; workers > maxShards {
-		workers = maxShards
-	}
+	workers = ResolveWorkers(n, len(candidates), workers)
 	if workers <= 1 {
 		g.posteriorRange(candidates, mu, sigma)
 		return
 	}
-	// Block-aligned contiguous shards keep every worker's inner loop on
-	// full blocks (alignment affects speed only, never results).
+	// Tile-aligned contiguous shards keep every worker's inner loop on
+	// full tiles (alignment affects speed only, never results).
 	chunk := (len(candidates) + workers - 1) / workers
-	chunk = (chunk + batchBlock - 1) / batchBlock * batchBlock
+	chunk = (chunk + sweepTile - 1) / sweepTile * sweepTile
 	var wg sync.WaitGroup
 	for lo := 0; lo < len(candidates); lo += chunk {
 		hi := lo + chunk
@@ -306,29 +332,35 @@ func (g *GP) PosteriorBatchWorkers(candidates [][]float64, mu, sigma []float64, 
 }
 
 // posteriorRange evaluates one shard of candidates serially, advancing
-// batchBlock candidates per pass so the triangular factor is streamed once
-// per block. The scratch buffers are local to the call: read-path
-// inference shares no mutable state.
+// sweepTile candidates per pass through linalg's fused tiled solve (mean
+// dot product and squared solve norm folded into the panel passes). The
+// scratch buffers are local to the call: read-path inference shares no
+// mutable state.
 func (g *GP) posteriorRange(candidates [][]float64, mu, sigma []float64) {
 	n := g.Len()
 	prior := g.kernel.Prior()
-	buf := make([]float64, batchBlock*n)
-	views := make([][]float64, batchBlock)
+	tile := len(candidates)
+	if tile > sweepTile {
+		tile = sweepTile
+	}
+	buf := make([]float64, tile*n)
+	views := make([][]float64, tile)
 	for b := range views {
 		views[b] = buf[b*n : (b+1)*n]
 	}
-	for lo := 0; lo < len(candidates); lo += batchBlock {
+	var solver linalg.FusedSolver
+	var vsq [sweepTile]float64
+	for lo := 0; lo < len(candidates); lo += tile {
 		m := len(candidates) - lo
-		if m > batchBlock {
-			m = batchBlock
+		if m > tile {
+			m = tile
 		}
 		for b := 0; b < m; b++ {
 			g.kernel.EvalBatch(g.xs, g.dim, candidates[lo+b], views[b])
-			mu[lo+b] = linalg.Dot(views[b], g.alpha)
 		}
-		g.chol.ForwardSolveBatch(views[:m])
+		solver.SolveFused(g.chol, views[:m], g.alpha, mu[lo:lo+m], vsq[:m])
 		for b := 0; b < m; b++ {
-			v := prior - linalg.Dot(views[b], views[b])
+			v := prior - vsq[b]
 			if v < 0 {
 				v = 0
 			}

@@ -1,0 +1,76 @@
+package linalg
+
+// cpuidex executes CPUID with the given leaf/subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register XCR0.
+func xgetbv0() (eax, edx uint32)
+
+// panelSolveAVX solves L·x = y in place for PanelWidth interleaved
+// right-hand sides: panel holds n rows of PanelWidth columns, l is the
+// packed row-major lower triangle. Implemented in panel_amd64.s with one
+// AVX lane per column and no FMA contraction, so each column performs the
+// exact per-element IEEE-754 operation sequence of forwardSolve1.
+//
+//go:noescape
+func panelSolveAVX(l []float64, n int, panel []float64)
+
+// panelSolveAVX512 is the same kernel at twice the vector width; the
+// per-column operation sequence — and therefore the result — is unchanged.
+//
+//go:noescape
+func panelSolveAVX512(l []float64, n int, panel []float64)
+
+// Panel-kernel selection levels, in increasing capability. The AVX2 level
+// needs the register-form VBROADCASTSD; both levels need OS-managed
+// vector state in XCR0.
+const (
+	panelKernelNone = iota
+	panelKernelAVX2
+	panelKernelAVX512
+)
+
+// panelKernel is the vector kernel the fused solver dispatches to, and
+// panelAVX gates the tiled path as a whole. Tests toggle these to pin the
+// scalar fallback and the narrower kernel against the widest one.
+var (
+	panelKernel = detectPanelKernel()
+	panelAVX    = panelKernel != panelKernelNone
+)
+
+func detectPanelKernel() int {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return panelKernelNone
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return panelKernelNone
+	}
+	xeax, _ := xgetbv0()
+	// XCR0 bits 1 (XMM) and 2 (YMM) must both be OS-enabled.
+	if xeax&6 != 6 {
+		return panelKernelNone
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	if ebx7&avx2 == 0 {
+		return panelKernelNone
+	}
+	// AVX-512F additionally needs the opmask/zmm-high state (XCR0 bits 5–7).
+	const avx512f = 1 << 16
+	if ebx7&avx512f != 0 && xeax&0xe0 == 0xe0 {
+		return panelKernelAVX512
+	}
+	return panelKernelAVX2
+}
+
+func panelSolve(c *Cholesky, panel []float64) {
+	if panelKernel == panelKernelAVX512 {
+		panelSolveAVX512(c.l, c.n, panel)
+		return
+	}
+	panelSolveAVX(c.l, c.n, panel)
+}

@@ -1,0 +1,189 @@
+#include "textflag.h"
+
+// panelSolveAVX solves L·x = y in place for 32 interleaved right-hand
+// sides. The panel is row-major n×32 (one row = 256 bytes = 8 ymm loads),
+// l is the packed lower triangle with row i at l[i(i+1)/2].
+//
+// Per row i the kernel accumulates s_j = Σ_k L[i,k]·panel[k][j] in eight
+// ymm accumulators (one AVX lane per column, ascending k — the same single
+// accumulation chain per column as the scalar solve), then applies
+// panel[i][j] = (panel[i][j] − s_j)·(1/L[i,i]). Only VMULPD/VADDPD/VSUBPD
+// and one scalar DIVSD are used — no FMA contraction — so every column's
+// IEEE-754 operation sequence, and therefore its result, is bitwise
+// identical to forwardSolve1.
+//
+// func panelSolveAVX(l []float64, n int, panel []float64)
+TEXT ·panelSolveAVX(SB), NOSPLIT, $0-56
+	MOVQ l_base+0(FP), SI
+	MOVQ n+24(FP), CX
+	MOVQ panel_base+32(FP), DI
+	MOVQ SI, R11             // R11 = &l[rowStart(i)], advanced incrementally
+	XORQ R8, R8              // i
+rows:
+	CMPQ R8, CX
+	JGE  done
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	MOVQ DI, R10             // panel row k pointer, k = 0
+	XORQ R9, R9              // k
+kloop:
+	CMPQ R9, R8
+	JGE  kdone
+	VBROADCASTSD (R11)(R9*8), Y8
+	VMULPD (R10), Y8, Y9
+	VADDPD Y9, Y0, Y0
+	VMULPD 32(R10), Y8, Y10
+	VADDPD Y10, Y1, Y1
+	VMULPD 64(R10), Y8, Y11
+	VADDPD Y11, Y2, Y2
+	VMULPD 96(R10), Y8, Y12
+	VADDPD Y12, Y3, Y3
+	VMULPD 128(R10), Y8, Y9
+	VADDPD Y9, Y4, Y4
+	VMULPD 160(R10), Y8, Y10
+	VADDPD Y10, Y5, Y5
+	VMULPD 192(R10), Y8, Y11
+	VADDPD Y11, Y6, Y6
+	VMULPD 224(R10), Y8, Y12
+	VADDPD Y12, Y7, Y7
+	ADDQ $256, R10
+	INCQ R9
+	JMP  kloop
+kdone:
+	// inv = 1 / L[i,i]; R10 now points at panel row i.
+	MOVSD panelOne<>(SB), X8
+	DIVSD (R11)(R8*8), X8
+	VBROADCASTSD X8, Y8
+	VMOVUPD (R10), Y9
+	VSUBPD Y0, Y9, Y9
+	VMULPD Y8, Y9, Y9
+	VMOVUPD Y9, (R10)
+	VMOVUPD 32(R10), Y10
+	VSUBPD Y1, Y10, Y10
+	VMULPD Y8, Y10, Y10
+	VMOVUPD Y10, 32(R10)
+	VMOVUPD 64(R10), Y11
+	VSUBPD Y2, Y11, Y11
+	VMULPD Y8, Y11, Y11
+	VMOVUPD Y11, 64(R10)
+	VMOVUPD 96(R10), Y12
+	VSUBPD Y3, Y12, Y12
+	VMULPD Y8, Y12, Y12
+	VMOVUPD Y12, 96(R10)
+	VMOVUPD 128(R10), Y9
+	VSUBPD Y4, Y9, Y9
+	VMULPD Y8, Y9, Y9
+	VMOVUPD Y9, 128(R10)
+	VMOVUPD 160(R10), Y10
+	VSUBPD Y5, Y10, Y10
+	VMULPD Y8, Y10, Y10
+	VMOVUPD Y10, 160(R10)
+	VMOVUPD 192(R10), Y11
+	VSUBPD Y6, Y11, Y11
+	VMULPD Y8, Y11, Y11
+	VMOVUPD Y11, 192(R10)
+	VMOVUPD 224(R10), Y12
+	VSUBPD Y7, Y12, Y12
+	VMULPD Y8, Y12, Y12
+	VMOVUPD Y12, 224(R10)
+	// rowStart(i+1) = rowStart(i) + i + 1
+	LEAQ 8(R11)(R8*8), R11
+	INCQ R8
+	JMP  rows
+done:
+	VZEROUPPER
+	RET
+
+// panelSolveAVX512 is panelSolveAVX with the 32-column panel row held in
+// four zmm registers instead of eight ymm. The lane-wise operation
+// sequence per column is unchanged (mul, add, sub, one reciprocal
+// multiply — no FMA), so results remain bitwise identical to the scalar
+// and AVX2 paths; only the FP throughput doubles.
+//
+// func panelSolveAVX512(l []float64, n int, panel []float64)
+TEXT ·panelSolveAVX512(SB), NOSPLIT, $0-56
+	MOVQ l_base+0(FP), SI
+	MOVQ n+24(FP), CX
+	MOVQ panel_base+32(FP), DI
+	MOVQ SI, R11             // R11 = &l[rowStart(i)], advanced incrementally
+	XORQ R8, R8              // i
+rows512:
+	CMPQ R8, CX
+	JGE  done512
+	VXORPD Z0, Z0, Z0
+	VXORPD Z1, Z1, Z1
+	VXORPD Z2, Z2, Z2
+	VXORPD Z3, Z3, Z3
+	MOVQ DI, R10             // panel row k pointer, k = 0
+	XORQ R9, R9              // k
+kloop512:
+	CMPQ R9, R8
+	JGE  kdone512
+	VBROADCASTSD (R11)(R9*8), Z4
+	VMULPD (R10), Z4, Z5
+	VADDPD Z5, Z0, Z0
+	VMULPD 64(R10), Z4, Z6
+	VADDPD Z6, Z1, Z1
+	VMULPD 128(R10), Z4, Z7
+	VADDPD Z7, Z2, Z2
+	VMULPD 192(R10), Z4, Z8
+	VADDPD Z8, Z3, Z3
+	ADDQ $256, R10
+	INCQ R9
+	JMP  kloop512
+kdone512:
+	// inv = 1 / L[i,i]; R10 now points at panel row i.
+	MOVSD panelOne<>(SB), X4
+	DIVSD (R11)(R8*8), X4
+	VBROADCASTSD X4, Z4
+	VMOVUPD (R10), Z5
+	VSUBPD Z0, Z5, Z5
+	VMULPD Z4, Z5, Z5
+	VMOVUPD Z5, (R10)
+	VMOVUPD 64(R10), Z6
+	VSUBPD Z1, Z6, Z6
+	VMULPD Z4, Z6, Z6
+	VMOVUPD Z6, 64(R10)
+	VMOVUPD 128(R10), Z7
+	VSUBPD Z2, Z7, Z7
+	VMULPD Z4, Z7, Z7
+	VMOVUPD Z7, 128(R10)
+	VMOVUPD 192(R10), Z8
+	VSUBPD Z3, Z8, Z8
+	VMULPD Z4, Z8, Z8
+	VMOVUPD Z8, 192(R10)
+	// rowStart(i+1) = rowStart(i) + i + 1
+	LEAQ 8(R11)(R8*8), R11
+	INCQ R8
+	JMP  rows512
+done512:
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+DATA panelOne<>+0(SB)/8, $1.0
+GLOBL panelOne<>(SB), RODATA, $8

@@ -1,0 +1,28 @@
+#!/bin/sh
+# bench_regress.sh — CI benchmark-regression gate.
+#
+# Reruns the tracked GP-inference benchmarks in short mode (two repetitions,
+# best-of merge) and checks them against the recorded BENCH_gp.json via
+# `benchjson -check`: any tracked benchmark more than 25% slower than its
+# recorded ns/op fails the gate. The check self-skips when the recorded CPU
+# differs from the runner's (cross-machine ns/op measures hardware, not code)
+# and when a recorded benchmark is absent from the run (-short skips t=1000).
+#
+# Set EDGEBOL_SKIP_BENCH_CHECK=1 to skip explicitly (e.g. on known-noisy or
+# heavily shared runners).
+set -eu
+
+if [ "${EDGEBOL_SKIP_BENCH_CHECK:-}" = "1" ]; then
+    echo "bench_regress: skipped (EDGEBOL_SKIP_BENCH_CHECK=1)"
+    exit 0
+fi
+
+cd "$(dirname "$0")/.."
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+go test -run '^$' -bench 'PosteriorBatch|SelectControl|GridSweep' \
+    -benchtime 1x -count 2 -short ./internal/gp ./internal/core | tee "$out"
+
+go run ./cmd/benchjson -check BENCH_gp.json -after "$out" -tolerance 1.25
