@@ -1,27 +1,41 @@
 // Command edgebol-lint is the multichecker for EdgeBOL's domain
-// analyzers: floateq, globalrand, errignore, and safectrl. It is meant
-// to run alongside `go vet` (the Makefile's lint target runs both):
+// analyzers. It is meant to run alongside `go vet` (the Makefile's lint
+// target runs both):
 //
 //	go run ./cmd/edgebol-lint ./...
 //
-// Exit status is 1 when any analyzer reports a finding, 2 when the run
-// itself fails (load or type-check error). Individual analyzers can be
-// selected with -run:
+// Exit status is 0 when the run is clean, 1 when any analyzer reports a
+// finding, 2 when the run itself fails (load or type-check error, bad
+// flags). Individual analyzers can be selected with -run:
 //
 //	go run ./cmd/edgebol-lint -run floateq,safectrl ./...
+//
+// -format sarif emits a SARIF 2.1.0 log on stdout for CI code-scanning
+// upload. -baseline <file> subtracts a committed accepted-findings set
+// before deciding the exit status; -write-baseline <file> records the
+// current findings as that set. The Makefile's lint-baseline target
+// combines both so the baseline can only shrink: regeneration fails if
+// any finding is not already accepted.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/ctxleak"
 	"repro/internal/analysis/driver"
 	"repro/internal/analysis/errignore"
 	"repro/internal/analysis/floateq"
 	"repro/internal/analysis/globalrand"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/lockhold"
+	"repro/internal/analysis/nanguard"
 	"repro/internal/analysis/safectrl"
 )
 
@@ -31,24 +45,44 @@ var all = []*analysis.Analyzer{
 	globalrand.Analyzer,
 	errignore.Analyzer,
 	safectrl.Analyzer,
+	ctxleak.Analyzer,
+	atomicmix.Analyzer,
+	lockhold.Analyzer,
+	nanguard.Analyzer,
+	hotalloc.Analyzer,
 }
 
 func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain runs the linter and returns its exit code: 0 clean, 1
+// findings, 2 run failure.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("edgebol-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		runList = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
-		list    = flag.Bool("list", false, "list available analyzers and exit")
+		runList       = fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list          = fs.Bool("list", false, "list available analyzers and exit")
+		format        = fs.String("format", "text", "output format: text or sarif")
+		baselinePath  = fs.String("baseline", "", "baseline file of accepted findings to subtract")
+		writeBaseline = fs.String("write-baseline", "", "write the current findings to this baseline file")
 	)
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: edgebol-lint [-run names] [packages]\n")
-		flag.PrintDefaults()
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: edgebol-lint [-run names] [-format text|sarif] [-baseline file] [-write-baseline file] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		for _, a := range all {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
-		}
-		return
+		listAnalyzers(stdout)
+		return 0
+	}
+	if *format != "text" && *format != "sarif" {
+		fmt.Fprintf(stderr, "edgebol-lint: unknown format %q (want text or sarif)\n", *format)
+		return 2
 	}
 
 	analyzers := all
@@ -61,24 +95,92 @@ func main() {
 		for _, name := range strings.Split(*runList, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "edgebol-lint: unknown analyzer %q\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "edgebol-lint: unknown analyzer %q\n", name)
+				return 2
 			}
 			analyzers = append(analyzers, a)
 		}
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	n, err := driver.Run(driver.Options{Patterns: patterns, Analyzers: analyzers}, os.Stdout)
+	collected, err := driver.Collect(driver.Options{Patterns: patterns, Analyzers: analyzers})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "edgebol-lint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "edgebol-lint: %v\n", err)
+		return 2
 	}
-	if n > 0 {
-		os.Exit(1)
+	findings := collected
+
+	if *baselinePath != "" {
+		b, err := driver.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "edgebol-lint: %v\n", err)
+			return 2
+		}
+		var suppressed int
+		findings, suppressed = b.Filter(findings)
+		if suppressed > 0 {
+			fmt.Fprintf(stderr, "edgebol-lint: %d finding(s) suppressed by baseline %s\n", suppressed, *baselinePath)
+		}
+	}
+
+	if *writeBaseline != "" {
+		// With -baseline, regeneration is constrained: findings not
+		// already accepted fail the run instead of being absorbed, so a
+		// committed baseline can shrink but never silently grow. Without
+		// -baseline this is initial adoption and records everything.
+		if *baselinePath != "" && len(findings) > 0 {
+			printText(stderr, findings)
+			fmt.Fprintf(stderr, "edgebol-lint: refusing to write baseline %s: %d finding(s) not in baseline %s — fix or waive them first\n", *writeBaseline, len(findings), *baselinePath)
+			return 1
+		}
+		if err := driver.WriteBaselineFile(*writeBaseline, collected); err != nil {
+			fmt.Fprintf(stderr, "edgebol-lint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "edgebol-lint: wrote baseline %s (%d accepted finding(s))\n", *writeBaseline, len(collected))
+		return 0
+	}
+
+	switch *format {
+	case "sarif":
+		if err := driver.WriteSARIF(stdout, analyzers, findings); err != nil {
+			fmt.Fprintf(stderr, "edgebol-lint: %v\n", err)
+			return 2
+		}
+	default:
+		printText(stdout, findings)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// listAnalyzers prints a stable name-sorted table of the registered
+// analyzers.
+func listAnalyzers(w io.Writer) {
+	sorted := make([]*analysis.Analyzer, len(all))
+	copy(sorted, all)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	width := 0
+	for _, a := range sorted {
+		if len(a.Name) > width {
+			width = len(a.Name)
+		}
+	}
+	for _, a := range sorted {
+		fmt.Fprintf(w, "%-*s  %s\n", width, a.Name, a.Doc)
+	}
+}
+
+// printText writes one classic "file:line:col: analyzer: message" line
+// per finding.
+func printText(w io.Writer, findings []driver.Finding) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
 	}
 }

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = realMain(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestListGolden(t *testing.T) {
+	code, stdout, _ := run(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "list.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(golden) {
+		t.Errorf("-list output differs from testdata/list.golden:\ngot:\n%s\nwant:\n%s", stdout, golden)
+	}
+}
+
+func TestListIsSorted(t *testing.T) {
+	_, stdout, _ := run(t, "-list")
+	lines := strings.Split(strings.TrimRight(stdout, "\n"), "\n")
+	if len(lines) != len(all) {
+		t.Fatalf("-list printed %d lines, want %d (one per analyzer)", len(lines), len(all))
+	}
+	names := make([]string, len(lines))
+	for i, l := range lines {
+		names[i] = strings.Fields(l)[0]
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("-list names not sorted: %v", names)
+	}
+}
+
+func TestExitZeroOnCleanRun(t *testing.T) {
+	code, stdout, stderr := run(t, "-run", "floateq", "repro/internal/telemetry")
+	if code != 0 {
+		t.Fatalf("clean run exit = %d, want 0 (stdout=%q stderr=%q)", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run stdout = %q, want empty", stdout)
+	}
+}
+
+func TestExitTwoOnBadInvocation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-run", "nosuchanalyzer", "./..."},
+		{"-format", "xml", "./..."},
+		{"repro/does/not/exist"},
+	} {
+		code, _, stderr := run(t, args...)
+		if code != 2 {
+			t.Errorf("args %v: exit = %d, want 2 (stderr=%q)", args, code, stderr)
+		}
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	code, stdout, stderr := run(t, "-format", "sarif", "-run", "floateq", "repro/internal/telemetry")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr=%q)", code, stderr)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("sarif output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 / 1", log.Version, len(log.Runs))
+	}
+	if len(log.Runs[0].Tool.Driver.Rules) != 1 || log.Runs[0].Tool.Driver.Rules[0].ID != "floateq" {
+		t.Errorf("rules = %+v, want exactly [floateq]", log.Runs[0].Tool.Driver.Rules)
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Errorf("results = %d, want 0 on a clean run", len(log.Runs[0].Results))
+	}
+}
+
+// tempModule creates a separate module with one globalrand violation and
+// chdirs into it, so findings and exit code 1 can be exercised without
+// dirtying this repository.
+func tempModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmplint\n\ngo 1.21\n")
+	// A library package: globalrand exempts package main.
+	writeFile(t, filepath.Join(dir, "lib.go"), `package tmplint
+
+import "math/rand"
+
+func Roll() int { return rand.Intn(5) }
+`)
+	// Manual chdir: go.mod pins go 1.22, which predates t.Chdir.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Errorf("restoring working directory: %v", err)
+		}
+	})
+	return dir
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExitOneOnFindings(t *testing.T) {
+	tempModule(t)
+	code, stdout, stderr := run(t, "-run", "globalrand", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stdout=%q stderr=%q)", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "globalrand") || !strings.Contains(stdout, "lib.go") {
+		t.Errorf("stdout = %q, want a globalrand finding in lib.go", stdout)
+	}
+}
+
+func TestBaselineLifecycle(t *testing.T) {
+	dir := tempModule(t)
+	bl := filepath.Join(dir, "baseline.json")
+
+	// Initial adoption: -write-baseline without -baseline records the
+	// live finding and exits 0.
+	code, _, stderr := run(t, "-run", "globalrand", "-write-baseline", bl, "./...")
+	if code != 0 {
+		t.Fatalf("initial -write-baseline exit = %d, want 0 (stderr=%q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "wrote baseline") {
+		t.Errorf("stderr = %q, want wrote-baseline notice", stderr)
+	}
+
+	// With the baseline, the same run is clean.
+	code, stdout, stderr := run(t, "-run", "globalrand", "-baseline", bl, "./...")
+	if code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0 (stdout=%q stderr=%q)", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "suppressed by baseline") {
+		t.Errorf("stderr = %q, want suppression notice", stderr)
+	}
+
+	// Constrained regeneration with no new findings succeeds.
+	if code, _, stderr = run(t, "-run", "globalrand", "-baseline", bl, "-write-baseline", bl, "./..."); code != 0 {
+		t.Fatalf("regeneration exit = %d, want 0 (stderr=%q)", code, stderr)
+	}
+
+	// A new violation in another file is not absorbed: the plain run
+	// fails, and so does regeneration (the baseline may only shrink).
+	writeFile(t, filepath.Join(dir, "extra.go"), `package tmplint
+
+import "math/rand"
+
+func Extra() float64 { return rand.Float64() }
+`)
+	if code, _, _ = run(t, "-run", "globalrand", "-baseline", bl, "./..."); code != 1 {
+		t.Fatalf("run with new finding exit = %d, want 1", code)
+	}
+	before, err := os.ReadFile(bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = run(t, "-run", "globalrand", "-baseline", bl, "-write-baseline", bl, "./...")
+	if code != 1 {
+		t.Fatalf("regeneration with new finding exit = %d, want 1 (stderr=%q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "refusing to write baseline") {
+		t.Errorf("stderr = %q, want refusal notice", stderr)
+	}
+	after, err := os.ReadFile(bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("failed regeneration modified the baseline file")
+	}
+
+	// Fixing the original violation shrinks the baseline to empty on the
+	// next regeneration.
+	writeFile(t, filepath.Join(dir, "lib.go"), `package tmplint
+
+func Roll() int { return 4 }
+`)
+	if err := os.Remove(filepath.Join(dir, "extra.go")); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr = run(t, "-run", "globalrand", "-baseline", bl, "-write-baseline", bl, "./..."); code != 0 {
+		t.Fatalf("post-fix regeneration exit = %d, want 0 (stderr=%q)", code, stderr)
+	}
+	data, err := os.ReadFile(bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b struct {
+		Findings []json.RawMessage `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 0 {
+		t.Errorf("baseline has %d entries after fix, want 0 (monotonic shrink)", len(b.Findings))
+	}
+}

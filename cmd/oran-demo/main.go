@@ -42,7 +42,7 @@ func main() {
 		fatal(err)
 	}
 	tb.Instrument(reg)
-	dep, err := oran.DeployWithOptions(tb, oran.DeployOptions{
+	dep, err := oran.Deploy(tb, oran.DeployOptions{
 		Timeout:     5 * time.Second,
 		MetricsAddr: *metricsAddr,
 		Telemetry:   reg,

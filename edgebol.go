@@ -191,7 +191,7 @@ type (
 // Deploy stands up the control plane around an environment. The zero
 // DeployOptions is valid (default timeout, telemetry off).
 func Deploy(env Environment, opts DeployOptions) (*Deployment, error) {
-	return oran.DeployWithOptions(env, opts)
+	return oran.Deploy(env, opts)
 }
 
 // DeployContext is Deploy scoped to ctx: cancellation tears the

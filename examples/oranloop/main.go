@@ -23,7 +23,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dep, err := oran.DeployWithOptions(tb, oran.DeployOptions{Timeout: 5 * time.Second})
+	dep, err := oran.Deploy(tb, oran.DeployOptions{Timeout: 5 * time.Second})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -69,6 +69,68 @@ func TestAllowDirectiveIsPerAnalyzer(t *testing.T) {
 	}
 }
 
+func TestAllowDirectiveScopesToSingleLine(t *testing.T) {
+	src := strings.Join([]string{
+		"package p", // 1
+		"//edgebol:allow check -- only the next line", // 2
+		"var a = 1", // 3
+		"var b = 2", // 4
+		"var c = 3", // 5
+	}, "\n")
+	got := reportLines(t, src, "check", []int{3, 4, 5})
+	if got[3] {
+		t.Error("line 3: directly below the directive, should be waived")
+	}
+	if !got[4] || !got[5] {
+		t.Error("lines 4-5: a directive waives exactly one line, not a region")
+	}
+}
+
+func TestAllowDirectiveDoesNotReachAcrossBlankLine(t *testing.T) {
+	src := strings.Join([]string{
+		"package p", // 1
+		"//edgebol:allow check -- detached by the blank line", // 2
+		"",          // 3
+		"var a = 1", // 4
+	}, "\n")
+	got := reportLines(t, src, "check", []int{4})
+	if !got[4] {
+		t.Error("line 4: directive separated by a blank line must not suppress")
+	}
+}
+
+func TestMultiAnalyzerDirectiveWithSpaces(t *testing.T) {
+	src := strings.Join([]string{
+		"package p", // 1
+		"//edgebol:allow check , other -- spaces around names are fine", // 2
+		"var a = 1", // 3
+	}, "\n")
+	for _, name := range []string{"check", "other"} {
+		if reportLines(t, src, name, []int{3})[3] {
+			t.Errorf("line 3: %s listed in the directive, should be waived", name)
+		}
+	}
+	if !reportLines(t, src, "third", []int{3})[3] {
+		t.Error("line 3: analyzer not in the list must still fire")
+	}
+}
+
+func TestDirectiveAsLastLineOfDocComment(t *testing.T) {
+	// gofmt folds a standalone directive above a declaration into its doc
+	// comment group; the waiver must still apply to the declaration line.
+	src := strings.Join([]string{
+		"package p",                    // 1
+		"// F does something numeric.", // 2
+		"//",                           // 3
+		"//edgebol:allow check -- justified on the decl", // 4
+		"func F() {}", // 5
+	}, "\n")
+	got := reportLines(t, src, "check", []int{5})
+	if got[5] {
+		t.Error("line 5: directive ending the doc comment should waive the declaration")
+	}
+}
+
 func TestReasonlessDirectiveGrantsNoWaiver(t *testing.T) {
 	src := strings.Join([]string{
 		"package p",                // 1

@@ -1,0 +1,143 @@
+// Package atomicmix protects the telemetry registry's lock-free
+// counters: once any code in a package touches a variable or struct
+// field through sync/atomic (atomic.AddUint64(&x.n, 1), ...), every
+// other access to that same variable must also be atomic. A single
+// plain read — a log line, an expvar dump, a test assertion — is a data
+// race that the race detector only catches when the interleaving
+// actually happens; this check catches it statically, package-wide.
+//
+// The analysis is flow-insensitive by design: mixed access is wrong on
+// any path, so there is nothing for the CFG to refine. Sites that are
+// provably pre-publication (a constructor initializing a field before
+// the value escapes) carry //edgebol:allow atomicmix -- <reason>.
+//
+// Fields of the modern typed atomics (atomic.Uint64 and friends) need
+// no checking — their API admits no plain access — so this analyzer is
+// only about the legacy pointer-based functions.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a variable accessed via sync/atomic anywhere must never be read or written plainly",
+	Match: func(pkgPath string) bool {
+		return strings.HasPrefix(pkgPath, "repro/internal/")
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: collect every variable whose address feeds a sync/atomic
+	// call, remembering the identifiers involved so pass 2 can exempt
+	// the atomic sites themselves.
+	atomicVars := make(map[*types.Var]token.Pos) // var → first atomic site
+	atomicSites := make(map[*ast.Ident]bool)     // idents inside &x args of atomic calls
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				id := baseIdent(un.X)
+				if id == nil {
+					continue
+				}
+				if v := varOf(pass, id); v != nil {
+					if _, seen := atomicVars[v]; !seen {
+						atomicVars[v] = call.Pos()
+					}
+					markIdents(un.X, atomicSites)
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+	// Pass 2: any other use of those variables is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || atomicSites[id] {
+				return true
+			}
+			v := varOf(pass, id)
+			if v == nil {
+				return true
+			}
+			if _, isAtomic := atomicVars[v]; !isAtomic {
+				return true
+			}
+			if pass.TypesInfo.Defs[id] != nil {
+				return true // the declaration itself is not an access
+			}
+			pass.Reportf(id.Pos(), "plain access to %s, which is accessed via sync/atomic elsewhere in the package; every access must be atomic", id.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic function.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// baseIdent returns the identifier naming the accessed variable: the
+// field identifier of a selector chain (x.f → f) or a plain ident.
+func baseIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	case *ast.IndexExpr:
+		return baseIdent(e.X)
+	}
+	return nil
+}
+
+// varOf resolves id to the variable object it names (field, package
+// var, or local).
+func varOf(pass *analysis.Pass, id *ast.Ident) *types.Var {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+// markIdents records every identifier inside an atomic operand
+// expression so pass 2 does not flag the atomic site itself.
+func markIdents(e ast.Expr, sites map[*ast.Ident]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			sites[id] = true
+		}
+		return true
+	})
+}

@@ -1,0 +1,21 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "atomicmixtest")
+}
+
+func TestMatchScopesInternal(t *testing.T) {
+	if !atomicmix.Analyzer.Match("repro/internal/telemetry") {
+		t.Error("Match(repro/internal/telemetry) = false, want true")
+	}
+	if atomicmix.Analyzer.Match("repro") {
+		t.Error("Match(repro) = true, want false")
+	}
+}

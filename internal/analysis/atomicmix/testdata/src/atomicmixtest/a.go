@@ -1,0 +1,43 @@
+package atomicmixtest
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+	name   string
+}
+
+func (s *stats) hit() { atomic.AddInt64(&s.hits, 1) }
+
+func (s *stats) readPlain() int64 {
+	return s.hits // want `plain access to hits`
+}
+
+func (s *stats) writePlain() {
+	s.hits = 0 // want `plain access to hits`
+}
+
+func (s *stats) readAtomic() int64 {
+	return atomic.LoadInt64(&s.hits) // the atomic site itself: fine
+}
+
+func (s *stats) missesArePlainOnly() int64 {
+	s.misses++ // misses is never touched atomically: fine
+	return s.misses
+}
+
+func (s *stats) nameIsUnrelated() string { return s.name }
+
+var total int64
+
+func bump() { atomic.AddInt64(&total, 1) }
+
+func snapshotWaived() int64 {
+	//edgebol:allow atomicmix -- fixture: single-threaded init hook, runs before any goroutine starts
+	return total
+}
+
+func plainTotal() int64 {
+	return total // want `plain access to total`
+}

@@ -1,0 +1,95 @@
+package cfg
+
+import "go/ast"
+
+// computeDom runs the classic iterative dominator dataflow: a block is
+// dominated by itself plus the intersection of its predecessors'
+// dominator sets. Graphs here are per-function and small, so the
+// quadratic set representation is simpler and fast enough.
+func (g *Graph) computeDom() {
+	n := len(g.Blocks)
+	dom := make([][]bool, n)
+	full := make([]bool, n)
+	for i := range full {
+		full[i] = true
+	}
+	for i := range dom {
+		dom[i] = make([]bool, n)
+		if i == g.Entry.Index {
+			dom[i][i] = true
+		} else {
+			copy(dom[i], full)
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range g.Blocks {
+			if blk == g.Entry {
+				continue
+			}
+			next := make([]bool, n)
+			first := true
+			for _, p := range blk.Preds {
+				if first {
+					copy(next, dom[p.Index])
+					first = false
+					continue
+				}
+				for i := range next {
+					next[i] = next[i] && dom[p.Index][i]
+				}
+			}
+			if first {
+				// Unreachable block: dominated by everything, by
+				// convention (the full set), so it never weakens a
+				// reachable block's solution.
+				copy(next, full)
+			}
+			next[blk.Index] = true
+			for i := range next {
+				if next[i] != dom[blk.Index][i] {
+					dom[blk.Index] = next
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	g.dom = dom
+}
+
+// Dominates reports whether every path from the entry to b passes
+// through a. Every block dominates itself.
+func (g *Graph) Dominates(a, b *Block) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if g.dom == nil {
+		g.computeDom()
+	}
+	return g.dom[b.Index][a.Index]
+}
+
+// NodeDominates reports whether block-level node a dominates block-level
+// node b: a's block strictly dominates b's, or both share a block and a
+// executes first. Nodes not present in the graph dominate nothing.
+func (g *Graph) NodeDominates(a, b ast.Node) bool {
+	ba, bb := g.nodeBlock[a], g.nodeBlock[b]
+	if ba == nil || bb == nil {
+		return false
+	}
+	if ba == bb {
+		return g.nodeIndex(ba, a) <= g.nodeIndex(ba, b)
+	}
+	return g.Dominates(ba, bb)
+}
+
+func (g *Graph) nodeIndex(b *Block, n ast.Node) int {
+	for i, m := range b.Nodes {
+		if m == n {
+			return i
+		}
+	}
+	return -1
+}

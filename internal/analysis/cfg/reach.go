@@ -1,0 +1,369 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Def is one definition (binding or assignment) of a local variable.
+type Def struct {
+	// Node is the block-level node performing the definition: an
+	// AssignStmt, ValueSpec's DeclStmt, IncDecStmt, RangeStmt, or — for
+	// parameters and named results — the enclosing function node.
+	Node ast.Node
+	// RHS is the defining expression when the definition binds the
+	// variable one-to-one (x := e, x = e, or a ValueSpec with matching
+	// arity). It is nil when the value is opaque: parameters, range
+	// bindings, multi-value assignments, IncDec, or address-taken
+	// mutation observed elsewhere.
+	RHS ast.Expr
+}
+
+// ReachingDefs answers, for a local variable at a program point, which
+// definitions may reach it. The analysis is a standard forward
+// may-dataflow over the function's Graph, at block granularity with
+// in-block positional refinement at query time.
+//
+// Variables whose address escapes (&v taken anywhere, or v captured by
+// a closure) are dropped from tracking entirely: every query on them
+// returns nil, meaning "unknown", which callers must treat
+// conservatively.
+type ReachingDefs struct {
+	g    *Graph
+	info *types.Info
+
+	// defs[v] lists v's definition sites in discovery order.
+	defs map[*types.Var][]Def
+	// in[block][v] is the set of def indices reaching the block entry.
+	in map[*Block]map[*types.Var]map[int]bool
+}
+
+// Reach computes reaching definitions over g for the function fn (a
+// *ast.FuncDecl or *ast.FuncLit, used to bind parameters and named
+// results). info supplies the identifier-to-object resolution.
+func Reach(g *Graph, fn ast.Node, info *types.Info) *ReachingDefs {
+	r := &ReachingDefs{
+		g:    g,
+		info: info,
+		defs: make(map[*types.Var][]Def),
+		in:   make(map[*Block]map[*types.Var]map[int]bool),
+	}
+	entry := make(map[*types.Var]map[int]bool)
+	if ft := funcType(fn); ft != nil {
+		for _, field := range paramFields(ft) {
+			for _, name := range field.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					r.defs[v] = append(r.defs[v], Def{Node: fn})
+					entry[v] = map[int]bool{0: true}
+				}
+			}
+		}
+	}
+	// Collect every definition site, block by block.
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			r.collect(n)
+		}
+	}
+	// Drop escaping variables: address taken or captured by a closure.
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			r.dropEscapes(n)
+		}
+	}
+	r.solve(entry)
+	return r
+}
+
+func funcType(fn ast.Node) *ast.FuncType {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Type
+	case *ast.FuncLit:
+		return fn.Type
+	}
+	return nil
+}
+
+func paramFields(ft *ast.FuncType) []*ast.Field {
+	var fields []*ast.Field
+	if ft.Params != nil {
+		fields = append(fields, ft.Params.List...)
+	}
+	if ft.Results != nil {
+		fields = append(fields, ft.Results.List...)
+	}
+	return fields
+}
+
+// collect records the definitions a block-level node performs.
+func (r *ReachingDefs) collect(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		oneToOne := len(n.Lhs) == len(n.Rhs)
+		for i, lhs := range n.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			v := r.objOf(id)
+			if v == nil {
+				continue
+			}
+			d := Def{Node: n}
+			if oneToOne {
+				d.RHS = n.Rhs[i]
+			}
+			r.defs[v] = append(r.defs[v], d)
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			oneToOne := len(vs.Names) == len(vs.Values)
+			for i, name := range vs.Names {
+				v, ok := r.info.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				d := Def{Node: n}
+				if oneToOne {
+					d.RHS = vs.Values[i]
+				}
+				r.defs[v] = append(r.defs[v], d)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := n.X.(*ast.Ident); ok {
+			if v := r.objOf(id); v != nil {
+				r.defs[v] = append(r.defs[v], Def{Node: n})
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			id, ok := e.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if v := r.objOf(id); v != nil {
+				r.defs[v] = append(r.defs[v], Def{Node: n})
+			}
+		}
+	}
+}
+
+// dropEscapes forgets variables whose value can change through an
+// alias: &v, or capture inside a function literal.
+func (r *ReachingDefs) dropEscapes(n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.UnaryExpr:
+			if m.Op == token.AND {
+				if id, ok := m.X.(*ast.Ident); ok {
+					if v := r.objOf(id); v != nil {
+						delete(r.defs, v)
+					}
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(m.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if v := r.objOf(id); v != nil {
+						delete(r.defs, v)
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+}
+
+// objOf resolves an identifier to the local variable it names.
+func (r *ReachingDefs) objOf(id *ast.Ident) *types.Var {
+	obj := r.info.Uses[id]
+	if obj == nil {
+		obj = r.info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// defIndex returns the index of the def performed by node for v, or -1.
+func (r *ReachingDefs) defIndices(v *types.Var, node ast.Node) []int {
+	var out []int
+	for i, d := range r.defs[v] {
+		if d.Node == node {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// solve iterates the forward dataflow to a fixpoint.
+func (r *ReachingDefs) solve(entry map[*types.Var]map[int]bool) {
+	for _, blk := range r.g.Blocks {
+		r.in[blk] = make(map[*types.Var]map[int]bool)
+	}
+	for v, set := range entry {
+		r.in[r.g.Entry][v] = cloneSet(set)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range r.g.Blocks {
+			out := r.transfer(blk, r.in[blk])
+			for _, succ := range blk.Succs {
+				if mergeInto(r.in[succ], out) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// transfer applies a whole block's definitions to state.
+func (r *ReachingDefs) transfer(blk *Block, state map[*types.Var]map[int]bool) map[*types.Var]map[int]bool {
+	out := cloneState(state)
+	for _, n := range blk.Nodes {
+		r.apply(n, out)
+	}
+	return out
+}
+
+// apply updates state with one node's definitions (kill then gen).
+func (r *ReachingDefs) apply(n ast.Node, state map[*types.Var]map[int]bool) {
+	for v := range r.defs {
+		idx := r.defIndices(v, n)
+		if len(idx) == 0 {
+			continue
+		}
+		set := make(map[int]bool, len(idx))
+		for _, i := range idx {
+			set[i] = true
+		}
+		state[v] = set
+	}
+}
+
+// DefsAt returns the definitions of v that may reach the start of the
+// block-level node `at` (a member of some Block.Nodes). It returns nil
+// when v is untracked (escaped, captured, or not a local) or `at` is
+// not in the graph — callers must treat nil as "unknown".
+func (r *ReachingDefs) DefsAt(v *types.Var, at ast.Node) []Def {
+	if v == nil {
+		return nil
+	}
+	if _, tracked := r.defs[v]; !tracked {
+		return nil
+	}
+	blk := r.g.nodeBlock[at]
+	if blk == nil {
+		return nil
+	}
+	state := cloneState(r.in[blk])
+	for _, n := range blk.Nodes {
+		if n == at {
+			break
+		}
+		r.apply(n, state)
+	}
+	set := state[v]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]Def, 0, len(set))
+	for i, d := range r.defs[v] {
+		if set[i] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Sources resolves an expression to its ultimate defining expressions
+// at the block-level node `at`: an identifier is chased through chains
+// of one-to-one local assignments (with bounded fuel); anything else
+// resolves to itself. A nil slice means the value is unknown — an
+// untracked variable or an opaque definition on some path.
+func (r *ReachingDefs) Sources(e ast.Expr, at ast.Node) []ast.Expr {
+	return r.sources(e, at, 8)
+}
+
+func (r *ReachingDefs) sources(e ast.Expr, at ast.Node, fuel int) []ast.Expr {
+	e = ast.Unparen(e)
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return []ast.Expr{e}
+	}
+	v := r.objOf(id)
+	if v == nil {
+		return nil
+	}
+	defs := r.DefsAt(v, at)
+	if len(defs) == 0 {
+		return nil
+	}
+	var out []ast.Expr
+	for _, d := range defs {
+		if d.RHS == nil {
+			return nil
+		}
+		if fuel == 0 {
+			out = append(out, d.RHS)
+			continue
+		}
+		sub := r.sources(d.RHS, d.Node, fuel-1)
+		if sub == nil {
+			return nil
+		}
+		out = append(out, sub...)
+	}
+	return out
+}
+
+func cloneSet(s map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneState(s map[*types.Var]map[int]bool) map[*types.Var]map[int]bool {
+	out := make(map[*types.Var]map[int]bool, len(s))
+	for v, set := range s {
+		out[v] = cloneSet(set)
+	}
+	return out
+}
+
+// mergeInto unions src into dst, reporting whether dst grew.
+func mergeInto(dst, src map[*types.Var]map[int]bool) bool {
+	grew := false
+	for v, set := range src {
+		d := dst[v]
+		if d == nil {
+			d = make(map[int]bool, len(set))
+			dst[v] = d
+		}
+		for i := range set {
+			if !d[i] {
+				d[i] = true
+				grew = true
+			}
+		}
+	}
+	return grew
+}

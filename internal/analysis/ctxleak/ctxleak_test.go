@@ -1,0 +1,21 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxleak"
+)
+
+func TestCtxLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxleak.Analyzer, "ctxleaktest")
+}
+
+func TestMatchScopesInternal(t *testing.T) {
+	if !ctxleak.Analyzer.Match("repro/internal/oran") {
+		t.Error("Match(repro/internal/oran) = false, want true")
+	}
+	if ctxleak.Analyzer.Match("repro") {
+		t.Error("Match(repro) = true, want false")
+	}
+}

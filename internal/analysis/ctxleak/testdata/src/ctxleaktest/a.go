@@ -1,0 +1,69 @@
+package ctxleaktest
+
+import (
+	"context"
+	"time"
+)
+
+type server struct{}
+
+func (s *server) Measure(x int) int                         { return x }
+func (s *server) MeasureCtx(ctx context.Context, x int) int { return x }
+func (s *server) Ping()                                     {}
+
+func capable(ctx context.Context, n int) {}
+func worker(ctx context.Context)         {}
+
+func passesBackground(ctx context.Context) {
+	capable(context.Background(), 1) // want `passes context.Background\(\) instead of the in-scope context`
+	capable(context.TODO(), 1)       // want `passes context.TODO\(\) instead of the in-scope context`
+	capable(ctx, 2)
+}
+
+func resolvesThroughLocals(ctx context.Context) {
+	bg := context.Background()
+	alias := bg
+	capable(alias, 1) // want `resolves to context.Background\(\)/TODO\(\) on every reaching path`
+	derived, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	capable(derived, 2) // derived from ctx: fine
+}
+
+func reassignedOnBranch(ctx context.Context, cond bool) {
+	use := ctx
+	if cond {
+		use = context.Background()
+	}
+	// Detached only on one path: the analysis stays quiet rather than
+	// guessing.
+	capable(use, 1)
+	use = context.Background()
+	capable(use, 2) // want `resolves to context.Background\(\)/TODO\(\) on every reaching path`
+}
+
+func goroutines(ctx context.Context, ch chan int) {
+	go worker(ctx) // context passed as an argument: fine
+	go func() {    // closure captures ctx: fine
+		<-ctx.Done()
+	}()
+	go func() { // want `goroutine is spawned without the in-scope context`
+		ch <- 1
+	}()
+	//edgebol:allow ctxleak -- fixture: fire-and-forget cleanup is deliberately detached
+	go func() { close(ch) }()
+}
+
+func siblings(ctx context.Context, s *server) {
+	s.Measure(1) // want `Measure ignores the in-scope context; use MeasureCtx`
+	s.MeasureCtx(ctx, 1)
+	s.Ping() // no context-capable sibling: fine
+}
+
+func noContextInScope(s *server) {
+	s.Measure(2)   // no context parameter here: fine
+	go func() {}() // fine
+}
+
+func blankContext(_ context.Context, s *server) {
+	s.Measure(3) // blank context parameter: function opted out
+}

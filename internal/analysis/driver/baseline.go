@@ -1,0 +1,119 @@
+// Baseline support: a committed JSON file of accepted findings that the
+// lint run subtracts before deciding its exit code. Entries are keyed by
+// (analyzer, file, message) with a count — deliberately line-number
+// independent, so unrelated edits that shift code do not invalidate the
+// baseline, while a *new* instance of a baselined message in the same
+// file still fires once the count is exceeded.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineVersion is the format version written to baseline files.
+const BaselineVersion = 1
+
+// Baseline is the on-disk accepted-findings set.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry accepts Count findings with this analyzer, file, and
+// message.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline (the state before the first -write-baseline run), any other
+// read or decode failure is an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: BaselineVersion}, nil
+	} else if err != nil {
+		return nil, fmt.Errorf("driver: read baseline: %v", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("driver: parse baseline %s: %v", path, err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("driver: baseline %s has version %d, want %d", path, b.Version, BaselineVersion)
+	}
+	return &b, nil
+}
+
+// Filter splits findings into those not covered by the baseline (kept,
+// in input order) and the number suppressed. Each entry suppresses at
+// most Count matching findings.
+func (b *Baseline) Filter(findings []Finding) (kept []Finding, suppressed int) {
+	budget := make(map[baselineKey]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	for _, f := range findings {
+		k := baselineKey{f.Analyzer, f.File, f.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, suppressed
+}
+
+// NewBaseline aggregates findings into a baseline, entries sorted by
+// (file, analyzer, message) for stable diffs.
+func NewBaseline(findings []Finding) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, f := range findings {
+		counts[baselineKey{f.Analyzer, f.File, f.Message}]++
+	}
+	keys := make([]baselineKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		return a.message < b.message
+	})
+	b := &Baseline{Version: BaselineVersion, Findings: make([]BaselineEntry, 0, len(keys))}
+	for _, k := range keys {
+		b.Findings = append(b.Findings, BaselineEntry{
+			Analyzer: k.analyzer,
+			File:     k.file,
+			Message:  k.message,
+			Count:    counts[k],
+		})
+	}
+	return b
+}
+
+// WriteBaselineFile writes the baseline for findings to path,
+// indented for reviewable diffs.
+func WriteBaselineFile(path string, findings []Finding) error {
+	data, err := json.MarshalIndent(NewBaseline(findings), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,185 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestBaselineFilterCounts(t *testing.T) {
+	b := &Baseline{Version: BaselineVersion, Findings: []BaselineEntry{
+		{Analyzer: "floateq", File: "a.go", Message: "compared with ==", Count: 2},
+	}}
+	findings := []Finding{
+		{Analyzer: "floateq", File: "a.go", Line: 3, Message: "compared with =="},
+		{Analyzer: "floateq", File: "a.go", Line: 9, Message: "compared with =="},
+		{Analyzer: "floateq", File: "a.go", Line: 12, Message: "compared with =="},
+		{Analyzer: "floateq", File: "b.go", Line: 1, Message: "compared with =="},
+	}
+	kept, suppressed := b.Filter(findings)
+	if suppressed != 2 {
+		t.Errorf("suppressed = %d, want 2", suppressed)
+	}
+	if len(kept) != 2 {
+		t.Fatalf("kept = %d findings, want 2", len(kept))
+	}
+	// Count exhausted: the third a.go instance fires, as does the b.go
+	// one (different file, never baselined).
+	if kept[0].Line != 12 || kept[1].File != "b.go" {
+		t.Errorf("kept = %v, want lines 12 (a.go) and 1 (b.go)", kept)
+	}
+}
+
+func TestBaselineLineIndependence(t *testing.T) {
+	b := NewBaseline([]Finding{
+		{Analyzer: "errignore", File: "x.go", Line: 10, Message: "error ignored"},
+	})
+	// The same finding at a different line is still suppressed.
+	kept, suppressed := b.Filter([]Finding{
+		{Analyzer: "errignore", File: "x.go", Line: 99, Message: "error ignored"},
+	})
+	if len(kept) != 0 || suppressed != 1 {
+		t.Errorf("kept=%d suppressed=%d, want 0/1: baseline must be line-independent", len(kept), suppressed)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	findings := []Finding{
+		{Analyzer: "globalrand", File: "b.go", Line: 4, Message: "uses global rand"},
+		{Analyzer: "floateq", File: "a.go", Line: 7, Message: "compared with =="},
+		{Analyzer: "globalrand", File: "b.go", Line: 9, Message: "uses global rand"},
+	}
+	if err := WriteBaselineFile(path, findings); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 2 {
+		t.Fatalf("entries = %d, want 2 (aggregated)", len(b.Findings))
+	}
+	// Sorted by file: a.go before b.go; counts aggregated.
+	if b.Findings[0].File != "a.go" || b.Findings[1].Count != 2 {
+		t.Errorf("entries = %+v, want a.go first and b.go count 2", b.Findings)
+	}
+	kept, suppressed := b.Filter(findings)
+	if len(kept) != 0 || suppressed != 3 {
+		t.Errorf("round trip: kept=%d suppressed=%d, want 0/3", len(kept), suppressed)
+	}
+}
+
+func TestLoadBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatalf("missing baseline should be empty, got error: %v", err)
+	}
+	if len(b.Findings) != 0 {
+		t.Errorf("missing baseline has %d findings, want 0", len(b.Findings))
+	}
+}
+
+func TestLoadBaselineRejectsUnknownVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("version 99 accepted, want error")
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	analyzers := []*analysis.Analyzer{
+		{Name: "floateq", Doc: "flags == on floats"},
+		{Name: "errignore", Doc: "flags dropped errors"},
+	}
+	findings := []Finding{
+		{Analyzer: "floateq", File: "internal/gp/gp.go", Line: 42, Col: 7, Message: "compared with =="},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, analyzers, findings); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "edgebol-lint" {
+		t.Errorf("tool name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 2 {
+		t.Errorf("rules = %d, want 2 (all analyzers listed even without findings)", len(run.Tool.Driver.Rules))
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "floateq" || r.Level != "warning" {
+		t.Errorf("result = %+v", r)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/gp/gp.go" || loc.Region.StartLine != 42 {
+		t.Errorf("location = %+v", loc)
+	}
+}
+
+func TestSortFindings(t *testing.T) {
+	fs := []Finding{
+		{Analyzer: "b", File: "z.go", Line: 1, Col: 1},
+		{Analyzer: "a", File: "a.go", Line: 9, Col: 1},
+		{Analyzer: "a", File: "a.go", Line: 2, Col: 5},
+		{Analyzer: "a", File: "a.go", Line: 2, Col: 1},
+	}
+	SortFindings(fs)
+	want := []Finding{
+		{Analyzer: "a", File: "a.go", Line: 2, Col: 1},
+		{Analyzer: "a", File: "a.go", Line: 2, Col: 5},
+		{Analyzer: "a", File: "a.go", Line: 9, Col: 1},
+		{Analyzer: "b", File: "z.go", Line: 1, Col: 1},
+	}
+	for i := range want {
+		if fs[i] != want[i] {
+			t.Errorf("fs[%d] = %v, want %v", i, fs[i], want[i])
+		}
+	}
+}

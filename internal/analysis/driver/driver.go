@@ -23,10 +23,49 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
 )
+
+// Finding is one rendered diagnostic: position flattened to a
+// wd-relative path so output is stable and editor-clickable regardless
+// of where the FileSet lives.
+type Finding struct {
+	Analyzer string
+	File     string
+	Line     int
+	Col      int
+	Message  string
+}
+
+// String renders the finding in the classic "file:line:col: analyzer:
+// message" form used by the text output.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// SortFindings orders findings by file, line, column, analyzer, message
+// — the stable order every output format relies on.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
 
 // listPackage is the subset of `go list -json` output the driver needs.
 type listPackage struct {
@@ -57,24 +96,41 @@ type Options struct {
 // number of diagnostics. A non-nil error means the run itself failed
 // (load or type-check error), independent of any findings.
 func Run(opts Options, w io.Writer) (int, error) {
-	if len(opts.Analyzers) == 0 {
-		return 0, errors.New("driver: no analyzers")
-	}
-	pkgs, exports, err := load(opts.Dir, opts.Patterns)
+	findings, err := Collect(opts)
 	if err != nil {
 		return 0, err
 	}
+	for _, f := range findings {
+		if _, err := fmt.Fprintln(w, f); err != nil {
+			return 0, fmt.Errorf("driver: write diagnostic: %v", err)
+		}
+	}
+	return len(findings), nil
+}
+
+// Collect analyzes the matched packages and returns every diagnostic as
+// a structured Finding, sorted by position. Output formatting (text,
+// SARIF) and baseline filtering layer on top of this.
+func Collect(opts Options) ([]Finding, error) {
+	if len(opts.Analyzers) == 0 {
+		return nil, errors.New("driver: no analyzers")
+	}
+	pkgs, exports, err := load(opts.Dir, opts.Patterns)
+	if err != nil {
+		return nil, err
+	}
 	fset := token.NewFileSet()
 	imp := exportImporter(fset, exports)
-	total := 0
+	var findings []Finding
 	for _, p := range pkgs {
-		n, err := analyzePackage(fset, imp, p, opts.Analyzers, w)
+		fs, err := analyzePackage(fset, imp, p, opts.Analyzers)
 		if err != nil {
-			return total, err
+			return nil, err
 		}
-		total += n
+		findings = append(findings, fs...)
 	}
-	return total, nil
+	SortFindings(findings)
+	return findings, nil
 }
 
 // load runs `go list -export -json -deps` and splits the result into
@@ -128,12 +184,12 @@ func exportImporter(fset *token.FileSet, exports map[string]string) types.Import
 
 // analyzePackage parses and type-checks one package, then runs every
 // analyzer whose Match accepts the package's import path.
-func analyzePackage(fset *token.FileSet, imp types.Importer, p listPackage, analyzers []*analysis.Analyzer, w io.Writer) (int, error) {
+func analyzePackage(fset *token.FileSet, imp types.Importer, p listPackage, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	var files []*ast.File
 	for _, name := range p.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
 		if err != nil {
-			return 0, fmt.Errorf("driver: parse %s: %v", name, err)
+			return nil, fmt.Errorf("driver: parse %s: %v", name, err)
 		}
 		files = append(files, f)
 	}
@@ -146,38 +202,39 @@ func analyzePackage(fset *token.FileSet, imp types.Importer, p listPackage, anal
 	}
 	pkg, err := conf.Check(p.ImportPath, fset, files, info)
 	if err != nil {
-		return 0, fmt.Errorf("driver: type-check %s: %v", p.ImportPath, err)
+		return nil, fmt.Errorf("driver: type-check %s: %v", p.ImportPath, err)
 	}
-	var diags []analysis.Diagnostic
+	var findings []Finding
 	for _, a := range analyzers {
 		if a.Match != nil && !a.Match(p.ImportPath) {
 			continue
 		}
+		name := a.Name
 		pass := analysis.NewPass(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
-			diags = append(diags, d)
+			pos := fset.Position(d.Pos)
+			findings = append(findings, Finding{
+				Analyzer: name,
+				File:     relFile(pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  d.Message,
+			})
 		})
 		if err := a.Run(pass); err != nil {
-			return 0, fmt.Errorf("driver: %s on %s: %v", a.Name, p.ImportPath, err)
+			return nil, fmt.Errorf("driver: %s on %s: %v", a.Name, p.ImportPath, err)
 		}
 	}
-	analysis.SortDiagnostics(fset, diags)
-	for _, d := range diags {
-		pos := fset.Position(d.Pos)
-		if _, err := fmt.Fprintf(w, "%s: %s: %s\n", relPosition(pos), d.Analyzer, d.Message); err != nil {
-			return 0, fmt.Errorf("driver: write diagnostic: %v", err)
-		}
-	}
-	return len(diags), nil
+	return findings, nil
 }
 
-// relPosition renders a position relative to the working directory when
+// relFile renders a filename relative to the working directory when
 // possible, for shorter and editor-clickable output.
-func relPosition(pos token.Position) string {
+func relFile(name string) string {
 	wd, err := os.Getwd()
 	if err == nil {
-		if rel, err := filepath.Rel(wd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
 		}
 	}
-	return pos.String()
+	return name
 }

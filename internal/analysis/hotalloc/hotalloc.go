@@ -1,0 +1,149 @@
+// Package hotalloc keeps the per-period sweep loops allocation-free.
+// PRs 2 and 4 took SelectControl from 20.1 s to 2.67 s largely by
+// hoisting every allocation out of the per-candidate loops — flat
+// scratch buffers reused across tiles, pre-sliced views, fixed-size
+// arrays. One stray make or append inside those loops reintroduces
+// garbage pressure that the benchmarks only catch after the damage is
+// merged; this check catches it at review time.
+//
+// The hot set is declared, not guessed: a function whose doc comment
+// contains the directive
+//
+//	//edgebol:hot
+//
+// is checked, and every allocation inside any of its loops is flagged —
+// make, new, append, composite literals, closures, and goroutine
+// launches. Allocations before the first loop (per-call scratch setup)
+// are fine; that is exactly where the optimized code puts them.
+//
+// An allocation that is intentional inside a hot loop (a slow path
+// taken once, an error path) carries //edgebol:allow hotalloc --
+// <reason>. Conversely, a function not yet annotated is not checked:
+// the directive is the contract that a function is on the per-period
+// path, and reviews of future hot-path work should add it.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "no allocation (make/new/append/literal/closure) inside the loops of //edgebol:hot functions",
+	Match: func(pkgPath string) bool {
+		switch pkgPath {
+		case "repro/internal/gp", "repro/internal/linalg", "repro/internal/core":
+			return true
+		}
+		return false
+	},
+	Run: run,
+}
+
+// Directive is the doc-comment marker that opts a function into the
+// check.
+const Directive = "//edgebol:hot"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHot(fd) {
+				continue
+			}
+			checkLoops(pass, fd.Body, false)
+		}
+	}
+	return nil
+}
+
+// isHot reports whether the function's doc comment carries the
+// directive.
+func isHot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, Directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLoops walks statements; inLoop tracks whether the walk is inside
+// any for/range body, where allocations are flagged.
+func checkLoops(pass *analysis.Pass, n ast.Node, inLoop bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ForStmt:
+			if m.Init != nil {
+				checkLoops(pass, m.Init, inLoop)
+			}
+			if m.Cond != nil {
+				checkLoops(pass, m.Cond, inLoop)
+			}
+			if m.Post != nil {
+				checkLoops(pass, m.Post, inLoop)
+			}
+			checkLoops(pass, m.Body, true)
+			return false
+		case *ast.RangeStmt:
+			checkLoops(pass, m.X, inLoop)
+			checkLoops(pass, m.Body, true)
+			return false
+		case *ast.FuncLit:
+			if inLoop {
+				pass.Reportf(m.Pos(), "closure allocated inside a hot loop; hoist it or restructure")
+				return false
+			}
+			// A closure defined outside the loops is per-call setup;
+			// its body is still part of the hot path.
+			checkLoops(pass, m.Body, false)
+			return false
+		case *ast.GoStmt:
+			if inLoop {
+				pass.Reportf(m.Pos(), "goroutine launched inside a hot loop; fan out once per sweep, not per iteration")
+			}
+			return true
+		case *ast.CompositeLit:
+			if inLoop {
+				pass.Reportf(m.Pos(), "composite literal allocates inside a hot loop; hoist it to per-call scratch")
+				return false
+			}
+		case *ast.CallExpr:
+			if !inLoop {
+				return true
+			}
+			if id, ok := m.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "make", "new":
+					if isBuiltin(pass, id) {
+						pass.Reportf(m.Pos(), "%s inside a hot loop; allocate per-call scratch before the loop", id.Name)
+					}
+				case "append":
+					if isBuiltin(pass, id) {
+						pass.Reportf(m.Pos(), "append inside a hot loop may grow its backing array; pre-size the buffer before the loop")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltin reports whether id resolves to the universe-scope builtin
+// of the same name (not a shadowing local).
+func isBuiltin(pass *analysis.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return true // builtins often have no Uses entry; trust the name
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}

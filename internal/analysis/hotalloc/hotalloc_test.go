@@ -1,0 +1,23 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "hotalloctest")
+}
+
+func TestMatchScopesNumericPackages(t *testing.T) {
+	for _, pkg := range []string{"repro/internal/gp", "repro/internal/linalg", "repro/internal/core"} {
+		if !hotalloc.Analyzer.Match(pkg) {
+			t.Errorf("Match(%s) = false, want true", pkg)
+		}
+	}
+	if hotalloc.Analyzer.Match("repro/internal/oran") {
+		t.Error("Match(repro/internal/oran) = true, want false")
+	}
+}

@@ -1,0 +1,74 @@
+package hotalloctest
+
+type point struct{ x, y int }
+
+//edgebol:hot
+func hotSweep(xs []float64, out []float64) {
+	buf := make([]float64, 8) // before the loop: fine
+	for i := range xs {
+		tmp := make([]float64, 4) // want `make inside a hot loop`
+		_ = tmp
+		out[i] = xs[i] + buf[0]
+	}
+}
+
+//edgebol:hot
+func hotAppend(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x) // want `append inside a hot loop`
+	}
+	return out
+}
+
+//edgebol:hot
+func hotClosure(xs []float64) {
+	double := func(v float64) float64 { return v * 2 } // hoisted: fine
+	for i := range xs {
+		f := func() {} // want `closure allocated inside a hot loop`
+		f()
+		xs[i] = double(xs[i])
+	}
+}
+
+//edgebol:hot
+func hotGo(xs []float64, ch chan float64) {
+	for _, x := range xs {
+		go send(ch, x) // want `goroutine launched inside a hot loop`
+	}
+}
+
+func send(ch chan float64, x float64) { ch <- x }
+
+//edgebol:hot
+func hotLiteral(n int) {
+	var p point
+	for i := 0; i < n; i++ {
+		p = point{i, i} // want `composite literal allocates inside a hot loop`
+	}
+	_ = p
+}
+
+//edgebol:hot
+func hotWaived(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x < 0 {
+			//edgebol:allow hotalloc -- fixture: error path, taken at most once per sweep
+			out = append(out, -x)
+			continue
+		}
+		out = out[:len(out)+1]
+		out[len(out)-1] = x
+	}
+	return out
+}
+
+// Not annotated: allocations in its loops are not the per-period path.
+func coldAlloc(xs []float64) [][]float64 {
+	var out [][]float64
+	for _, x := range xs {
+		out = append(out, []float64{x})
+	}
+	return out
+}

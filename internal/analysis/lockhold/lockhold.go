@@ -1,0 +1,310 @@
+// Package lockhold forbids blocking while holding a mutex. The O-RAN
+// control plane serializes its connection tables behind sync.Mutex; a
+// channel receive, a network write, or a testbed measurement performed
+// inside the critical section turns a slow peer into a wedged control
+// plane — every other period blocks on the lock, and the agent's
+// learning loop stalls without any error surfacing.
+//
+// The analysis runs a forward may-held dataflow over each function's
+// control-flow graph: Lock/RLock on a sync.Mutex or sync.RWMutex adds
+// the receiver path to the held set, Unlock/RUnlock removes it, block
+// entry states merge by union (held on any path counts), and a
+// deferred Unlock releases nothing — the lock stays held to function
+// exit, which is exactly the semantics of the lock-then-defer idiom.
+//
+// Blocking operations flagged while any mutex may be held:
+//
+//   - channel sends and receives, except the comm clauses of a select
+//     that has a default (those never block);
+//   - time.Sleep, sync.WaitGroup.Wait, sync.Cond.Wait;
+//   - calls into package net or net/http (dials, conn reads/writes);
+//   - calls to methods named Measure or MeasureCtx — the testbed's
+//     measurement path, which spans a full control period.
+//
+// Critical sections that must block by design (a condition-variable
+// handshake, a bounded handoff under lock) carry
+// //edgebol:allow lockhold -- <reason>.
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer is the lockhold check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "no blocking channel op, network call, or testbed measurement while a mutex is held",
+	Match: func(pkgPath string) bool {
+		return strings.HasPrefix(pkgPath, "repro/internal/")
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockSet is the set of held mutexes, keyed by the receiver expression
+// path ("s.mu", "tbl.locks[i]" renders as "tbl.locks").
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s lockSet) mergeFrom(o lockSet) bool {
+	grew := false
+	for k := range o {
+		if !s[k] {
+			s[k] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	// nonBlocking marks the comm operations of selects that have a
+	// default clause: those sends/receives never block.
+	nonBlocking := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals are analyzed as their own functions
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if hasDefault {
+			for _, c := range sel.Body.List {
+				if comm := c.(*ast.CommClause).Comm; comm != nil {
+					nonBlocking[comm] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Forward may-held dataflow to a fixpoint at block granularity.
+	in := make(map[*cfg.Block]lockSet)
+	for _, blk := range g.Blocks {
+		in[blk] = make(lockSet)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range g.Blocks {
+			out := in[blk].clone()
+			for _, n := range blk.Nodes {
+				applyLocks(pass, n, out)
+			}
+			for _, succ := range blk.Succs {
+				if in[succ].mergeFrom(out) {
+					changed = true
+				}
+			}
+		}
+	}
+	// Report pass: replay each block, checking every node against the
+	// held set in flow order before applying its own lock effects.
+	for _, blk := range g.Blocks {
+		held := in[blk].clone()
+		for _, n := range blk.Nodes {
+			if len(held) > 0 {
+				reportBlocking(pass, n, held, nonBlocking)
+			}
+			applyLocks(pass, n, held)
+		}
+	}
+}
+
+// applyLocks updates the held set with n's Lock/Unlock effects. A
+// deferred Unlock is ignored: it releases at return, not here.
+func applyLocks(pass *analysis.Pass, n ast.Node, held lockSet) {
+	cfg.Inspect(n, func(m ast.Node) bool {
+		if _, isDefer := m.(*ast.DeferStmt); isDefer {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, key, ok := mutexOp(pass, call)
+		if !ok {
+			return true
+		}
+		switch name {
+		case "Lock", "RLock":
+			held[key] = true
+		case "Unlock", "RUnlock":
+			delete(held, key)
+		}
+		return true
+	})
+}
+
+// mutexOp recognizes a call to (*sync.Mutex)/(*sync.RWMutex) Lock,
+// RLock, Unlock, or RUnlock and returns the method name and the
+// rendered receiver path.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (name, key string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFunc || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	rt := recv.Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	if tn := named.Obj().Name(); tn != "Mutex" && tn != "RWMutex" {
+		return "", "", false
+	}
+	return sel.Sel.Name, exprPath(sel.X), true
+}
+
+// reportBlocking flags the blocking operations inside a block-level
+// node, given the currently held locks.
+func reportBlocking(pass *analysis.Pass, n ast.Node, held lockSet, nonBlocking map[ast.Node]bool) {
+	if nonBlocking[n] {
+		return
+	}
+	heldNames := make([]string, 0, len(held))
+	for k := range held {
+		heldNames = append(heldNames, k)
+	}
+	mutexes := strings.Join(heldNames, ", ")
+	cfg.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			if !nonBlocking[ast.Node(m)] {
+				pass.Reportf(m.Arrow, "channel send while %s is held; a full buffer wedges the critical section", mutexes)
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				pass.Reportf(m.OpPos, "channel receive while %s is held; a silent peer wedges the critical section", mutexes)
+			}
+		case *ast.CallExpr:
+			if why, blocking := blockingCall(pass, m); blocking {
+				pass.Reportf(m.Pos(), "%s while %s is held", why, mutexes)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies calls that can block indefinitely or for a
+// full control period.
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if pkg := obj.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "time":
+			if name == "Sleep" {
+				return "time.Sleep", true
+			}
+		case "sync":
+			if name == "Wait" {
+				return "sync." + recvTypeName(obj) + ".Wait", true
+			}
+		case "net", "net/http":
+			// Teardown and metadata calls complete without waiting on
+			// the peer; closing connections under the state lock is the
+			// idiomatic shutdown sequence, not a hold-and-wait hazard.
+			switch name {
+			case "Close", "LocalAddr", "RemoteAddr", "Addr",
+				"SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+				return "", false
+			}
+			return "network call " + pkg.Path() + "." + name, true
+		}
+	}
+	if name == "Measure" || name == "MeasureCtx" {
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "testbed measurement " + name, true
+		}
+	}
+	return "", false
+}
+
+func recvTypeName(f *types.Func) string {
+	recv := f.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// exprPath renders a receiver expression as a stable key: identifiers
+// and selector chains keep their spelling, everything else collapses to
+// its outermost path component.
+func exprPath(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprPath(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprPath(e.X)
+	case *ast.StarExpr:
+		return exprPath(e.X)
+	case *ast.CallExpr:
+		return exprPath(e.Fun) + "()"
+	}
+	return "mutex"
+}

@@ -1,0 +1,21 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockhold"
+)
+
+func TestLockHold(t *testing.T) {
+	analysistest.Run(t, "testdata", lockhold.Analyzer, "lockholdtest")
+}
+
+func TestMatchScopesInternal(t *testing.T) {
+	if !lockhold.Analyzer.Match("repro/internal/telemetry") {
+		t.Error("Match(repro/internal/telemetry) = false, want true")
+	}
+	if lockhold.Analyzer.Match("repro") {
+		t.Error("Match(repro) = true, want false")
+	}
+}

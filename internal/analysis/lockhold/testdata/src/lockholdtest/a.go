@@ -1,0 +1,106 @@
+package lockholdtest
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	v  int
+}
+
+type probe struct{}
+
+func (probe) Measure(x int) int { return x }
+
+func (b *box) recvUnderLock() {
+	b.mu.Lock()
+	<-b.ch // want `channel receive while b.mu is held`
+	b.mu.Unlock()
+}
+
+func (b *box) sendAfterUnlock() {
+	b.mu.Lock()
+	b.v++
+	b.mu.Unlock()
+	b.ch <- 1 // released first: fine
+}
+
+func (b *box) deferHoldsToExit(p probe) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p.Measure(b.v) // want `testbed measurement Measure while b.mu is held`
+}
+
+func (b *box) sleepUnderRLock() {
+	b.rw.RLock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while b.rw is held`
+	b.rw.RUnlock()
+}
+
+func (b *box) wgWait(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	wg.Wait() // want `sync.WaitGroup.Wait while b.mu is held`
+	b.mu.Unlock()
+}
+
+func (b *box) selectWithDefault() {
+	b.mu.Lock()
+	select {
+	case v := <-b.ch: // non-blocking poll: fine
+		b.v = v
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) selectWithoutDefault() {
+	b.mu.Lock()
+	select {
+	case v := <-b.ch: // want `channel receive while b.mu is held`
+		b.v = v
+	case b.ch <- 1: // want `channel send while b.mu is held`
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) dialUnderLock() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, err := net.Dial("tcp", "localhost:1") // want `network call net.Dial while b.mu is held`
+	return err
+}
+
+func (b *box) mayHold(cond bool) {
+	b.mu.Lock()
+	if cond {
+		b.mu.Unlock()
+	}
+	<-b.ch // want `channel receive while b.mu is held`
+}
+
+func (b *box) fullyReleased(cond bool) {
+	b.mu.Lock()
+	if cond {
+		b.v++
+	}
+	b.mu.Unlock()
+	<-b.ch // released on every path: fine
+}
+
+func (b *box) closeUnderLock(c net.Conn) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return c.Close() // teardown is non-blocking: fine
+}
+
+func (b *box) waivedHandoff() {
+	b.mu.Lock()
+	//edgebol:allow lockhold -- fixture: bounded handoff, receiver drains promptly by contract
+	b.ch <- b.v
+	b.mu.Unlock()
+}

@@ -1,0 +1,408 @@
+// Package nanguard keeps NaN out of the posterior math. In gp, linalg,
+// and core, the results of math.Sqrt, math.Log, and floating-point
+// division feed straight into the acquisition sweep; a single NaN there
+// does not crash anything — it silently poisons every comparison it
+// touches (NaN compares false), so the safe-set test and the LCB argmin
+// quietly select garbage. The paper's controller is only trustworthy if
+// these producers are guarded at the source.
+//
+// A producer is flagged unless one of the following holds:
+//
+//   - the operand is non-negative (for Sqrt), positive (for Log), or
+//     non-zero (for division) by construction: a constant, a square
+//     x*x, |x|, e^x, a sum/product of such terms;
+//   - a guard dominates it: some if/for/switch condition mentioning one
+//     of the operand's variables lies on every path from the function
+//     entry to the producer (the early-return `if v < 0 { ... }` and
+//     clamp `if v < 0 { v = 0 }` idioms, recognized through the CFG's
+//     dominator relation, whichever way the branch is written);
+//   - the result is checked afterwards: the producer's value is bound
+//     to a variable that some later condition mentions (the
+//     `s := math.Sqrt(x); if math.IsNaN(s)` idiom).
+//
+// Divisions are only flagged when the denominator involves a
+// floating-point variable. Integer-derived denominators
+// (float64(n−1), ...) cannot produce NaN from rounding and are almost
+// always structurally bounded away from zero; flagging them would bury
+// the real signal.
+//
+// Values that are non-negative for reasons the analysis cannot see
+// (a sum of squared distances, a validated configuration) carry
+// //edgebol:allow nanguard -- <reason>.
+package nanguard
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer is the nanguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nanguard",
+	Doc:  "math.Sqrt/math.Log/division results must be guarded before they flow into posterior math",
+	Match: func(pkgPath string) bool {
+		switch pkgPath {
+		case "repro/internal/gp", "repro/internal/linalg", "repro/internal/core":
+			return true
+		}
+		return false
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// producer is one risky value source found in a function body.
+type producer struct {
+	node    ast.Node // the call or binary expression
+	operand ast.Expr // the argument that must be safe
+	what    string   // "math.Sqrt", "math.Log", "division"
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var prods []producer
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals get their own walk
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := mathCall(pass, n); ok && len(n.Args) == 1 {
+				switch name {
+				case "Sqrt":
+					if !nonNegative(pass, n.Args[0]) {
+						prods = append(prods, producer{n, n.Args[0], "math.Sqrt"})
+					}
+				case "Log", "Log2", "Log10":
+					if !positive(pass, n.Args[0]) {
+						prods = append(prods, producer{n, n.Args[0], "math." + name})
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.QUO && isFloat(pass, n) && involvesFloatVar(pass, n.Y) && !nonZero(pass, n.Y) {
+				prods = append(prods, producer{n, n.Y, "division"})
+			}
+		}
+		return true
+	})
+	if len(prods) == 0 {
+		return
+	}
+
+	g := cfg.New(body)
+	conds := condMentions(pass, g)
+	for _, p := range prods {
+		at, _ := g.NodeAt(p.node.Pos())
+		if at == nil {
+			continue // unreachable
+		}
+		if guarded(pass, g, conds, p, at) {
+			continue
+		}
+		pass.Reportf(p.node.Pos(), "%s result can be NaN/Inf: no guard on %s dominates it and its result is never checked", p.what, operandText(p.operand))
+	}
+}
+
+// condMention pairs a guard expression with the variable objects it
+// mentions.
+type condMention struct {
+	node ast.Node
+	vars map[types.Object]bool
+}
+
+// condMentions indexes every guard expression in the graph by the
+// variables it references.
+func condMentions(pass *analysis.Pass, g *cfg.Graph) []condMention {
+	var out []condMention
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				continue
+			}
+			if _, isCond := g.IsCond(e); !isCond {
+				continue
+			}
+			out = append(out, condMention{node: n, vars: mentionedVars(pass, e)})
+		}
+	}
+	return out
+}
+
+// guarded reports whether producer p is protected: a dominating guard
+// mentions one of the operand's variables, or the bound result is
+// mentioned by a condition the producer dominates.
+func guarded(pass *analysis.Pass, g *cfg.Graph, conds []condMention, p producer, at ast.Node) bool {
+	operandVars := mentionedVars(pass, p.operand)
+	resultVars := boundVars(pass, p.node, at)
+	for _, c := range conds {
+		if g.NodeDominates(c.node, at) && intersects(c.vars, operandVars) {
+			return true
+		}
+		// Post-check: the producer dominates a condition that inspects
+		// the variable its result was bound to.
+		if len(resultVars) > 0 && g.NodeDominates(at, c.node) && c.node != at && intersects(c.vars, resultVars) {
+			return true
+		}
+	}
+	return false
+}
+
+// boundVars returns the variables the producer's enclosing statement
+// binds, when that statement is a 1:1 assignment containing p.
+func boundVars(pass *analysis.Pass, prod, at ast.Node) map[types.Object]bool {
+	assign, ok := at.(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != len(assign.Rhs) {
+		return nil
+	}
+	out := make(map[types.Object]bool)
+	for i, rhs := range assign.Rhs {
+		if !containsNode(rhs, prod) {
+			continue
+		}
+		if id, ok := assign.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+			if obj := objOf(pass, id); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func containsNode(root ast.Expr, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionedVars collects the variable objects an expression references:
+// locals, parameters, and fields (a guard on a.sigma protects uses of
+// a.sigma).
+func mentionedVars(pass *analysis.Pass, e ast.Expr) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := objOf(pass, id); obj != nil {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if v, ok := obj.(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func intersects(a, b map[types.Object]bool) bool {
+	for k := range b {
+		if a[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// mathCall recognizes a call to a math-package function.
+func mathCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "math" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// involvesFloatVar reports whether e mentions a floating-point
+// variable; integer-derived expressions are exempt from the division
+// rule.
+func involvesFloatVar(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+			if b, ok := v.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// constValue returns the exact constant value of e, if it has one.
+func constValue(pass *analysis.Pass, e ast.Expr) (constant.Value, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return nil, false
+	}
+	return tv.Value, true
+}
+
+// nonNegative reports whether e is ≥ 0 by construction.
+func nonNegative(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if v, ok := constValue(pass, e); ok {
+		return constant.Sign(constant.Real(v)) >= 0
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.MUL:
+			// A square, or a product of non-negative factors.
+			if samePath(e.X, e.Y) {
+				return true
+			}
+			return nonNegative(pass, e.X) && nonNegative(pass, e.Y)
+		case token.ADD:
+			return nonNegative(pass, e.X) && nonNegative(pass, e.Y)
+		}
+	case *ast.CallExpr:
+		if name, ok := mathCall(pass, e); ok {
+			switch name {
+			case "Abs", "Exp", "Exp2", "Sqrt", "Hypot":
+				return true
+			}
+		}
+		// float64(len(xs)) and friends: a conversion of a non-negative
+		// integer expression.
+		if len(e.Args) == 1 {
+			if inner, ok := ast.Unparen(e.Args[0]).(*ast.CallExpr); ok {
+				if id, isIdent := inner.Fun.(*ast.Ident); isIdent && (id.Name == "len" || id.Name == "cap") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// positive reports whether e is > 0 by construction.
+func positive(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if v, ok := constValue(pass, e); ok {
+		return constant.Sign(constant.Real(v)) > 0
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if name, ok := mathCall(pass, call); ok && (name == "Exp" || name == "Exp2") {
+			return true
+		}
+	}
+	return false
+}
+
+// nonZero reports whether e is bounded away from zero by construction.
+func nonZero(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if v, ok := constValue(pass, e); ok {
+		return constant.Sign(constant.Real(v)) != 0
+	}
+	// A sum with a positive constant term (x*x + eps, d + 1) cannot be
+	// zero when the variable part is non-negative.
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.ADD {
+		if positive(pass, b.X) && nonNegative(pass, b.Y) {
+			return true
+		}
+		if positive(pass, b.Y) && nonNegative(pass, b.X) {
+			return true
+		}
+	}
+	return false
+}
+
+// samePath reports whether two expressions are the same identifier or
+// selector chain, as in x*x.
+func samePath(a, b ast.Expr) bool {
+	pa, oka := pathOf(a)
+	pb, okb := pathOf(b)
+	return oka && okb && pa == pb
+}
+
+func pathOf(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := pathOf(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.IndexExpr:
+		base, ok := pathOf(e.X)
+		if !ok {
+			return "", false
+		}
+		idx, ok := pathOf(e.Index)
+		if !ok {
+			return "", false
+		}
+		return base + "[" + idx + "]", true
+	case *ast.BasicLit:
+		return e.Value, true
+	}
+	return "", false
+}
+
+// operandText renders a short description of the operand for the
+// diagnostic.
+func operandText(e ast.Expr) string {
+	if p, ok := pathOf(e); ok {
+		return p
+	}
+	return "the operand"
+}

@@ -1,0 +1,23 @@
+package nanguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nanguard"
+)
+
+func TestNaNGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", nanguard.Analyzer, "nanguardtest")
+}
+
+func TestMatchScopesNumericPackages(t *testing.T) {
+	for _, pkg := range []string{"repro/internal/gp", "repro/internal/linalg", "repro/internal/core"} {
+		if !nanguard.Analyzer.Match(pkg) {
+			t.Errorf("Match(%s) = false, want true", pkg)
+		}
+	}
+	if nanguard.Analyzer.Match("repro/internal/oran") {
+		t.Error("Match(repro/internal/oran) = true, want false")
+	}
+}

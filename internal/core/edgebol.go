@@ -18,6 +18,8 @@ type Affine struct {
 }
 
 // Norm applies the transform.
+//
+//edgebol:allow nanguard -- Scale is a fixed positive normalization constant (see Normalization below)
 func (a Affine) Norm(y float64) float64 { return (y - a.Center) / a.Scale }
 
 // Normalization holds the per-objective affine transforms applied to raw
@@ -492,6 +494,8 @@ func (a *Agent) Observations() int { return a.t }
 // SelectControl runs lines 4–7 of Algorithm 1 for the given context:
 // compute the three posteriors over the whole grid, build the safe set
 // (eq. 8, always including S₀), and minimize the constrained LCB (eq. 9).
+//
+//edgebol:hot
 func (a *Agent) SelectControl(ctx Context) (Control, SelectionInfo) {
 	start := time.Now()
 	var cbuf [ContextDims]float64

@@ -219,6 +219,7 @@ func (g *GP) Posterior(x []float64) (mu, sigma float64) {
 	prior := g.kernel.Prior()
 	n := g.Len()
 	if n == 0 {
+		//edgebol:allow nanguard -- prior variance is positive by the Kernel contract (Prior is k(x,x) > 0)
 		return 0, math.Sqrt(prior)
 	}
 	k := make([]float64, n)
@@ -336,6 +337,8 @@ func (g *GP) PosteriorBatchWorkers(candidates [][]float64, mu, sigma []float64, 
 // dot product and squared solve norm folded into the panel passes). The
 // scratch buffers are local to the call: read-path inference shares no
 // mutable state.
+//
+//edgebol:hot
 func (g *GP) posteriorRange(candidates [][]float64, mu, sigma []float64) {
 	n := g.Len()
 	prior := g.kernel.Prior()

@@ -59,6 +59,9 @@ func DefaultFitOptions(rng *rand.Rand) FitOptions {
 }
 
 func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	if lo <= 0 || hi <= 0 {
+		panic(fmt.Sprintf("gp: log-uniform bounds must be positive, got [%g, %g]", lo, hi))
+	}
 	return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
 }
 

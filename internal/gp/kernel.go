@@ -39,6 +39,7 @@ type Kernel interface {
 func scaledSqDist(a, b, ls []float64) float64 {
 	var s float64
 	for i, l := range ls {
+		//edgebol:allow nanguard -- length scales are validated positive by checkLengthScales at construction
 		d := (a[i] - b[i]) / l
 		s += d * d
 	}
@@ -61,6 +62,7 @@ func reciprocals(ls []float64, buf *[invBufLen]float64) []float64 {
 		inv = inv[:len(ls)]
 	}
 	for i, l := range ls {
+		//edgebol:allow nanguard -- length scales are validated positive by checkLengthScales at construction
 		inv[i] = 1 / l
 	}
 	return inv
@@ -134,6 +136,7 @@ func (k *Matern32) Prior() float64 { return 1 }
 
 // Eval implements Kernel.
 func (k *Matern32) Eval(a, b []float64) float64 {
+	//edgebol:allow nanguard -- scaledSqDist is a sum of squares, non-negative by construction
 	d := math.Sqrt(3 * scaledSqDist(a, b, k.LengthScales))
 	return (1 + d) * math.Exp(-d)
 }
@@ -145,6 +148,7 @@ func (k *Matern32) EvalBatch(xs []float64, stride int, z []float64, out []float6
 	inv := reciprocals(k.LengthScales, &buf)
 	for i := range out {
 		row := xs[i*stride:]
+		//edgebol:allow nanguard -- scaledSqDistInv is a sum of squares, non-negative by construction
 		d := math.Sqrt(3 * scaledSqDistInv(row, z, inv))
 		out[i] = (1 + d) * math.Exp(-d)
 	}
@@ -174,6 +178,7 @@ func (k *Matern52) Prior() float64 { return 1 }
 // Eval implements Kernel.
 func (k *Matern52) Eval(a, b []float64) float64 {
 	s2 := 5 * scaledSqDist(a, b, k.LengthScales)
+	//edgebol:allow nanguard -- s2 scales a sum of squares, non-negative by construction
 	d := math.Sqrt(s2)
 	return (1 + d + s2/3) * math.Exp(-d)
 }
@@ -186,6 +191,7 @@ func (k *Matern52) EvalBatch(xs []float64, stride int, z []float64, out []float6
 	for i := range out {
 		row := xs[i*stride:]
 		s2 := 5 * scaledSqDistInv(row, z, inv)
+		//edgebol:allow nanguard -- s2 scales a sum of squares, non-negative by construction
 		d := math.Sqrt(s2)
 		out[i] = (1 + d + s2/3) * math.Exp(-d)
 	}

@@ -137,6 +137,7 @@ func NewSweepPlan(g *GP, ctxDims int, levels [][]float64) (*SweepPlan, error) {
 		tables:  make([][][]float64, len(levels)),
 	}
 	for i, l := range ls {
+		//edgebol:allow nanguard -- length scales are validated positive by checkLengthScales at construction
 		p.inv[i] = 1 / l
 	}
 	for d, lv := range levels {
@@ -286,6 +287,8 @@ func (p *SweepPlan) Sweep(ctx []float64, mu, sigma []float64, workers int) {
 // cross-covariance column from the distance tables and context partials,
 // then run tiles of sweepTile columns through the fused solve — the same
 // tiling as posteriorRange, so shard boundaries never change results.
+//
+//edgebol:hot
 func (p *SweepPlan) sweepRange(lo, hi int, c0, c1, mu, sigma []float64) {
 	g := p.g
 	n := g.Len()
@@ -335,6 +338,8 @@ func (p *SweepPlan) sweepRange(lo, hi int, c0, c1, mu, sigma []float64) {
 // levelIndices decodes a grid index into per-dimension level indices,
 // last control dimension fastest (the enumeration order of
 // core.GridSpec.Enumerate).
+//
+//edgebol:hot
 func (p *SweepPlan) levelIndices(g int, li []int) {
 	for d := len(p.levels) - 1; d >= 0; d-- {
 		l := len(p.levels[d])
@@ -347,6 +352,8 @@ func (p *SweepPlan) levelIndices(g int, li []int) {
 // column from the selected table rows and the context partials, summing
 // each chain in ascending dimension order — the floating-point order of
 // scaledSqDistInv.
+//
+//edgebol:hot
 func fillSqDist(col, c0, c1 []float64, rowsE, rowsO [][]float64) {
 	if len(rowsE) == 2 && len(rowsO) == 2 {
 		// EdgeBOL's layout: 3 context + 4 control dimensions split the
@@ -371,16 +378,20 @@ func fillSqDist(col, c0, c1 []float64, rowsE, rowsO [][]float64) {
 
 // applyTail maps squared distances to covariances in place, with
 // expressions identical to the kernels' EvalBatch.
+//
+//edgebol:hot
 func (p *SweepPlan) applyTail(col []float64) {
 	switch p.tail {
 	case tailMatern32:
 		for i, d2 := range col {
+			//edgebol:allow nanguard -- d2 is a squared distance, non-negative by construction
 			d := math.Sqrt(3 * d2)
 			col[i] = (1 + d) * math.Exp(-d)
 		}
 	case tailMatern52:
 		for i, d2 := range col {
 			s2 := 5 * d2
+			//edgebol:allow nanguard -- s2 scales a squared distance, non-negative by construction
 			d := math.Sqrt(s2)
 			col[i] = (1 + d + s2/3) * math.Exp(-d)
 		}

@@ -158,6 +158,7 @@ func Dot(a, b []float64) float64 {
 
 // Norm2 returns the Euclidean norm of v.
 func Norm2(v []float64) float64 {
+	//edgebol:allow nanguard -- Dot(v, v) is a sum of squares, non-negative by construction
 	return math.Sqrt(Dot(v, v))
 }
 

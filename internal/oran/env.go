@@ -55,17 +55,9 @@ type Deployment struct {
 }
 
 // Deploy stands up the whole Fig. 7 stack on loopback ephemeral ports
-// around the given environment (typically a *testbed.Testbed).
-//
-// Deprecated: use DeployWithOptions or DeployContext, which add telemetry
-// and cancellation. This shim survives for pre-telemetry callers.
-func Deploy(env core.Environment, timeout time.Duration) (*Deployment, error) {
-	return DeployContext(context.Background(), env, DeployOptions{Timeout: timeout})
-}
-
-// DeployWithOptions stands up the stack with the given options and no
-// cancellation scope.
-func DeployWithOptions(env core.Environment, opts DeployOptions) (*Deployment, error) {
+// around the given environment (typically a *testbed.Testbed), with the
+// given options and no cancellation scope.
+func Deploy(env core.Environment, opts DeployOptions) (*Deployment, error) {
 	return DeployContext(context.Background(), env, opts)
 }
 
@@ -146,6 +138,7 @@ func DeployContext(ctx context.Context, env core.Environment, opts DeployOptions
 		}
 		d.httpLn = ln
 		d.httpSrv = &http.Server{Handler: telemetry.Mux(reg)}
+		//edgebol:allow ctxleak -- Serve loop is stopped by the ctx AfterFunc below via Close, not by observing ctx
 		go func() { _ = d.httpSrv.Serve(ln) }() // Serve returns ErrServerClosed on Close
 	}
 	// After this point the deployment owns its components; a ctx cancel

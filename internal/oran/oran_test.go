@@ -169,7 +169,7 @@ func newDeployment(t *testing.T, seed int64) (*Deployment, *testbed.Testbed) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := Deploy(tb, 3*time.Second)
+	d, err := Deploy(tb, DeployOptions{Timeout: 3 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

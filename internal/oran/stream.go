@@ -250,6 +250,7 @@ func SubscribeKPIsContext(ctx context.Context, addr string, timeout time.Duratio
 	// Cancellation closes the conn, which unblocks the reader and closes
 	// the channel — the same teardown path as an explicit cancel call.
 	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	//edgebol:allow ctxleak -- reader observes cancellation through the AfterFunc above closing the conn
 	go func() {
 		defer stop()
 		defer close(out)

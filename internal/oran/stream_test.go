@@ -157,7 +157,7 @@ func TestSubscriptionThroughDeployment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := Deploy(tb, 3*time.Second)
+	d, err := Deploy(tb, DeployOptions{Timeout: 3 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -320,6 +320,7 @@ func (c *Client) CallCtx(ctx context.Context, req Message) (Message, error) {
 	}
 	// One reconnect attempt: control-plane endpoints restart in practice.
 	d := net.Dialer{Timeout: c.timeout}
+	//edgebol:allow lockhold -- reconnect dial is timeout- and ctx-bounded; the client serializes calls under mu by design
 	conn, dialErr := d.DialContext(ctx, "tcp", c.addr)
 	if dialErr != nil {
 		return Message{}, err
