@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-baseline fmt fmt-check vet check bench bench-check metrics-smoke clean
+.PHONY: all build test race lint lint-baseline fmt fmt-check vet check bench bench-check metrics-smoke ckpt-smoke clean
 
 all: build
 
@@ -48,6 +48,12 @@ check: build fmt-check lint test race
 # and greps for the documented core/gp/oran/testbed metric families.
 metrics-smoke:
 	sh scripts/metrics_smoke.sh
+
+# ckpt-smoke runs the kill-and-resume workflow through the edgebol-sim
+# CLI: checkpoint every 6 periods, exit at 12, resume from the latest
+# snapshot, verify the resume period and the ckpt inspection output.
+ckpt-smoke:
+	sh scripts/ckpt_smoke.sh
 
 # bench reruns the GP-inference benchmarks (posterior sweep over the
 # 14 641-point grid and full SelectControl periods at t ∈ {50, 200, 1000})

@@ -6,11 +6,22 @@
 //
 //	edgebol-sim [-periods N] [-users N] [-snr DB] [-delta1 F] [-delta2 F]
 //	            [-dmax S] [-rmin F] [-grid LEVELS] [-seed N] [-quiet]
-//	            [-metrics ADDR]
+//	            [-metrics ADDR] [-checkpoint-dir DIR] [-checkpoint-every N]
+//	            [-resume PATH]
+//	edgebol-sim ckpt info PATH
+//	edgebol-sim ckpt latest DIR
 //
 // With -metrics, a registry instruments the agent and the testbed and an
 // HTTP server on ADDR serves /metrics (Prometheus text) and /debug/pprof
 // so a long run can be watched live.
+//
+// With -checkpoint-dir, the agent's learned state is committed into DIR
+// every -checkpoint-every periods (crash-safe write-then-rename, LATEST
+// pointer). A later run passing -resume PATH (or -resume latest with
+// -checkpoint-dir) warm-starts from that snapshot instead of learning from
+// scratch; restore is bitwise lossless, so the resumed run continues
+// exactly where the interrupted one stopped. The ckpt subcommand inspects
+// snapshot files without loading an agent.
 package main
 
 import (
@@ -21,14 +32,20 @@ import (
 	"os"
 
 	"repro/internal/bandit"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/oran"
 	"repro/internal/ran"
 	"repro/internal/telemetry"
 	"repro/internal/testbed"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "ckpt" {
+		ckptMain(os.Args[2:])
+		return
+	}
 	periods := flag.Int("periods", 120, "control periods to run")
 	users := flag.Int("users", 1, "number of users (heterogeneous SNRs beyond the first)")
 	snr := flag.Float64("snr", 35, "first user's mean uplink SNR in dB")
@@ -40,6 +57,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	quiet := flag.Bool("quiet", false, "suppress per-period lines")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	ckptDir := flag.String("checkpoint-dir", "", "commit agent checkpoints into this directory (empty disables)")
+	ckptEvery := flag.Int("checkpoint-every", 10, "checkpoint interval in periods (with -checkpoint-dir)")
+	resume := flag.String("resume", "", "warm-start from this checkpoint file; \"latest\" resolves via -checkpoint-dir")
 	flag.Parse()
 
 	var reg *telemetry.Registry
@@ -65,9 +85,21 @@ func main() {
 	w := core.CostWeights{Delta1: *delta1, Delta2: *delta2}
 	cons := core.Constraints{MaxDelay: *dmax, MinMAP: *rmin}
 	grid := core.GridSpec{Levels: *gridLevels, MinResolution: 0.1, MinAirtime: 0.1}
-	agent, err := core.NewAgent(core.Options{Grid: grid, Weights: w, Constraints: cons, Telemetry: reg})
+	opts := core.Options{Grid: grid, Weights: w, Constraints: cons, Telemetry: reg}
+	agent, err := loadOrNewAgent(opts, *resume, *ckptDir)
 	if err != nil {
 		fatal(err)
+	}
+	var ckpt *oran.Checkpointer
+	if *ckptDir != "" {
+		ckpt, err = oran.NewCheckpointer(*ckptDir, *ckptEvery)
+		if err != nil {
+			fatal(err)
+		}
+		ckpt.Instrument(reg)
+	}
+	if t0 := agent.Observations(); t0 > 0 {
+		fmt.Printf("resumed from %s at period %d\n", *resume, t0)
 	}
 
 	var costs []float64
@@ -76,6 +108,13 @@ func main() {
 		x, k, info, err := agent.Step(tb)
 		if err != nil {
 			fatal(err)
+		}
+		if ckpt != nil {
+			if path, err := ckpt.Tick(agent); err != nil {
+				fatal(err)
+			} else if path != "" && !*quiet {
+				fmt.Printf("checkpoint: %s\n", path)
+			}
 		}
 		cost := w.Cost(k)
 		costs = append(costs, cost)
@@ -108,6 +147,67 @@ func main() {
 	fmt.Printf("oracle (exhaustive search): cost %.1f mu at [res %.2f air %.2f gpu %.2f mcs %.2f]\n",
 		oc, xo.Resolution, xo.Airtime, xo.GPUSpeed, xo.MCS)
 	fmt.Printf("optimality gap: %.1f%%\n", 100*(experiment.Median(tail)-oc)/oc)
+}
+
+// loadOrNewAgent builds the agent, warm-starting from a checkpoint when
+// -resume names a file (or "latest", resolved against -checkpoint-dir).
+func loadOrNewAgent(opts core.Options, resume, dir string) (*core.Agent, error) {
+	if resume == "" {
+		return core.NewAgent(opts)
+	}
+	path := resume
+	if resume == "latest" {
+		if dir == "" {
+			return nil, fmt.Errorf("-resume latest requires -checkpoint-dir")
+		}
+		var err error
+		path, err = checkpoint.Latest(dir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadCheckpoint(f, opts)
+}
+
+// ckptMain implements the ckpt subcommand: offline inspection of snapshot
+// files and directories, no agent construction involved.
+func ckptMain(args []string) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: edgebol-sim ckpt {info PATH | latest DIR}")
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "info":
+		f, err := os.Open(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		info, err := core.ReadCheckpointInfo(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("format version: %d\n", info.Version)
+		fmt.Printf("periods:        %d\n", info.Periods)
+		fmt.Printf("decomposed:     %v\n", info.DecomposedCost)
+		for _, o := range info.Objectives {
+			fmt.Printf("objective %-12s %d observations\n", o.Name, o.Observations)
+		}
+	case "latest":
+		path, err := checkpoint.Latest(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(path)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown ckpt subcommand %q\n", args[0])
+		os.Exit(2)
+	}
 }
 
 func fatal(err error) {

@@ -46,6 +46,7 @@ package edgebol
 
 import (
 	"context"
+	"io"
 
 	"repro/internal/bandit"
 	"repro/internal/core"
@@ -178,6 +179,46 @@ type (
 // Options.Telemetry, Testbed.Instrument, and DeployOptions.Telemetry so
 // one registry carries core, gp, oran, and testbed metrics together.
 func NewRegistry() *Registry { return telemetry.NewRegistry() }
+
+// Checkpointing (warm restart of learned state).
+type (
+	// CheckpointInfo summarizes a snapshot file without restoring it:
+	// format version, period counter, cost mode, and per-objective GP
+	// training-set sizes.
+	CheckpointInfo = core.CheckpointInfo
+	// ObjectiveSize is one objective's entry in CheckpointInfo.
+	ObjectiveSize = core.ObjectiveSize
+	// ErrInvalidReconfig is the typed error SetConstraints/SetWeights
+	// return, carrying the offending field.
+	ErrInvalidReconfig = core.ErrInvalidReconfig
+	// Checkpointer commits periodic snapshots into a directory with
+	// crash-safe write-then-rename semantics (see DeployOptions.CheckpointDir).
+	Checkpointer = oran.Checkpointer
+)
+
+// ErrCheckpointMismatch marks a checkpoint whose fixed configuration
+// (grid, kernels, acquisition, normalization, ...) disagrees with the
+// Options passed to LoadCheckpoint. Test with errors.Is.
+var ErrCheckpointMismatch = core.ErrCheckpointMismatch
+
+// SaveCheckpoint serializes the agent's full learned state — every GP's
+// training rows and factorization, the safe set, and the period counter —
+// into the versioned, CRC-protected snapshot format (see DESIGN.md §11).
+func SaveCheckpoint(a *Agent, w io.Writer) error { return a.SaveCheckpoint(w) }
+
+// LoadCheckpoint reconstructs an agent from a snapshot written by
+// SaveCheckpoint. opts must carry the same fixed configuration the saved
+// agent was built with; the restore is bitwise lossless, so the resumed
+// agent's selections and posteriors are identical to those of an agent
+// that was never interrupted.
+func LoadCheckpoint(r io.Reader, opts Options) (*Agent, error) {
+	return core.LoadCheckpoint(r, opts)
+}
+
+// ReadCheckpointInfo inspects a snapshot without building an agent.
+func ReadCheckpointInfo(r io.Reader) (CheckpointInfo, error) {
+	return core.ReadCheckpointInfo(r)
+}
 
 // O-RAN control plane (Fig. 7).
 type (

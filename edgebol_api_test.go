@@ -1,6 +1,8 @@
 package edgebol
 
 import (
+	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -121,5 +123,69 @@ func TestFacadeORANDeployment(t *testing.T) {
 		var _ oran.KPIReport = r
 	case <-time.After(2 * time.Second):
 		t.Fatal("no KPI indication")
+	}
+}
+
+// TestFacadeCheckpointRoundTrip exercises the warm-restart surface the way
+// an adopter would: run, snapshot, kill, resume, and verify the resumed
+// agent picks up bitwise where the interrupted one stopped.
+func TestFacadeCheckpointRoundTrip(t *testing.T) {
+	opts := Options{
+		Grid:        GridSpec{Levels: 4, MinResolution: 0.1, MinAirtime: 0.1},
+		Weights:     CostWeights{Delta1: 1, Delta2: 1},
+		Constraints: Constraints{MaxDelay: 0.4, MinMAP: 0.5},
+	}
+	tb, err := NewTestbed(DefaultTestbedConfig(), []User{{SNRdB: 35}}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := NewAgent(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, _, err := agent.Step(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(agent, &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	info, err := ReadCheckpointInfo(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Periods != 10 || len(info.Objectives) == 0 {
+		t.Fatalf("checkpoint info %+v", info)
+	}
+
+	restored, err := LoadCheckpoint(bytes.NewReader(raw), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Observations() != 10 {
+		t.Fatalf("restored at %d observations", restored.Observations())
+	}
+	ctx := tb.Context()
+	x1, _ := agent.SelectControl(ctx)
+	x2, _ := restored.SelectControl(ctx)
+	if x1 != x2 {
+		t.Fatalf("restored selection %+v != live %+v", x2, x1)
+	}
+
+	// Mismatched fixed configuration must be rejected with the sentinel.
+	bad := opts
+	bad.Grid.Levels = 5
+	if _, err := LoadCheckpoint(bytes.NewReader(raw), bad); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("mismatched load err = %v, want ErrCheckpointMismatch", err)
+	}
+
+	// The typed reconfiguration error is part of the facade too.
+	var re *ErrInvalidReconfig
+	if err := restored.SetConstraints(Constraints{MaxDelay: -1, MinMAP: 0.5}); !errors.As(err, &re) {
+		t.Fatalf("SetConstraints err = %v, want *ErrInvalidReconfig", err)
 	}
 }

@@ -1,0 +1,115 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FileExt is the extension of checkpoint data files written by Commit.
+const FileExt = ".ckpt"
+
+// latestName is the crash-safe pointer file naming the newest committed
+// checkpoint in a directory.
+const latestName = "LATEST"
+
+// ErrNoCheckpoint is returned by Latest when a directory holds no committed
+// checkpoint.
+var ErrNoCheckpoint = errors.New("checkpoint: no checkpoint in directory")
+
+// WriteFileAtomic writes data to path atomically: the bytes land in a
+// temporary file in the same directory, are synced, and are renamed over
+// path. A crash mid-write leaves either the old file or a stray *.tmp,
+// never a torn target.
+func WriteFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		_ = tmp.Close()        // already failing; the remove is the cleanup
+		_ = os.Remove(tmpName) // best effort: leaves only a stray .tmp behind
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(fmt.Errorf("checkpoint: write %s: %w", tmpName, err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("checkpoint: sync %s: %w", tmpName, err))
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName) // close failed; drop the partial temp
+		return fmt.Errorf("checkpoint: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		_ = os.Remove(tmpName) // rename failed; drop the orphaned temp
+		return fmt.Errorf("checkpoint: rename %s: %w", path, err)
+	}
+	return nil
+}
+
+// Commit atomically writes a checkpoint file named name+FileExt in dir and
+// then atomically repoints the LATEST file at it. The two-step order is the
+// crash-safety argument: the data file is complete and durable before the
+// pointer moves, so LATEST always names a fully written checkpoint — a
+// crash between the steps merely leaves LATEST on the previous one.
+func Commit(dir, name string, data []byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("checkpoint: mkdir %s: %w", dir, err)
+	}
+	if name == "" || name != filepath.Base(name) {
+		return "", fmt.Errorf("%w: checkpoint name %q must be a bare file name", ErrMalformed, name)
+	}
+	file := name + FileExt
+	path := filepath.Join(dir, file)
+	if err := WriteFileAtomic(path, data); err != nil {
+		return "", err
+	}
+	if err := WriteFileAtomic(filepath.Join(dir, latestName), []byte(file+"\n")); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Latest returns the path of the newest committed checkpoint in dir: the
+// file the LATEST pointer names, falling back to the lexically greatest
+// *.ckpt file when the pointer is missing or dangling (e.g. a directory
+// populated by hand, or a crash that beat the very first pointer write).
+func Latest(dir string) (string, error) {
+	if b, err := os.ReadFile(filepath.Join(dir, latestName)); err == nil {
+		name := strings.TrimSpace(string(b))
+		if name != "" && name == filepath.Base(name) {
+			path := filepath.Join(dir, name)
+			if _, err := os.Stat(path); err == nil {
+				return path, nil
+			}
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return "", ErrNoCheckpoint
+		}
+		return "", fmt.Errorf("checkpoint: read dir %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), FileExt) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return "", ErrNoCheckpoint
+	}
+	sort.Strings(names)
+	return filepath.Join(dir, names[len(names)-1]), nil
+}

@@ -1,0 +1,112 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteFileAtomic(path, []byte("v1")); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "v2" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+	// No stray temp files survive a successful write.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("stray temp file %s", e.Name())
+		}
+	}
+}
+
+func TestCommitAndLatest(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpts") // Commit must create it
+	p1, err := Commit(dir, "ckpt-00000010", []byte("ten"))
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	p2, err := Commit(dir, "ckpt-00000020", []byte("twenty"))
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if filepath.Base(p1) != "ckpt-00000010"+FileExt || filepath.Base(p2) != "ckpt-00000020"+FileExt {
+		t.Fatalf("paths %q, %q", p1, p2)
+	}
+	got, err := Latest(dir)
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if got != p2 {
+		t.Fatalf("Latest = %q, want %q", got, p2)
+	}
+	b, _ := os.ReadFile(got)
+	if !bytes.Equal(b, []byte("twenty")) {
+		t.Fatalf("latest contents %q", b)
+	}
+}
+
+func TestCommitRejectsPathyNames(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"", "a/b", "../escape"} {
+		if _, err := Commit(dir, name, nil); !errors.Is(err, ErrMalformed) {
+			t.Errorf("name %q: err = %v, want ErrMalformed", name, err)
+		}
+	}
+}
+
+func TestLatestFallsBackWithoutPointer(t *testing.T) {
+	dir := t.TempDir()
+	// A directory populated by hand: data files but no LATEST pointer.
+	for _, name := range []string{"ckpt-00000005" + FileExt, "ckpt-00000030" + FileExt} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(name), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Latest(dir)
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if filepath.Base(got) != "ckpt-00000030"+FileExt {
+		t.Fatalf("Latest = %q", got)
+	}
+}
+
+func TestLatestDanglingPointerFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Commit(dir, "ckpt-00000001", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash that committed data but left LATEST naming a file
+	// that was later removed.
+	if err := os.WriteFile(filepath.Join(dir, latestName), []byte("gone.ckpt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Latest(dir)
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if filepath.Base(got) != "ckpt-00000001"+FileExt {
+		t.Fatalf("Latest = %q", got)
+	}
+}
+
+func TestLatestEmpty(t *testing.T) {
+	if _, err := Latest(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+	if _, err := Latest(filepath.Join(t.TempDir(), "missing")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing dir: err = %v, want ErrNoCheckpoint", err)
+	}
+}

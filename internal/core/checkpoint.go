@@ -1,0 +1,485 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/gp"
+)
+
+// ErrCheckpointMismatch is wrapped by LoadCheckpoint when the checkpoint
+// was taken under a different fixed configuration than the Options the
+// caller supplied — a different grid, kernel, normalization, or mode.
+// Runtime-mutable state (weights, constraints, period counter, GP data)
+// never trips it: that state is restored, not compared.
+var ErrCheckpointMismatch = errors.New("core: checkpoint does not match agent configuration")
+
+// Checkpoint section tags (see internal/checkpoint for the container
+// format and the critical/ancillary convention).
+const (
+	// secMeta holds the period counter, mode flags, grid spec, weights,
+	// constraints, betas, normalization, safe seed, and the objective
+	// inventory. Critical.
+	secMeta = "META"
+	// secSafe holds the last computed safe-set bitmask. Ancillary: the
+	// safe set is recomputed from posteriors every period, so a reader
+	// may skip it and lose nothing but a diagnostic.
+	secSafe = "safe"
+)
+
+// gpTags and powTags name the per-objective GP state sections, indexed
+// like Agent.gps and Agent.powerGPs.
+var gpTags = [numGPs]string{"GP00", "GP01", "GP02"}
+var powTags = [2]string{"PW00", "PW01"}
+
+// knownCriticalTag reports whether this reader understands a critical
+// section tag; LoadCheckpoint rejects checkpoints carrying critical
+// sections it does not understand (the container's forward-compat rule).
+func knownCriticalTag(tag string) bool {
+	if tag == secMeta {
+		return true
+	}
+	for _, t := range gpTags {
+		if tag == t {
+			return true
+		}
+	}
+	for _, t := range powTags {
+		if tag == t {
+			return true
+		}
+	}
+	return false
+}
+
+// objectiveNames are the stable per-GP labels recorded in the objective
+// inventory, matching the telemetry labels.
+var objectiveNames = [numGPs]string{"cost", "delay", "map"}
+var powerObjectiveNames = [2]string{"server_power", "bs_power"}
+
+// CheckpointInfo summarizes a checkpoint without restoring it.
+type CheckpointInfo struct {
+	// Version is the container format version.
+	Version uint16
+	// Periods is the agent's period counter at save time.
+	Periods int
+	// DecomposedCost reports whether the checkpoint carries the two
+	// decomposed power GPs in addition to the three objective GPs.
+	DecomposedCost bool
+	// Objectives lists each serialized GP and its retained observation
+	// count, in section order.
+	Objectives []ObjectiveSize
+}
+
+// ObjectiveSize is one entry of CheckpointInfo.Objectives.
+type ObjectiveSize struct {
+	Name         string
+	Observations int
+}
+
+// metaState is the decoded META section.
+type metaState struct {
+	t              uint64
+	decomposed     bool
+	disableSafeSet bool
+	acquisition    Acquisition
+	grid           GridSpec
+	weights        CostWeights
+	constraints    Constraints
+	safeBeta       float64
+	acqBeta        float64
+	norm           Normalization
+	safeSeed       []Control
+	objectives     []ObjectiveSize
+}
+
+// normAffines flattens a Normalization into its five transforms in a
+// fixed serialization order.
+func normAffines(n *Normalization) [5]*Affine {
+	return [5]*Affine{&n.Cost, &n.Delay, &n.MAP, &n.ServerPower, &n.BSPower}
+}
+
+func (a *Agent) encodeMeta() []byte {
+	var e checkpoint.Encoder
+	e.U64(uint64(a.t))
+	e.Bool(a.opts.DecomposedCost)
+	e.Bool(a.opts.DisableSafeSet)
+	e.U8(uint8(a.opts.Acquisition))
+	e.U32(uint32(a.opts.Grid.Levels))
+	e.F64(a.opts.Grid.MinResolution)
+	e.F64(a.opts.Grid.MinAirtime)
+	e.F64(a.opts.Weights.Delta1)
+	e.F64(a.opts.Weights.Delta2)
+	e.F64(a.opts.Constraints.MaxDelay)
+	e.F64(a.opts.Constraints.MinMAP)
+	e.F64(a.opts.SafeBeta)
+	e.F64(a.opts.AcqBeta)
+	norm := a.opts.Norm
+	for _, af := range normAffines(&norm) {
+		e.F64(af.Center)
+		e.F64(af.Scale)
+	}
+	e.U32(uint32(len(a.opts.SafeSeed)))
+	for _, s := range a.opts.SafeSeed {
+		e.F64(s.Resolution)
+		e.F64(s.Airtime)
+		e.F64(s.GPUSpeed)
+		e.F64(s.MCS)
+	}
+	// Objective inventory: lets ReadCheckpointInfo report per-GP sizes
+	// from the META section alone, without touching the GP payloads.
+	count := numGPs
+	if a.opts.DecomposedCost {
+		count += len(a.powerGPs)
+	}
+	e.U32(uint32(count))
+	for i, g := range a.gps {
+		e.String(objectiveNames[i])
+		e.U64(uint64(g.Len()))
+	}
+	if a.opts.DecomposedCost {
+		for i, g := range a.powerGPs {
+			e.String(powerObjectiveNames[i])
+			e.U64(uint64(g.Len()))
+		}
+	}
+	return e.Bytes()
+}
+
+func decodeMeta(data []byte) (*metaState, error) {
+	d := checkpoint.NewDecoder(data)
+	m := &metaState{}
+	m.t = d.U64()
+	m.decomposed = d.Bool()
+	m.disableSafeSet = d.Bool()
+	m.acquisition = Acquisition(d.U8())
+	m.grid.Levels = int(d.U32())
+	m.grid.MinResolution = d.F64()
+	m.grid.MinAirtime = d.F64()
+	m.weights.Delta1 = d.F64()
+	m.weights.Delta2 = d.F64()
+	m.constraints.MaxDelay = d.F64()
+	m.constraints.MinMAP = d.F64()
+	m.safeBeta = d.F64()
+	m.acqBeta = d.F64()
+	for _, af := range normAffines(&m.norm) {
+		af.Center = d.F64()
+		af.Scale = d.F64()
+	}
+	nSeed := int(d.U32())
+	// Every seed takes 32 payload bytes; bounding by the remaining bytes
+	// keeps a hostile count from forcing a huge allocation.
+	if d.Err() == nil && nSeed > d.Remaining()/32 {
+		return nil, fmt.Errorf("%w: %d safe seeds declared, %d bytes remain", checkpoint.ErrTruncated, nSeed, d.Remaining())
+	}
+	for i := 0; i < nSeed && d.Err() == nil; i++ {
+		m.safeSeed = append(m.safeSeed, Control{
+			Resolution: d.F64(),
+			Airtime:    d.F64(),
+			GPUSpeed:   d.F64(),
+			MCS:        d.F64(),
+		})
+	}
+	nObj := int(d.U32())
+	// A name prefix plus the count is at least 12 bytes per objective.
+	if d.Err() == nil && nObj > d.Remaining()/12 {
+		return nil, fmt.Errorf("%w: %d objectives declared, %d bytes remain", checkpoint.ErrTruncated, nObj, d.Remaining())
+	}
+	for i := 0; i < nObj && d.Err() == nil; i++ {
+		name := d.String()
+		obs := d.U64()
+		m.objectives = append(m.objectives, ObjectiveSize{Name: name, Observations: int(obs)})
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("core: META section: %w", err)
+	}
+	return m, nil
+}
+
+// encodeGPState serializes a gp.State as one section payload.
+func encodeGPState(s gp.State) []byte {
+	var e checkpoint.Encoder
+	e.String(s.Kernel)
+	e.F64s(s.LengthScales)
+	e.F64(s.NoiseVar)
+	e.U64(uint64(s.MaxObs))
+	e.U32(uint32(s.Dim))
+	e.F64s(s.Xs)
+	e.F64s(s.Ys)
+	e.F64s(s.Factor)
+	e.F64(s.Jitter)
+	e.U64(s.Evictions)
+	return e.Bytes()
+}
+
+func decodeGPState(data []byte) (gp.State, error) {
+	d := checkpoint.NewDecoder(data)
+	var s gp.State
+	s.Kernel = d.String()
+	s.LengthScales = d.F64s()
+	s.NoiseVar = d.F64()
+	s.MaxObs = int(d.U64())
+	s.Dim = int(d.U32())
+	s.Xs = d.F64s()
+	s.Ys = d.F64s()
+	s.Factor = d.F64s()
+	s.Jitter = d.F64()
+	s.Evictions = d.U64()
+	if err := d.Done(); err != nil {
+		return gp.State{}, err
+	}
+	if s.MaxObs < 0 || s.Dim < 0 {
+		return gp.State{}, fmt.Errorf("%w: negative GP bounds", checkpoint.ErrMalformed)
+	}
+	return s, nil
+}
+
+// encodeSafe packs the safe-set booleans into a bitmask, LSB-first.
+func encodeSafe(safe []bool) []byte {
+	var e checkpoint.Encoder
+	e.U64(uint64(len(safe)))
+	var cur uint8
+	for i, ok := range safe {
+		if ok {
+			cur |= 1 << (uint(i) % 8)
+		}
+		if i%8 == 7 {
+			e.U8(cur)
+			cur = 0
+		}
+	}
+	if len(safe)%8 != 0 {
+		e.U8(cur)
+	}
+	return e.Bytes()
+}
+
+func decodeSafe(data []byte, want int) ([]bool, error) {
+	d := checkpoint.NewDecoder(data)
+	n := d.U64()
+	if d.Err() == nil && n != uint64(want) {
+		return nil, fmt.Errorf("%w: safe set of %d entries, grid has %d", checkpoint.ErrMalformed, n, want)
+	}
+	out := make([]bool, want)
+	var cur uint8
+	for i := range out {
+		if i%8 == 0 {
+			cur = d.U8()
+		}
+		out[i] = cur&(1<<(uint(i)%8)) != 0
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SaveCheckpoint serializes the agent's full learned state — period
+// counter, runtime-mutable weights and constraints, every GP's training
+// rows, targets, and Cholesky factor, and the safe-set diagnostic — as a
+// versioned checkpoint stream. A checkpoint loaded back through
+// LoadCheckpoint with the same Options continues bitwise identically to
+// the uninterrupted agent (the restore-equivalence guarantee; see
+// DESIGN.md §11).
+//
+// SaveCheckpoint must not run concurrently with SelectControl or Observe
+// (the Agent is not safe for concurrent use).
+func (a *Agent) SaveCheckpoint(w io.Writer) error {
+	start := time.Now()
+	sections := make([]checkpoint.Section, 0, 2+numGPs+len(a.powerGPs))
+	sections = append(sections, checkpoint.Section{Tag: secMeta, Data: a.encodeMeta()})
+	for i, g := range a.gps {
+		sections = append(sections, checkpoint.Section{Tag: gpTags[i], Data: encodeGPState(g.Snapshot())})
+	}
+	if a.opts.DecomposedCost {
+		for i, g := range a.powerGPs {
+			sections = append(sections, checkpoint.Section{Tag: powTags[i], Data: encodeGPState(g.Snapshot())})
+		}
+	}
+	sections = append(sections, checkpoint.Section{Tag: secSafe, Data: encodeSafe(a.safe)})
+	cw := &countingWriter{w: w}
+	if err := checkpoint.Encode(cw, sections); err != nil {
+		return err
+	}
+	a.met.ckptSaves.Inc()
+	a.met.ckptBytes.Set(float64(cw.n))
+	a.met.ckptSaveLat.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func mismatch(field string, ckpt, opts any) error {
+	return fmt.Errorf("%w: %s: checkpoint has %v, options have %v", ErrCheckpointMismatch, field, ckpt, opts)
+}
+
+// LoadCheckpoint constructs a fresh agent from opts and restores a
+// checkpoint stream into it. The caller supplies the same Options the
+// checkpointed agent was built with — the checkpoint carries the learned
+// state, not the code-level configuration (kernel factories and telemetry
+// registries cannot be serialized) — and LoadCheckpoint verifies, bitwise,
+// every piece of fixed configuration the checkpoint does record: grid,
+// betas, acquisition, modes, normalization, safe seed, and each GP's
+// hyperparameters. A mismatch wraps ErrCheckpointMismatch.
+//
+// Runtime-mutable state is restored from the checkpoint, overriding opts:
+// cost weights (SetWeights), constraints (SetConstraints), the period
+// counter, and every GP's training state. The restored agent's subsequent
+// selections and posteriors are bitwise identical to the saved agent's.
+func LoadCheckpoint(r io.Reader, opts Options) (*Agent, error) {
+	start := time.Now()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	arch, err := checkpoint.DecodeBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range arch.Sections {
+		if s.Critical() && !knownCriticalTag(s.Tag) {
+			return nil, fmt.Errorf("%w: unknown critical section %q", checkpoint.ErrMalformed, s.Tag)
+		}
+	}
+	metaSec := arch.Find(secMeta)
+	if metaSec == nil {
+		return nil, fmt.Errorf("%w: missing %s section", checkpoint.ErrMalformed, secMeta)
+	}
+	meta, err := decodeMeta(metaSec.Data)
+	if err != nil {
+		return nil, err
+	}
+	a, err := NewAgent(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Fixed configuration must match bitwise: the learned state is only
+	// meaningful under the exact grid, priors, and normalization it was
+	// learned with.
+	if meta.decomposed != a.opts.DecomposedCost {
+		return nil, mismatch("DecomposedCost", meta.decomposed, a.opts.DecomposedCost)
+	}
+	if meta.disableSafeSet != a.opts.DisableSafeSet {
+		return nil, mismatch("DisableSafeSet", meta.disableSafeSet, a.opts.DisableSafeSet)
+	}
+	if meta.acquisition != a.opts.Acquisition {
+		return nil, mismatch("Acquisition", meta.acquisition, a.opts.Acquisition)
+	}
+	if meta.grid != a.opts.Grid {
+		return nil, mismatch("Grid", meta.grid, a.opts.Grid)
+	}
+	if meta.safeBeta != a.opts.SafeBeta { //edgebol:allow floateq -- fixed config must match bitwise for restore equivalence
+		return nil, mismatch("SafeBeta", meta.safeBeta, a.opts.SafeBeta)
+	}
+	if meta.acqBeta != a.opts.AcqBeta { //edgebol:allow floateq -- fixed config must match bitwise for restore equivalence
+		return nil, mismatch("AcqBeta", meta.acqBeta, a.opts.AcqBeta)
+	}
+	ckptNorm, optsNorm := normAffines(&meta.norm), normAffines(&a.opts.Norm)
+	for i, af := range ckptNorm {
+		if *af != *optsNorm[i] {
+			return nil, mismatch("Norm", *af, *optsNorm[i])
+		}
+	}
+	if len(meta.safeSeed) != len(a.opts.SafeSeed) {
+		return nil, mismatch("SafeSeed length", len(meta.safeSeed), len(a.opts.SafeSeed))
+	}
+	for i, s := range meta.safeSeed {
+		if s != a.opts.SafeSeed[i] {
+			return nil, mismatch(fmt.Sprintf("SafeSeed[%d]", i), s, a.opts.SafeSeed[i])
+		}
+	}
+	// Runtime-mutable state: validate like the setters, then restore.
+	if err := meta.constraints.Validate(); err != nil {
+		return nil, fmt.Errorf("core: checkpoint constraints: %w", err)
+	}
+	w := meta.weights
+	if w.Delta1 < 0 || w.Delta2 < 0 || (w.Delta1 == 0 && w.Delta2 == 0) {
+		return nil, fmt.Errorf("core: checkpoint cost weights %+v invalid", w)
+	}
+	if !a.opts.DecomposedCost && w != a.opts.Weights {
+		// In joint-cost mode weights cannot legally change at runtime, so a
+		// checkpoint carrying different weights was taken under a different
+		// (weight-dependent) cost normalization — reject rather than mix.
+		return nil, mismatch("Weights", w, a.opts.Weights)
+	}
+	a.opts.Constraints = meta.constraints
+	a.opts.Weights = w
+	a.t = int(meta.t)
+	for i, g := range a.gps {
+		sec := arch.Find(gpTags[i])
+		if sec == nil {
+			return nil, fmt.Errorf("%w: missing %s section", checkpoint.ErrMalformed, gpTags[i])
+		}
+		st, err := decodeGPState(sec.Data)
+		if err != nil {
+			return nil, fmt.Errorf("core: section %s: %w", gpTags[i], err)
+		}
+		if err := g.RestoreFrom(st); err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrCheckpointMismatch, objectiveNames[i], err)
+		}
+	}
+	if a.opts.DecomposedCost {
+		for i, g := range a.powerGPs {
+			sec := arch.Find(powTags[i])
+			if sec == nil {
+				return nil, fmt.Errorf("%w: missing %s section", checkpoint.ErrMalformed, powTags[i])
+			}
+			st, err := decodeGPState(sec.Data)
+			if err != nil {
+				return nil, fmt.Errorf("core: section %s: %w", powTags[i], err)
+			}
+			if err := g.RestoreFrom(st); err != nil {
+				return nil, fmt.Errorf("%w: %s: %v", ErrCheckpointMismatch, powerObjectiveNames[i], err)
+			}
+		}
+	}
+	// The safe-set section is ancillary: restore it when intact, recompute
+	// otherwise — SelectControl rebuilds it from posteriors every period.
+	if sec := arch.Find(secSafe); sec != nil {
+		if safe, err := decodeSafe(sec.Data, len(a.grid)); err == nil {
+			copy(a.safe, safe)
+		}
+	}
+	a.met.ckptRestores.Inc()
+	a.met.ckptRestoreBytes.Set(float64(len(data)))
+	a.met.ckptRestoreLat.Observe(time.Since(start).Seconds())
+	return a, nil
+}
+
+// ReadCheckpointInfo summarizes a checkpoint stream — format version,
+// period counter, and per-objective observation counts — without
+// constructing an agent. It validates the container (magic, version,
+// every CRC) and the META section only; unlike LoadCheckpoint it
+// tolerates unknown critical sections, since inspection is not restore.
+func ReadCheckpointInfo(r io.Reader) (CheckpointInfo, error) {
+	arch, err := checkpoint.Decode(r)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	metaSec := arch.Find(secMeta)
+	if metaSec == nil {
+		return CheckpointInfo{}, fmt.Errorf("%w: missing %s section", checkpoint.ErrMalformed, secMeta)
+	}
+	meta, err := decodeMeta(metaSec.Data)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	return CheckpointInfo{
+		Version:        arch.Version,
+		Periods:        int(meta.t),
+		DecomposedCost: meta.decomposed,
+		Objectives:     meta.objectives,
+	}, nil
+}

@@ -291,7 +291,7 @@ type Agent struct {
 	// the grid levels that turn each period's cross-covariance into table
 	// lookups plus a per-training-point context scalar. A nil entry (the
 	// kernel factory produced a non-package kernel) falls back to the
-	// generic PosteriorBatchWorkers path; either way results are bitwise
+	// generic PosteriorBatch path; either way results are bitwise
 	// identical.
 	plans    [numGPs]*gp.SweepPlan
 	powPlans [2]*gp.SweepPlan
@@ -326,6 +326,14 @@ type agentMetrics struct {
 	lcb          *telemetry.Gauge
 	trainSize    *telemetry.Gauge
 	sweep        *telemetry.Histogram
+
+	// Checkpoint instrumentation (SaveCheckpoint/LoadCheckpoint).
+	ckptSaves        *telemetry.Counter
+	ckptRestores     *telemetry.Counter
+	ckptBytes        *telemetry.Gauge
+	ckptRestoreBytes *telemetry.Gauge
+	ckptSaveLat      *telemetry.Histogram
+	ckptRestoreLat   *telemetry.Histogram
 }
 
 // SelectionInfo reports diagnostics from one acquisition step.
@@ -410,6 +418,13 @@ func NewAgent(opts Options) (*Agent, error) {
 		lcb:          opts.Telemetry.Gauge("edgebol_core_acquisition_lcb"),
 		trainSize:    opts.Telemetry.Gauge("edgebol_core_gp_train_size"),
 		sweep:        opts.Telemetry.Histogram("edgebol_core_sweep_seconds", telemetry.LatencyBuckets()),
+
+		ckptSaves:        opts.Telemetry.Counter("edgebol_ckpt_saves_total"),
+		ckptRestores:     opts.Telemetry.Counter("edgebol_ckpt_restores_total"),
+		ckptBytes:        opts.Telemetry.Gauge("edgebol_ckpt_bytes"),
+		ckptRestoreBytes: opts.Telemetry.Gauge("edgebol_ckpt_restore_bytes"),
+		ckptSaveLat:      opts.Telemetry.Histogram("edgebol_ckpt_save_seconds", telemetry.LatencyBuckets()),
+		ckptRestoreLat:   opts.Telemetry.Histogram("edgebol_ckpt_restore_seconds", telemetry.LatencyBuckets()),
 	}
 	const dims = ContextDims + ControlDims
 	a.feats = make([][]float64, len(grid))
@@ -462,11 +477,19 @@ func (a *Agent) Constraints() Constraints { return a.opts.Constraints }
 // agent models the delay and mAP surfaces (not the constraint itself), no
 // relearning is needed — the next safe set is computed against the new
 // thresholds from existing posteriors, the property Fig. 14 demonstrates.
+// Invalid constraints return an *ErrInvalidReconfig naming the offending
+// field and leave the agent unchanged; on success every cached safe-set
+// and selection diagnostic derived under the old thresholds is
+// invalidated.
 func (a *Agent) SetConstraints(c Constraints) error {
-	if err := c.Validate(); err != nil {
-		return err
+	if c.MaxDelay <= 0 || math.IsNaN(c.MaxDelay) {
+		return &ErrInvalidReconfig{Field: "Constraints.MaxDelay", Value: c.MaxDelay, Reason: "must be positive"}
+	}
+	if c.MinMAP < 0 || c.MinMAP > 1 || math.IsNaN(c.MinMAP) {
+		return &ErrInvalidReconfig{Field: "Constraints.MinMAP", Value: c.MinMAP, Reason: "outside [0,1]"}
 	}
 	a.opts.Constraints = c
+	a.invalidateDerived()
 	return nil
 }
 
@@ -476,16 +499,40 @@ func (a *Agent) Weights() CostWeights { return a.opts.Weights }
 // SetWeights changes the energy prices δ₁, δ₂ at runtime. It requires
 // decomposed-cost mode: there the power surfaces are weight-independent
 // and nothing needs relearning, whereas a joint cost GP trained under the
-// old prices would silently poison the acquisition.
+// old prices would silently poison the acquisition. Invalid or
+// inapplicable reconfigurations return an *ErrInvalidReconfig naming the
+// offending field and leave the agent unchanged; on success every cached
+// state derived under the old prices is invalidated.
 func (a *Agent) SetWeights(w CostWeights) error {
 	if !a.opts.DecomposedCost {
-		return fmt.Errorf("core: SetWeights requires DecomposedCost mode")
+		return &ErrInvalidReconfig{Field: "Weights", Value: w, Reason: "requires DecomposedCost mode"}
 	}
-	if w.Delta1 < 0 || w.Delta2 < 0 || (w.Delta1 == 0 && w.Delta2 == 0) {
-		return fmt.Errorf("core: cost weights %+v invalid", w)
+	if w.Delta1 < 0 || math.IsNaN(w.Delta1) {
+		return &ErrInvalidReconfig{Field: "Weights.Delta1", Value: w.Delta1, Reason: "must be non-negative"}
+	}
+	if w.Delta2 < 0 || math.IsNaN(w.Delta2) {
+		return &ErrInvalidReconfig{Field: "Weights.Delta2", Value: w.Delta2, Reason: "must be non-negative"}
+	}
+	if w.Delta1 == 0 && w.Delta2 == 0 {
+		return &ErrInvalidReconfig{Field: "Weights", Value: w, Reason: "at least one price must be positive"}
 	}
 	a.opts.Weights = w
+	a.invalidateDerived()
 	return nil
+}
+
+// invalidateDerived drops every piece of cached state computed under the
+// previous weights or constraints: the safe-set mask and the last
+// selection diagnostics. The per-objective posteriors themselves are
+// reconfiguration-independent (the agent models surfaces, not thresholds)
+// and are recomputed from scratch by the next SelectControl anyway; the
+// mask is cleared so no stale "safe under the old thresholds" bit can be
+// observed between the reconfiguration and that next sweep.
+func (a *Agent) invalidateDerived() {
+	for i := range a.safe {
+		a.safe[i] = false
+	}
+	a.lastInfo = SelectionInfo{}
 }
 
 // Observations returns the number of periods observed so far.
@@ -522,7 +569,7 @@ func (a *Agent) SelectControl(ctx Context) (Control, SelectionInfo) {
 				plan.Sweep(cf, mu, sigma, w)
 				return
 			}
-			g.PosteriorBatchWorkers(a.feats, mu, sigma, w)
+			g.PosteriorBatch(a.feats, mu, sigma, gp.BatchOptions{Workers: w})
 		}
 		if workers == 1 {
 			run(1)

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadCheckpoint hammers the whole restore path — container decode,
+// META/GP section decode, GP state validation — with corrupted inputs.
+// The contract: arbitrary bytes may fail to load, but must never panic,
+// hang, or allocate beyond the input size. The seed corpus covers valid
+// checkpoints of every agent mode plus targeted corruptions (truncation,
+// bit flips, version bumps) that the fuzzer then mutates further.
+func FuzzLoadCheckpoint(f *testing.F) {
+	seedOpts := []func(*Options){
+		func(o *Options) {},
+		func(o *Options) { o.DecomposedCost = true },
+		func(o *Options) { o.MaxObservations = 8 },
+	}
+	for _, mut := range seedOpts {
+		opts := testOptions()
+		mut(&opts)
+		a, err := NewAgent(opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			ctx := scriptContext(i)
+			x, _ := a.SelectControl(ctx)
+			if err := a.Observe(ctx, x, scriptKPIs(i, x)); err != nil {
+				f.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := a.SaveCheckpoint(&buf); err != nil {
+			f.Fatal(err)
+		}
+		valid := buf.Bytes()
+		f.Add(valid)
+		// Truncations at structurally interesting depths.
+		for _, cut := range []int{0, 7, 8, 16, len(valid) / 2, len(valid) - 1} {
+			if cut <= len(valid) {
+				f.Add(append([]byte(nil), valid[:cut]...))
+			}
+		}
+		// A version bump and scattered bit flips.
+		bumped := append([]byte(nil), valid...)
+		bumped[8] = 0xFF
+		f.Add(bumped)
+		for _, pos := range []int{9, 12, 20, len(valid) / 3, 2 * len(valid) / 3} {
+			flipped := append([]byte(nil), valid...)
+			flipped[pos] ^= 0x10
+			f.Add(flipped)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("EBOLCKPT"))
+
+	opts := testOptions()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; errors are the expected outcome for almost
+		// every mutated input.
+		a, err := LoadCheckpoint(bytes.NewReader(data), opts)
+		if err != nil {
+			return
+		}
+		// The rare mutations that still load must yield a usable agent.
+		ctx := scriptContext(0)
+		x, _ := a.SelectControl(ctx)
+		if err := x.Validate(); err != nil {
+			t.Fatalf("restored agent selected invalid control: %v", err)
+		}
+		if _, err := ReadCheckpointInfo(bytes.NewReader(data)); err != nil {
+			t.Fatalf("LoadCheckpoint accepted what ReadCheckpointInfo rejects: %v", err)
+		}
+	})
+}

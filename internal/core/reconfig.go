@@ -1,0 +1,24 @@
+package core
+
+import "fmt"
+
+// ErrInvalidReconfig reports a rejected runtime reconfiguration
+// (SetConstraints / SetWeights): the offending field, the value the
+// caller passed, and why it was refused. The agent is unchanged when one
+// is returned. Match with errors.As:
+//
+//	var reconfigErr *core.ErrInvalidReconfig
+//	if errors.As(err, &reconfigErr) { log.Printf("bad %s", reconfigErr.Field) }
+type ErrInvalidReconfig struct {
+	// Field names the rejected option in Options syntax, e.g.
+	// "Constraints.MaxDelay" or "Weights.Delta1".
+	Field string
+	// Value is the rejected value as passed by the caller.
+	Value any
+	// Reason states the violated invariant.
+	Reason string
+}
+
+func (e *ErrInvalidReconfig) Error() string {
+	return fmt.Sprintf("core: invalid reconfiguration of %s (%v): %s", e.Field, e.Value, e.Reason)
+}

@@ -8,7 +8,7 @@ import (
 )
 
 // opaqueKernel hides the concrete kernel type from gp.NewSweepPlan, forcing
-// an agent built with it onto the generic PosteriorBatchWorkers path while
+// an agent built with it onto the generic PosteriorBatch path while
 // computing exactly the same covariances.
 type opaqueKernel struct{ gp.Kernel }
 

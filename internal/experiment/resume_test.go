@@ -1,0 +1,46 @@
+package experiment
+
+import "testing"
+
+func TestKillAndResumeEquivalence(t *testing.T) {
+	scale := tinyScale()
+	scale.Periods = 24 // restart at period 12
+	tab, err := KillAndResume(scale, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != scale.Periods {
+		t.Fatalf("%d rows, want %d", len(tab.Rows), scale.Periods)
+	}
+	checks, err := VerifyKillAndResume(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range checks {
+		if !c.OK {
+			t.Errorf("check failed: %s — %s", c.Claim, c.Detail)
+		}
+	}
+}
+
+// An evicting GP history is the hard case for the resume path (the live
+// Cholesky factor depends on the eviction history); the equivalence must
+// hold there too.
+func TestKillAndResumeWithEvictions(t *testing.T) {
+	scale := tinyScale()
+	scale.Periods = 24
+	scale.MaxObservations = 8 // evictions well before the T/2 restart
+	tab, err := KillAndResume(scale, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks, err := VerifyKillAndResume(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range checks {
+		if !c.OK {
+			t.Errorf("check failed: %s — %s", c.Claim, c.Detail)
+		}
+	}
+}

@@ -61,7 +61,7 @@ func BenchmarkPosteriorBatch(b *testing.B) {
 		sigma := make([]float64, len(cands))
 		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				g.PosteriorBatch(cands, mu, sigma)
+				g.PosteriorBatch(cands, mu, sigma, BatchOptions{})
 			}
 		})
 	}
@@ -78,7 +78,7 @@ func BenchmarkPosteriorBatchWorkers(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				g.PosteriorBatchWorkers(cands, mu, sigma, workers)
+				g.PosteriorBatch(cands, mu, sigma, BatchOptions{Workers: workers})
 			}
 		})
 	}
@@ -86,7 +86,7 @@ func BenchmarkPosteriorBatchWorkers(b *testing.B) {
 	// meaningfully to the best explicit count on the same machine.
 	b.Run("workers=auto", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			g.PosteriorBatchWorkers(cands, mu, sigma, 0)
+			g.PosteriorBatch(cands, mu, sigma, BatchOptions{Workers: 0})
 		}
 	})
 }
@@ -126,7 +126,7 @@ func BenchmarkGridSweep(b *testing.B) {
 		sigma := make([]float64, len(feats))
 		b.Run(fmt.Sprintf("t=%d/engine=generic", t), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				g.PosteriorBatchWorkers(feats, mu, sigma, 0)
+				g.PosteriorBatch(feats, mu, sigma, BatchOptions{Workers: 0})
 			}
 		})
 		plan, err := NewSweepPlan(g, 3, levels)

@@ -60,11 +60,11 @@ func TestPosteriorBatchWorkersBitwiseIdentical(t *testing.T) {
 			ref := struct{ mu, sigma []float64 }{
 				make([]float64, len(cands)), make([]float64, len(cands)),
 			}
-			g.PosteriorBatchWorkers(cands, ref.mu, ref.sigma, 1)
+			g.PosteriorBatch(cands, ref.mu, ref.sigma, BatchOptions{Workers: 1})
 			for _, workers := range []int{0, 2, 3, 8} {
 				mu := make([]float64, len(cands))
 				sigma := make([]float64, len(cands))
-				g.PosteriorBatchWorkers(cands, mu, sigma, workers)
+				g.PosteriorBatch(cands, mu, sigma, BatchOptions{Workers: workers})
 				for i := range cands {
 					if !bitsEqual(mu[i], ref.mu[i]) || !bitsEqual(sigma[i], ref.sigma[i]) {
 						t.Fatalf("workers=%d diverges at %d: (%v,%v) vs serial (%v,%v)",
@@ -85,7 +85,7 @@ func TestConcurrentPosteriorReads(t *testing.T) {
 	cands := engineCandidates(64)
 	refMu := make([]float64, len(cands))
 	refSigma := make([]float64, len(cands))
-	g.PosteriorBatchWorkers(cands, refMu, refSigma, 1)
+	g.PosteriorBatch(cands, refMu, refSigma, BatchOptions{Workers: 1})
 
 	const goroutines = 8
 	var wg sync.WaitGroup
@@ -97,7 +97,7 @@ func TestConcurrentPosteriorReads(t *testing.T) {
 			if w%2 == 0 {
 				mu := make([]float64, len(cands))
 				sigma := make([]float64, len(cands))
-				g.PosteriorBatchWorkers(cands, mu, sigma, 1+w%3)
+				g.PosteriorBatch(cands, mu, sigma, BatchOptions{Workers: 1 + w%3})
 				for i := range cands {
 					if !bitsEqual(mu[i], refMu[i]) || !bitsEqual(sigma[i], refSigma[i]) {
 						errs <- "concurrent batch read diverged from serial reference"

@@ -22,10 +22,10 @@ import (
 // Training inputs are stored in one flat row-major matrix so the batched
 // posterior sweep streams them cache-linearly through Kernel.EvalBatch.
 //
-// Concurrency: mutating calls (Add) must not run concurrently with
-// anything else, but the read paths — Posterior, PosteriorBatch,
-// PosteriorBatchWorkers, LogMarginalLikelihood — touch no shared mutable
-// state and are safe to call from multiple goroutines between mutations.
+// Concurrency: mutating calls (Add, RestoreFrom) must not run concurrently
+// with anything else, but the read paths — Posterior, PosteriorBatch,
+// LogMarginalLikelihood, Snapshot — touch no shared mutable state and are
+// safe to call from multiple goroutines between mutations.
 //
 // The zero value is not usable; construct with New or NewFromData.
 type GP struct {
@@ -271,24 +271,27 @@ func ResolveWorkers(trainLen, candidates, requested int) int {
 	return requested
 }
 
-// PosteriorBatch evaluates the posterior over a candidate set, writing the
-// results into mu and sigma (each of length len(candidates)). It is the hot
-// path of EdgeBOL's per-period safe-set and acquisition computation and
-// shards the candidates across a work-scaled number of goroutines; see
-// PosteriorBatchWorkers for an explicit worker count.
-func (g *GP) PosteriorBatch(candidates [][]float64, mu, sigma []float64) {
-	g.PosteriorBatchWorkers(candidates, mu, sigma, 0)
+// BatchOptions configure one batched posterior sweep. The zero value is
+// the default: work-scaled parallelism.
+type BatchOptions struct {
+	// Workers is the explicit degree of parallelism: candidates are split
+	// into contiguous tile-aligned shards evaluated by this many
+	// goroutines, each with its own scratch buffers (the read path holds
+	// no shared mutable state, so sharding is race-free by construction).
+	// Workers <= 0 scales the count with the total work (see
+	// ResolveWorkers); Workers == 1 runs serially on the calling
+	// goroutine. Every candidate's arithmetic is independent of the
+	// sharding, so results are bitwise identical for every setting.
+	Workers int
 }
 
-// PosteriorBatchWorkers is PosteriorBatch with an explicit degree of
-// parallelism: candidates are split into contiguous shards evaluated by
-// `workers` goroutines, each with its own scratch buffers (the read path
-// holds no shared mutable state, so sharding is race-free by
-// construction). workers <= 0 scales the count with the total work (see
-// ResolveWorkers); workers == 1 runs serially on the calling goroutine.
-// Every candidate's arithmetic is independent of the sharding, so results
-// are bitwise identical for every worker count.
-func (g *GP) PosteriorBatchWorkers(candidates [][]float64, mu, sigma []float64, workers int) {
+// PosteriorBatch evaluates the posterior over a candidate set, writing the
+// results into mu and sigma (each of length len(candidates)). It is the hot
+// path of EdgeBOL's per-period safe-set and acquisition computation; opts
+// controls the sharding (the zero BatchOptions selects work-scaled
+// parallelism) and never affects the results.
+func (g *GP) PosteriorBatch(candidates [][]float64, mu, sigma []float64, opts BatchOptions) {
+	workers := opts.Workers
 	if len(mu) != len(candidates) || len(sigma) != len(candidates) {
 		panic("gp: PosteriorBatch output length mismatch")
 	}

@@ -110,7 +110,7 @@ func TestPosteriorBatchMatchesSingle(t *testing.T) {
 	}
 	mu := make([]float64, len(cands))
 	sigma := make([]float64, len(cands))
-	g.PosteriorBatch(cands, mu, sigma)
+	g.PosteriorBatch(cands, mu, sigma, BatchOptions{})
 	for i, c := range cands {
 		m, s := g.Posterior(c)
 		if math.Abs(m-mu[i]) > 1e-10 || math.Abs(s-sigma[i]) > 1e-10 {
@@ -124,7 +124,7 @@ func TestPosteriorBatchEmptyGP(t *testing.T) {
 	cands := [][]float64{{0.1}, {0.9}}
 	mu := make([]float64, 2)
 	sigma := make([]float64, 2)
-	g.PosteriorBatch(cands, mu, sigma)
+	g.PosteriorBatch(cands, mu, sigma, BatchOptions{})
 	if mu[0] != 0 || math.Abs(sigma[0]-1) > 1e-12 {
 		t.Fatalf("empty-GP batch should return prior, got (%v,%v)", mu[0], sigma[0])
 	}
@@ -137,7 +137,7 @@ func TestPosteriorBatchLengthMismatchPanics(t *testing.T) {
 			t.Fatal("expected panic on output length mismatch")
 		}
 	}()
-	g.PosteriorBatch([][]float64{{0}}, make([]float64, 2), make([]float64, 1))
+	g.PosteriorBatch([][]float64{{0}}, make([]float64, 2), make([]float64, 1), BatchOptions{})
 }
 
 func TestSlidingWindowEviction(t *testing.T) {

@@ -62,7 +62,7 @@ func TestPosteriorBatchConsistentAfterEvictions(t *testing.T) {
 		}
 		mu := make([]float64, len(cands))
 		sigma := make([]float64, len(cands))
-		g.PosteriorBatch(cands, mu, sigma)
+		g.PosteriorBatch(cands, mu, sigma, BatchOptions{})
 		for i, c := range cands {
 			m, s := g.Posterior(c)
 			if diff(m, mu[i]) > 1e-9 || diff(s, sigma[i]) > 1e-9 {

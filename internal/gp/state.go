@@ -1,0 +1,178 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Kernel names used by State to identify the package kernels; foreign
+// kernels are identified by their Go type via KernelName.
+const (
+	KernelMatern32 = "matern32"
+	KernelMatern52 = "matern52"
+	KernelRBF      = "rbf"
+)
+
+// KernelName returns a stable identifier for a kernel: a short name for
+// the package kernels, the Go type otherwise. Checkpoint restore compares
+// names to catch a GP being restored under a different covariance model.
+func KernelName(k Kernel) string {
+	switch k.(type) {
+	case *Matern32:
+		return KernelMatern32
+	case *Matern52:
+		return KernelMatern52
+	case *RBF:
+		return KernelRBF
+	default:
+		return fmt.Sprintf("%T", k)
+	}
+}
+
+// kernelLengthScales returns the length-scale vector of a package kernel,
+// or nil for foreign kernels (whose hyperparameters this package cannot
+// inspect).
+func kernelLengthScales(k Kernel) []float64 {
+	switch k := k.(type) {
+	case *Matern32:
+		return k.LengthScales
+	case *Matern52:
+		return k.LengthScales
+	case *RBF:
+		return k.LengthScales
+	default:
+		return nil
+	}
+}
+
+// State is a complete, self-contained snapshot of a GP's learned state:
+// the flat training storage, the packed Cholesky factor exactly as the
+// incremental append/evict history left it, and the hyperparameters the
+// state was learned under. Restoring a State into a GP constructed with
+// the same configuration reproduces every posterior bitwise.
+//
+// The factor is serialized rather than refactorized on restore because the
+// incremental Append arithmetic is not bitwise-reproducible by a batch
+// rebuild (the pivot accumulation orders differ); carrying the factor
+// verbatim makes the round trip exact by construction and keeps restore at
+// O(t²) (one alpha solve) instead of O(t³).
+type State struct {
+	// Kernel identifies the covariance model (KernelName).
+	Kernel string
+	// LengthScales are the kernel's per-dimension length scales; nil for
+	// foreign kernels.
+	LengthScales []float64
+	// NoiseVar is the observation-noise variance ζ².
+	NoiseVar float64
+	// MaxObs is the sliding-window bound (0 = unlimited).
+	MaxObs int
+	// Dim is the input dimensionality.
+	Dim int
+	// Xs is the flat row-major training-input matrix, len(Ys)×Dim.
+	Xs []float64
+	// Ys are the training targets.
+	Ys []float64
+	// Factor is the packed lower-triangular Cholesky factor of K+ζ²I
+	// (linalg.Cholesky.FactorData); nil when the GP holds no observations.
+	Factor []float64
+	// Jitter is the diagonal regularization recorded in the factor.
+	Jitter float64
+	// Evictions is the cumulative sliding-window eviction count; sweep
+	// plans key their table rebuilds on it, so it must survive a restart.
+	Evictions uint64
+}
+
+// Snapshot captures the GP's learned state. Like the read paths it touches
+// no mutable state beyond copying, but it must not run concurrently with
+// Add (the single-writer contract in the type comment).
+func (g *GP) Snapshot() State {
+	s := State{
+		Kernel:       KernelName(g.kernel),
+		LengthScales: append([]float64(nil), kernelLengthScales(g.kernel)...),
+		NoiseVar:     g.noiseVar,
+		MaxObs:       g.maxObs,
+		Dim:          g.dim,
+		Xs:           append([]float64(nil), g.xs...),
+		Ys:           append([]float64(nil), g.ys...),
+		Evictions:    g.evictions,
+	}
+	if g.chol != nil {
+		s.Factor = g.chol.FactorData()
+		s.Jitter = g.chol.Jitter()
+	}
+	return s
+}
+
+// RestoreFrom replaces the GP's learned state with a snapshot. The
+// receiver must have been constructed (New) with the same configuration
+// the snapshot was taken under — kernel family and hyperparameters, noise
+// variance, observation bound — and RestoreFrom verifies as much of that
+// as it can see, bitwise, so a checkpoint cannot silently graft one
+// model's data onto another's covariance. Telemetry handles are untouched;
+// counters are process-local and restart from zero by design.
+//
+// After a successful restore every posterior, batch sweep, and
+// log-marginal-likelihood is bitwise identical to the snapshotted GP's.
+// On any validation failure the GP is left unchanged.
+func (g *GP) RestoreFrom(s State) error {
+	if s.Kernel != KernelName(g.kernel) {
+		return fmt.Errorf("gp: restore kernel %q into %q", s.Kernel, KernelName(g.kernel))
+	}
+	if ls := kernelLengthScales(g.kernel); ls != nil {
+		if len(s.LengthScales) != len(ls) {
+			return fmt.Errorf("gp: restore %d length scales into kernel with %d", len(s.LengthScales), len(ls))
+		}
+		for i, l := range ls {
+			if s.LengthScales[i] != l { //edgebol:allow floateq -- restore demands the exact hyperparameters the snapshot was trained with
+				return fmt.Errorf("gp: restore length scale %d: %v does not match kernel's %v", i, s.LengthScales[i], l)
+			}
+		}
+	}
+	if s.NoiseVar != g.noiseVar { //edgebol:allow floateq -- restore demands the exact hyperparameters the snapshot was trained with
+		return fmt.Errorf("gp: restore noise variance %v into %v", s.NoiseVar, g.noiseVar)
+	}
+	if s.MaxObs != g.maxObs {
+		return fmt.Errorf("gp: restore observation bound %d into %d", s.MaxObs, g.maxObs)
+	}
+	if s.Dim != g.dim {
+		return fmt.Errorf("gp: restore dimension %d into %d", s.Dim, g.dim)
+	}
+	n := len(s.Ys)
+	if g.maxObs > 0 && n > g.maxObs {
+		return fmt.Errorf("gp: restore %d observations over the bound %d", n, g.maxObs)
+	}
+	if len(s.Xs) != n*g.dim {
+		return fmt.Errorf("gp: restore %d input values for %d observations of dimension %d", len(s.Xs), n, g.dim)
+	}
+	for _, v := range s.Xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("gp: non-finite restored input %v", v)
+		}
+	}
+	for _, v := range s.Ys {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("gp: non-finite restored observation %v", v)
+		}
+	}
+	if n == 0 {
+		if len(s.Factor) != 0 {
+			return fmt.Errorf("gp: restore factor of %d entries with no observations", len(s.Factor))
+		}
+		g.xs, g.ys, g.chol, g.alpha = nil, nil, nil, nil
+		g.evictions = s.Evictions
+		return nil
+	}
+	chol, err := linalg.NewCholeskyFromFactor(n, s.Factor, s.Jitter)
+	if err != nil {
+		return fmt.Errorf("gp: restore factor: %w", err)
+	}
+	g.xs = append([]float64(nil), s.Xs...)
+	g.ys = append([]float64(nil), s.Ys...)
+	g.chol = chol
+	g.alpha = nil
+	g.refreshAlpha()
+	g.evictions = s.Evictions
+	return nil
+}

@@ -31,7 +31,7 @@ import (
 // renumbers the training rows); a hyperparameter refit constructs a new GP
 // and therefore a new plan.
 //
-// Bitwise contract: Sweep reproduces PosteriorBatchWorkers over the
+// Bitwise contract: Sweep reproduces PosteriorBatch over the
 // enumerated grid bit for bit, for every worker count. The per-dimension
 // terms are accumulated in the same two even/odd chains, in the same
 // order, as the kernel's scaledSqDistInv — the context dimensions come
@@ -93,7 +93,7 @@ type planMetrics struct {
 //
 // It returns an error when the kernel is not one of the package's
 // stationary kernels or the dimensions are inconsistent; callers fall
-// back to the generic PosteriorBatchWorkers path.
+// back to the generic PosteriorBatch path.
 func NewSweepPlan(g *GP, ctxDims int, levels [][]float64) (*SweepPlan, error) {
 	if g == nil {
 		return nil, fmt.Errorf("gp: SweepPlan needs a GP")
@@ -214,7 +214,7 @@ func (p *SweepPlan) sync() {
 // Sweep evaluates the GP posterior at every grid point for the given
 // context features, writing into mu and sigma (each of length GridSize(),
 // in the grid's enumeration order). workers follows the semantics of
-// PosteriorBatchWorkers; results are bitwise identical to evaluating the
+// PosteriorBatch; results are bitwise identical to evaluating the
 // enumerated grid through that generic path, for every worker count.
 func (p *SweepPlan) Sweep(ctx []float64, mu, sigma []float64, workers int) {
 	if len(ctx) != p.ctxDims {

@@ -78,7 +78,7 @@ func requireSweepMatches(t *testing.T, g *GP, p *SweepPlan, ctx []float64, level
 	}
 	refMu := make([]float64, len(feats))
 	refSigma := make([]float64, len(feats))
-	g.PosteriorBatchWorkers(feats, refMu, refSigma, 1)
+	g.PosteriorBatch(feats, refMu, refSigma, BatchOptions{Workers: 1})
 	for _, workers := range []int{1, 0, 2, 3, 8} {
 		mu := make([]float64, len(feats))
 		sigma := make([]float64, len(feats))

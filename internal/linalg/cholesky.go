@@ -250,6 +250,47 @@ func (c *Cholesky) BackwardSolve(y []float64) {
 	}
 }
 
+// FactorData returns a copy of the packed lower-triangular factor: row i
+// occupies out[i*(i+1)/2 : i*(i+1)/2+i+1]. Together with Jitter it is the
+// factorization's complete state, so a factor restored through
+// NewCholeskyFromFactor reproduces every solve bitwise — including factors
+// whose entries depend on the exact append/rebuild history that produced
+// them, which a refactorization could not replay.
+func (c *Cholesky) FactorData() []float64 {
+	return append([]float64(nil), c.l...)
+}
+
+// NewCholeskyFromFactor reconstructs a Cholesky from a packed factor
+// previously obtained via FactorData. It validates the packed length and
+// that every entry is finite with strictly positive diagonals — the
+// invariants every factorization path establishes — so a corrupted or
+// hostile snapshot is rejected instead of poisoning later solves.
+func NewCholeskyFromFactor(n int, l []float64, jitter float64) (*Cholesky, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("linalg: negative factor size %d", n)
+	}
+	if want := n * (n + 1) / 2; len(l) != want {
+		return nil, fmt.Errorf("linalg: packed factor length %d does not match size %d (want %d)", len(l), n, want)
+	}
+	if math.IsNaN(jitter) || math.IsInf(jitter, 0) || jitter < 0 {
+		return nil, fmt.Errorf("linalg: invalid factor jitter %v", jitter)
+	}
+	c := &Cholesky{n: n, l: append([]float64(nil), l...), jitter: jitter}
+	for i := 0; i < n; i++ {
+		ri := c.rowStart(i)
+		for j := 0; j <= i; j++ {
+			v := c.l[ri+j]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("linalg: non-finite factor entry %v at (%d,%d)", v, i, j)
+			}
+		}
+		if c.l[ri+i] <= 0 {
+			return nil, fmt.Errorf("linalg: non-positive factor diagonal %v at %d", c.l[ri+i], i)
+		}
+	}
+	return c, nil
+}
+
 // LogDet returns log det(A) = 2·Σ log L[i,i].
 func (c *Cholesky) LogDet() float64 {
 	var s float64

@@ -1,0 +1,107 @@
+package oran
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/telemetry"
+)
+
+// CheckpointSaver is the slice of core.Agent the control plane needs to
+// checkpoint learned state: a serializer and a monotone progress counter
+// that names the snapshot. Taking an interface (rather than *core.Agent)
+// keeps the oran layer decoupled from the learning stack and lets tests
+// inject failing savers.
+type CheckpointSaver interface {
+	// SaveCheckpoint writes a complete snapshot to w.
+	SaveCheckpoint(w io.Writer) error
+	// Observations reports how many periods the saver has absorbed;
+	// checkpoints are named after this counter.
+	Observations() int
+}
+
+// Checkpointer persists agent snapshots into a directory with crash-safe
+// commit semantics (data file renamed into place before the LATEST pointer
+// moves — see checkpoint.Commit). It is driven either periodically via
+// Tick from the deployment's control loop or explicitly via Save.
+type Checkpointer struct {
+	dir       string
+	every     int
+	lastSaved int
+
+	writes   *telemetry.Counter
+	errs     *telemetry.Counter
+	bytes    *telemetry.Gauge
+	writeLat *telemetry.Histogram
+}
+
+// NewCheckpointer returns a Checkpointer writing into dir. When every > 0,
+// Tick saves whenever the saver's observation counter reaches a multiple
+// of it; when every <= 0, Tick is a no-op and only explicit Save calls
+// write snapshots.
+func NewCheckpointer(dir string, every int) (*Checkpointer, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("oran: checkpoint directory must not be empty")
+	}
+	return &Checkpointer{dir: dir, every: every, lastSaved: -1}, nil
+}
+
+// Dir reports the directory snapshots are committed into.
+func (c *Checkpointer) Dir() string { return c.dir }
+
+// Instrument registers the checkpointer's metrics with reg. Safe to call
+// with a nil registry (telemetry handles are nil-safe).
+func (c *Checkpointer) Instrument(reg *telemetry.Registry) {
+	c.writes = reg.Counter("edgebol_oran_ckpt_writes_total")
+	c.errs = reg.Counter("edgebol_oran_ckpt_write_errors_total")
+	c.bytes = reg.Gauge("edgebol_oran_ckpt_bytes")
+	c.writeLat = reg.Histogram("edgebol_oran_ckpt_write_seconds", telemetry.LatencyBuckets())
+}
+
+// Tick saves a checkpoint when the saver's observation counter has reached
+// the configured interval. It returns the committed file path ("" when
+// this tick did not trigger a save).
+func (c *Checkpointer) Tick(a CheckpointSaver) (string, error) {
+	if c.every <= 0 {
+		return "", nil
+	}
+	obs := a.Observations()
+	if obs <= 0 || obs%c.every != 0 || obs == c.lastSaved {
+		return "", nil
+	}
+	return c.Save(a)
+}
+
+// Save unconditionally snapshots the saver and commits the result as
+// ckpt-<observations, zero-padded>, returning the committed path. Zero
+// padding keeps lexical order equal to numeric order, which
+// checkpoint.Latest relies on when the LATEST pointer is missing.
+func (c *Checkpointer) Save(a CheckpointSaver) (string, error) {
+	start := time.Now()
+	var buf bytes.Buffer
+	if err := a.SaveCheckpoint(&buf); err != nil {
+		c.errs.Inc()
+		return "", fmt.Errorf("oran: checkpoint encode: %w", err)
+	}
+	obs := a.Observations()
+	name := fmt.Sprintf("ckpt-%08d", obs)
+	path, err := checkpoint.Commit(c.dir, name, buf.Bytes())
+	if err != nil {
+		c.errs.Inc()
+		return "", fmt.Errorf("oran: checkpoint commit: %w", err)
+	}
+	c.lastSaved = obs
+	c.writes.Inc()
+	c.bytes.Set(float64(buf.Len()))
+	c.writeLat.Observe(time.Since(start).Seconds())
+	return path, nil
+}
+
+// Latest resolves the most recent committed checkpoint in the directory.
+// It returns checkpoint.ErrNoCheckpoint when none has been written yet.
+func (c *Checkpointer) Latest() (string, error) {
+	return checkpoint.Latest(c.dir)
+}

@@ -1,0 +1,276 @@
+package oran
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/ran"
+	"repro/internal/telemetry"
+	"repro/internal/testbed"
+)
+
+// fakeSaver is a minimal CheckpointSaver for unit-testing the Checkpointer
+// without standing up a learning agent.
+type fakeSaver struct {
+	obs     int
+	payload []byte
+	fail    bool
+}
+
+func (f *fakeSaver) SaveCheckpoint(w io.Writer) error {
+	if f.fail {
+		return errors.New("synthetic save failure")
+	}
+	_, err := w.Write(f.payload)
+	return err
+}
+
+func (f *fakeSaver) Observations() int { return f.obs }
+
+func TestNewCheckpointerValidation(t *testing.T) {
+	if _, err := NewCheckpointer("", 5); err == nil {
+		t.Fatal("expected error for empty directory")
+	}
+}
+
+func TestCheckpointerTickAndLatest(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCheckpointer(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	c.Instrument(reg)
+	s := &fakeSaver{payload: []byte("snapshot-a")}
+
+	// Off-interval ticks are no-ops.
+	for _, obs := range []int{0, 1, 3, 4} {
+		s.obs = obs
+		if path, err := c.Tick(s); err != nil || path != "" {
+			t.Fatalf("Tick(obs=%d) = (%q, %v), want no-op", obs, path, err)
+		}
+	}
+	// The interval boundary triggers exactly one save...
+	s.obs = 5
+	path, err := c.Tick(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "ckpt-00000005.ckpt" {
+		t.Fatalf("committed %q, want ckpt-00000005.ckpt", path)
+	}
+	if got, err := os.ReadFile(path); err != nil || string(got) != "snapshot-a" {
+		t.Fatalf("checkpoint content %q, %v", got, err)
+	}
+	// ...and re-ticking at the same counter must not rewrite it.
+	if p2, err := c.Tick(s); err != nil || p2 != "" {
+		t.Fatalf("duplicate Tick = (%q, %v), want no-op", p2, err)
+	}
+	// A later boundary commits a new file and moves the latest pointer.
+	s.obs = 10
+	s.payload = []byte("snapshot-b")
+	if _, err := c.Tick(s); err != nil {
+		t.Fatal(err)
+	}
+	latest, err := c.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(latest) != "ckpt-00000010.ckpt" {
+		t.Fatalf("Latest = %q, want ckpt-00000010.ckpt", latest)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["edgebol_oran_ckpt_writes_total"]; got != 2 {
+		t.Fatalf("write counter %d, want 2", got)
+	}
+	if got := snap.Counters["edgebol_oran_ckpt_write_errors_total"]; got != 0 {
+		t.Fatalf("spurious write errors %d", got)
+	}
+	if got := snap.Gauges["edgebol_oran_ckpt_bytes"]; got != float64(len("snapshot-b")) {
+		t.Fatalf("bytes gauge %v", got)
+	}
+	if got := snap.Histograms["edgebol_oran_ckpt_write_seconds"].Count; got != 2 {
+		t.Fatalf("latency histogram count %d", got)
+	}
+}
+
+func TestCheckpointerDisabledInterval(t *testing.T) {
+	c, err := NewCheckpointer(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Instrument(nil) // nil registry must be safe
+	s := &fakeSaver{obs: 20, payload: []byte("x")}
+	if path, err := c.Tick(s); err != nil || path != "" {
+		t.Fatalf("Tick with every=0 = (%q, %v), want no-op", path, err)
+	}
+	// Explicit saves still work.
+	if _, err := c.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Latest(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointerSaveError(t *testing.T) {
+	c, err := NewCheckpointer(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	c.Instrument(reg)
+	s := &fakeSaver{obs: 1, fail: true}
+	if _, err := c.Tick(s); err == nil {
+		t.Fatal("expected save error to propagate")
+	}
+	if got := reg.Snapshot().Counters["edgebol_oran_ckpt_write_errors_total"]; got != 1 {
+		t.Fatalf("error counter %d, want 1", got)
+	}
+	if _, err := c.Latest(); !errors.Is(err, checkpoint.ErrNoCheckpoint) {
+		t.Fatalf("Latest after failed save = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+// ckptAgent builds the learning agent used by the kill-and-resume test.
+func ckptAgent(t *testing.T) *core.Agent {
+	t.Helper()
+	a, err := core.NewAgent(core.Options{
+		Grid:        core.GridSpec{Levels: 4, MinResolution: 0.1, MinAirtime: 0.1},
+		Weights:     core.CostWeights{Delta1: 1, Delta2: 1},
+		Constraints: core.Constraints{MaxDelay: 0.4, MinMAP: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestDeploymentKillAndResume is the oran-level restore-equivalence check:
+// an agent driven through the control plane, checkpointed by the
+// deployment's Checkpointer, killed, and resumed from the latest snapshot
+// must behave bitwise-identically to one that ran uninterrupted — the
+// warm-restart guarantee of the checkpoint subsystem end to end.
+func TestDeploymentKillAndResume(t *testing.T) {
+	const T, half = 14, 7
+	newDep := func(reg *telemetry.Registry, dir string) *Deployment {
+		tb, err := testbed.New(testbed.DefaultConfig(), []ran.User{{SNRdB: 35}}, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Deploy(tb, DeployOptions{
+			Timeout:         3 * time.Second,
+			Telemetry:       reg,
+			CheckpointDir:   dir,
+			CheckpointEvery: half,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		return d
+	}
+
+	// Uninterrupted reference run on its own (identically seeded, hence
+	// identical — see TestDeploymentTransparent) deployment.
+	straightDep := newDep(nil, t.TempDir())
+	straight := ckptAgent(t)
+	env := straightDep.Env()
+	want := make([]core.Control, 0, T)
+	for i := 0; i < T; i++ {
+		x, _, _, err := straight.Step(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, x)
+	}
+
+	// Interrupted run: checkpoint at the halfway boundary, then "crash".
+	reg := telemetry.NewRegistry()
+	dir := t.TempDir()
+	d := newDep(reg, dir)
+	ckpt := d.Checkpointer()
+	if ckpt == nil {
+		t.Fatal("CheckpointDir set but Checkpointer() is nil")
+	}
+	victim := ckptAgent(t)
+	env2 := d.Env()
+	got := make([]core.Control, 0, T)
+	for i := 0; i < half; i++ {
+		x, _, _, err := victim.Step(env2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, x)
+		if _, err := ckpt.Tick(victim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim = nil // the process dies here; only the files survive
+
+	latest, err := ckpt.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(latest) != fmt.Sprintf("ckpt-%08d.ckpt", half) {
+		t.Fatalf("latest checkpoint %q, want the period-%d snapshot", latest, half)
+	}
+	f, err := os.Open(latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := core.LoadCheckpoint(f, core.Options{
+		Grid:        core.GridSpec{Levels: 4, MinResolution: 0.1, MinAirtime: 0.1},
+		Weights:     core.CostWeights{Delta1: 1, Delta2: 1},
+		Constraints: core.Constraints{MaxDelay: 0.4, MinMAP: 0.5},
+	})
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Observations() != half {
+		t.Fatalf("resumed at %d observations, want %d", resumed.Observations(), half)
+	}
+	for i := half; i < T; i++ {
+		x, _, _, err := resumed.Step(env2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, x)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("period %d: resumed control %+v != uninterrupted %+v", i, got[i], want[i])
+		}
+	}
+	if got := reg.Snapshot().Counters["edgebol_oran_ckpt_writes_total"]; got != 1 {
+		t.Fatalf("checkpoint writes %d, want 1", got)
+	}
+	// The LATEST pointer must name the committed file (crash-safety
+	// ordering: data first, pointer second).
+	b, err := os.ReadFile(filepath.Join(dir, "LATEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(b)) != filepath.Base(latest) {
+		t.Fatalf("LATEST names %q, want %q", strings.TrimSpace(string(b)), filepath.Base(latest))
+	}
+}
+
+func TestDeploymentWithoutCheckpointDir(t *testing.T) {
+	d, _ := newDeployment(t, 29)
+	if d.Checkpointer() != nil {
+		t.Fatal("Checkpointer() should be nil without CheckpointDir")
+	}
+}
+
+var _ CheckpointSaver = (*core.Agent)(nil)

@@ -32,6 +32,14 @@ type DeployOptions struct {
 	// the whole loop. Nil with MetricsAddr set auto-creates a registry;
 	// nil otherwise disables instrumentation entirely.
 	Telemetry *telemetry.Registry
+	// CheckpointDir, when non-empty, equips the deployment with a
+	// Checkpointer committing agent snapshots into that directory with
+	// crash-safe write-then-rename semantics. Drive it via
+	// Deployment.Checkpointer().Tick (or Save) from the control loop.
+	CheckpointDir string
+	// CheckpointEvery sets the Tick interval in observation periods.
+	// Zero or negative means no periodic saves (explicit Save only).
+	CheckpointEvery int
 }
 
 // Deployment is a complete loopback control plane: data plane, E2 node,
@@ -45,6 +53,7 @@ type Deployment struct {
 
 	svcClient *Client
 	reg       *telemetry.Registry
+	ckpt      *Checkpointer
 	httpLn    net.Listener
 	httpSrv   *http.Server
 	stopWatch func() bool
@@ -131,6 +140,14 @@ func DeployContext(ctx context.Context, env core.Environment, opts DeployOptions
 		reg:        reg,
 		done:       make(chan struct{}),
 	}
+	if opts.CheckpointDir != "" {
+		ckpt, err := NewCheckpointer(opts.CheckpointDir, opts.CheckpointEvery)
+		if err != nil {
+			return fail(err)
+		}
+		ckpt.Instrument(reg)
+		d.ckpt = ckpt
+	}
 	if opts.MetricsAddr != "" {
 		ln, err := net.Listen("tcp", opts.MetricsAddr)
 		if err != nil {
@@ -150,6 +167,10 @@ func DeployContext(ctx context.Context, env core.Environment, opts DeployOptions
 // Registry returns the telemetry registry instrumenting this deployment,
 // or nil when telemetry is disabled.
 func (d *Deployment) Registry() *telemetry.Registry { return d.reg }
+
+// Checkpointer returns the deployment's checkpointer, or nil when
+// DeployOptions.CheckpointDir was empty.
+func (d *Deployment) Checkpointer() *Checkpointer { return d.ckpt }
 
 // MetricsAddr returns the bound address of the metrics HTTP endpoint, or
 // "" when none was requested.

@@ -1,0 +1,72 @@
+#!/bin/sh
+# ckpt_smoke.sh is the kill-and-resume smoke test for the checkpoint
+# subsystem, driven entirely through the public CLI: run the closed loop
+# with periodic checkpoints, "kill" it (the process exits at T/2), resume
+# from the latest snapshot, and check that the resumed run (a) reports the
+# right resume period, (b) completes the remaining periods, and (c) the
+# ckpt inspection subcommands agree with what was written. The bitwise
+# restore-equivalence itself is pinned by unit and experiment tests; this
+# script is the CI proof the end-user workflow holds together.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dir=$(mktemp -d)
+bin=$(mktemp)
+trap 'rm -rf "$dir" "$bin"' EXIT
+
+go build -o "$bin" ./cmd/edgebol-sim
+
+# Phase 1: the "victim" run — 12 periods, checkpoint every 6, then exit
+# (standing in for a crash after the last committed snapshot).
+"$bin" -periods 12 -grid 5 -seed 7 -quiet \
+    -checkpoint-dir "$dir" -checkpoint-every 6 >/dev/null
+
+latest=$("$bin" ckpt latest "$dir")
+case "$latest" in
+*ckpt-00000012.ckpt) echo "ok: latest points at the period-12 snapshot" ;;
+*)
+    echo "FAIL: latest = $latest, want ckpt-00000012.ckpt" >&2
+    exit 1
+    ;;
+esac
+
+# The LATEST pointer must name a complete, committed file (crash-safe
+# ordering: data first, pointer second).
+[ -s "$latest" ] || {
+    echo "FAIL: latest checkpoint $latest is missing or empty" >&2
+    exit 1
+}
+
+info=$("$bin" ckpt info "$latest")
+printf '%s\n' "$info"
+printf '%s\n' "$info" | grep -q "periods:        12" || {
+    echo "FAIL: ckpt info does not report 12 periods" >&2
+    exit 1
+}
+
+# Phase 2: resume from the snapshot and run 12 more periods.
+out=$("$bin" -periods 24 -grid 5 -seed 7 -quiet \
+    -checkpoint-dir "$dir" -checkpoint-every 6 -resume latest)
+printf '%s\n' "$out" | grep -q "resumed from latest at period 12" || {
+    echo "FAIL: resumed run did not start at period 12:" >&2
+    printf '%s\n' "$out" >&2
+    exit 1
+}
+printf '%s\n' "$out" | grep -q "converged cost" || {
+    echo "FAIL: resumed run did not complete:" >&2
+    printf '%s\n' "$out" >&2
+    exit 1
+}
+
+# The resumed run keeps checkpointing past the restart.
+latest2=$("$bin" ckpt latest "$dir")
+case "$latest2" in
+*ckpt-00000036.ckpt) echo "ok: resumed run advanced the latest snapshot" ;;
+*)
+    echo "FAIL: post-resume latest = $latest2, want ckpt-00000036.ckpt" >&2
+    exit 1
+    ;;
+esac
+
+echo "ckpt smoke: ok"
