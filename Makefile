@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-baseline fmt fmt-check vet check bench bench-check metrics-smoke ckpt-smoke clean
+.PHONY: all build test race lint lint-baseline fmt fmt-check vet check bench bench-check sparse-equiv metrics-smoke ckpt-smoke clean
 
 all: build
 
@@ -42,7 +42,18 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: build fmt-check lint test race
+check: build fmt-check lint test race sparse-equiv
+
+# sparse-equiv runs the sparse-vs-exact equivalence suite on its own:
+# posterior error bounds against the exact oracle, bitwise sweep-plan and
+# batch agreement, auto-switch/convert equivalence, checkpoint round-trips,
+# and the selection-regret replay gate. The tests also run under `test`;
+# the dedicated target exists so CI names a sparse-accuracy regression
+# instead of burying it in the full suite.
+sparse-equiv:
+	$(GO) test -count=1 -run 'TestSparse|TestConvertToSparse' ./internal/gp
+	$(GO) test -count=1 -run 'TestSparse|TestAutoSwitch|TestEngine|TestCheckpointRestoreEquivalence|TestReadCheckpointInfoReportsEngine' ./internal/core
+	$(GO) test -count=1 -run 'TestLongHorizon' ./internal/experiment
 
 # metrics-smoke boots the O-RAN deployment with -metrics, curls /metrics,
 # and greps for the documented core/gp/oran/testbed metric families.
@@ -56,15 +67,16 @@ ckpt-smoke:
 	sh scripts/ckpt_smoke.sh
 
 # bench reruns the GP-inference benchmarks (posterior sweep over the
-# 14 641-point grid and full SelectControl periods at t ∈ {50, 200, 1000})
-# and regenerates BENCH_gp.json, joining the recorded pre-optimization
+# 14 641-point grid and full SelectControl periods; exact engine at
+# t ∈ {50, 200, 1000}, sparse inducing-point engine out to t = 10⁴) and
+# regenerates BENCH_gp.json, joining the recorded pre-optimization
 # baseline in results/bench_before.txt to report speedups.
 bench:
 	$(GO) test -run '^$$' -bench 'PosteriorBatch|SelectControl|GridSweep' -benchtime 3x \
 		./internal/gp ./internal/core | tee results/bench_after.txt
 	$(GO) run ./cmd/benchjson -before results/bench_before.txt \
 		-after results/bench_after.txt -out BENCH_gp.json \
-		-note "before = generic block-4 engine at the previous release (results/bench_before.txt); after = AVX fused-panel solves plus grid SweepPlan distance tables on the same host. vs_generic compares the SweepPlan against the generic path within the after run. See DESIGN.md, Performance."
+		-note "before = generic block-4 engine at the previous release (results/bench_before.txt); after = AVX fused-panel solves plus grid SweepPlan distance tables on the same host. vs_generic compares the SweepPlan against the generic path within the after run. engine=sparse entries are the m=128 inducing-point engine, flat in t; exact entries above t=1000 skip by policy. See DESIGN.md, Performance."
 	@echo "wrote BENCH_gp.json"
 
 # bench-check is the CI regression gate: rerun the tracked benchmarks in

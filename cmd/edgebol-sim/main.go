@@ -7,7 +7,7 @@
 //	edgebol-sim [-periods N] [-users N] [-snr DB] [-delta1 F] [-delta2 F]
 //	            [-dmax S] [-rmin F] [-grid LEVELS] [-seed N] [-quiet]
 //	            [-metrics ADDR] [-checkpoint-dir DIR] [-checkpoint-every N]
-//	            [-resume PATH]
+//	            [-resume PATH] [-engine exact|sparse|auto] [-inducing M]
 //	edgebol-sim ckpt info PATH
 //	edgebol-sim ckpt latest DIR
 //
@@ -60,7 +60,14 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "commit agent checkpoints into this directory (empty disables)")
 	ckptEvery := flag.Int("checkpoint-every", 10, "checkpoint interval in periods (with -checkpoint-dir)")
 	resume := flag.String("resume", "", "warm-start from this checkpoint file; \"latest\" resolves via -checkpoint-dir")
+	engineName := flag.String("engine", "exact", "GP inference engine: exact, sparse, or auto (convert when history reaches the switch threshold)")
+	inducing := flag.Int("inducing", 0, "sparse-engine inducing-point budget (0 = default 128)")
 	flag.Parse()
+
+	engine, err := parseEngine(*engineName)
+	if err != nil {
+		fatal(err)
+	}
 
 	var reg *telemetry.Registry
 	if *metricsAddr != "" {
@@ -85,7 +92,10 @@ func main() {
 	w := core.CostWeights{Delta1: *delta1, Delta2: *delta2}
 	cons := core.Constraints{MaxDelay: *dmax, MinMAP: *rmin}
 	grid := core.GridSpec{Levels: *gridLevels, MinResolution: 0.1, MinAirtime: 0.1}
-	opts := core.Options{Grid: grid, Weights: w, Constraints: cons, Telemetry: reg}
+	opts := core.Options{
+		Grid: grid, Weights: w, Constraints: cons, Telemetry: reg,
+		Engine: engine, InducingPoints: *inducing,
+	}
 	agent, err := loadOrNewAgent(opts, *resume, *ckptDir)
 	if err != nil {
 		fatal(err)
@@ -149,6 +159,19 @@ func main() {
 	fmt.Printf("optimality gap: %.1f%%\n", 100*(experiment.Median(tail)-oc)/oc)
 }
 
+// parseEngine maps the -engine flag onto the core selector.
+func parseEngine(name string) (core.EngineSelector, error) {
+	switch name {
+	case "exact":
+		return core.EngineExact, nil
+	case "sparse":
+		return core.EngineSparse, nil
+	case "auto":
+		return core.EngineAuto, nil
+	}
+	return 0, fmt.Errorf("unknown -engine %q (want exact, sparse, or auto)", name)
+}
+
 // loadOrNewAgent builds the agent, warm-starting from a checkpoint when
 // -resume names a file (or "latest", resolved against -checkpoint-dir).
 func loadOrNewAgent(opts core.Options, resume, dir string) (*core.Agent, error) {
@@ -195,7 +218,19 @@ func ckptMain(args []string) {
 		fmt.Printf("format version: %d\n", info.Version)
 		fmt.Printf("periods:        %d\n", info.Periods)
 		fmt.Printf("decomposed:     %v\n", info.DecomposedCost)
+		fmt.Printf("engine:         %s\n", info.Engine)
+		if info.Engine != "exact" {
+			fmt.Printf("inducing:       %d\n", info.InducingPoints)
+		}
+		if info.Engine == "auto" {
+			fmt.Printf("switch at:      %d\n", info.SparseSwitchAt)
+		}
 		for _, o := range info.Objectives {
+			if o.Engine == "sparse" {
+				fmt.Printf("objective %-12s %d observations (sparse, basis %d)\n",
+					o.Name, o.Observations, o.InducingPoints)
+				continue
+			}
 			fmt.Printf("objective %-12s %d observations\n", o.Name, o.Observations)
 		}
 	case "latest":

@@ -88,6 +88,18 @@ type (
 	Normalization = core.Normalization
 	// Affine is one normalization transform.
 	Affine = core.Affine
+	// EngineSelector picks the GP inference engine (Options.Engine).
+	EngineSelector = core.EngineSelector
+)
+
+// GP inference engines: the exact posterior (the default, bitwise-stable
+// story), the sparse inducing-point engine with per-period cost flat in
+// the history length, and auto (exact until Options.SparseSwitchAt
+// observations, sparse after). See DESIGN.md §12.
+const (
+	EngineExact  = core.EngineExact
+	EngineSparse = core.EngineSparse
+	EngineAuto   = core.EngineAuto
 )
 
 // Acquisition rules (§5): the paper's constrained LCB and the

@@ -34,8 +34,16 @@ import (
 // Magic identifies an EdgeBOL checkpoint stream.
 const Magic = "EBOLCKPT"
 
-// Version is the container format version this package reads and writes.
-const Version = 1
+// Version is the container format version this package writes. Version 2
+// extended the core META and GP section layouts with the GP engine
+// identity and the sparse-engine state (inducing set, moment blocks, dual
+// factors).
+const Version = 2
+
+// MinVersion is the oldest container version this reader still accepts.
+// Version-1 checkpoints predate the sparse engine; their sections decode
+// with the engine defaulted to exact.
+const MinVersion = 1
 
 // Container-level decode errors. Decode wraps them with positional detail;
 // match with errors.Is.
@@ -60,7 +68,7 @@ type VersionError struct {
 }
 
 func (e *VersionError) Error() string {
-	return fmt.Sprintf("checkpoint: unsupported format version %d (reader supports %d)", e.Found, Version)
+	return fmt.Sprintf("checkpoint: unsupported format version %d (reader supports %d through %d)", e.Found, MinVersion, Version)
 }
 
 // Section is one tagged payload of a checkpoint.
@@ -110,7 +118,8 @@ const headerLen = 8 + 2 + 2 + 4
 const sectionHeaderLen = 4 + 8
 const sectionTrailerLen = 4
 
-// Encode writes a version-1 checkpoint containing the given sections.
+// Encode writes a checkpoint containing the given sections at the current
+// format version.
 func Encode(w io.Writer, sections []Section) error {
 	var hdr [headerLen]byte
 	copy(hdr[:8], Magic)
@@ -165,7 +174,7 @@ func DecodeBytes(data []byte) (*Archive, error) {
 		return nil, ErrBadMagic
 	}
 	version := binary.LittleEndian.Uint16(data[8:10])
-	if version != Version {
+	if version < MinVersion || version > Version {
 		return nil, &VersionError{Found: version}
 	}
 	count := binary.LittleEndian.Uint32(data[12:16])

@@ -90,6 +90,33 @@ func TestDecodeVersionBump(t *testing.T) {
 	}
 }
 
+// TestDecodeAcceptsSupportedVersionRange: the reader accepts every
+// container version in [MinVersion, Version] — v1 archives written before
+// the sparse-engine format extension must keep decoding — and rejects
+// versions on either side of the range.
+func TestDecodeAcceptsSupportedVersionRange(t *testing.T) {
+	want := sampleSections()
+	for v := MinVersion; v <= Version; v++ {
+		data := encode(t, want)
+		data[8] = byte(v) // version is a little-endian u16 at offset 8
+		data[9] = byte(v >> 8)
+		arch, err := DecodeBytes(data)
+		if err != nil {
+			t.Fatalf("version %d rejected: %v", v, err)
+		}
+		if int(arch.Version) != v || len(arch.Sections) != len(want) {
+			t.Fatalf("version %d: decoded version %d with %d sections", v, arch.Version, len(arch.Sections))
+		}
+	}
+	data := encode(t, want)
+	data[8] = byte(MinVersion - 1)
+	data[9] = 0
+	var ve *VersionError
+	if _, err := DecodeBytes(data); !errors.As(err, &ve) || ve.Found != MinVersion-1 {
+		t.Fatalf("version %d accepted: %v", MinVersion-1, err)
+	}
+}
+
 func TestDecodeTruncations(t *testing.T) {
 	data := encode(t, sampleSections())
 	// Every strict prefix must fail loudly — most as ErrTruncated, but a

@@ -9,11 +9,16 @@ import (
 // benchAgent builds an agent on the paper's full 11⁴ grid with t seeded
 // synthetic observations, matching the per-period state of a long run.
 func benchAgent(b *testing.B, t int) (*Agent, Context) {
+	return benchAgentEngine(b, t, EngineExact)
+}
+
+func benchAgentEngine(b *testing.B, t int, engine EngineSelector) (*Agent, Context) {
 	b.Helper()
 	opts := Options{
 		Grid:        DefaultGridSpec(),
 		Weights:     CostWeights{Delta1: 1, Delta2: 8},
 		Constraints: Constraints{MaxDelay: 0.4, MinMAP: 0.5},
+		Engine:      engine,
 	}
 	a, err := NewAgent(opts)
 	if err != nil {
@@ -38,16 +43,42 @@ func benchAgent(b *testing.B, t int) (*Agent, Context) {
 	return a, Context{NumUsers: 2, MeanCQI: 12, VarCQI: 1.5}
 }
 
+// benchExactCap is the largest history the exact-engine benchmark runs
+// at; above it the O(t²)-per-candidate sweep is not a supported operating
+// point (the sparse engine is) and the variant skips with a logged
+// reason.
+const benchExactCap = 1000
+
 // BenchmarkSelectControl measures one full acquisition step — three GP
 // posterior sweeps over the 14 641-point grid, the safe-set filter, and
-// the constrained-LCB argmin — at several history sizes t.
+// the constrained-LCB argmin — at several history sizes t. The
+// engine=sparse variants run the inducing-point engine (m=128) and pin
+// its flat per-period cost out to t=10⁴.
 func BenchmarkSelectControl(b *testing.B) {
-	for _, t := range []int{50, 200, 1000} {
+	for _, t := range []int{50, 200, 1000, 5000} {
 		if testing.Short() && t > 200 {
 			continue
 		}
-		a, ctx := benchAgent(b, t)
 		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			if t > benchExactCap {
+				b.Skipf("exact engine skipped at t=%d: O(t²) per-candidate sweep; see the engine=sparse variant", t)
+			}
+			a, ctx := benchAgent(b, t)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.SelectControl(ctx)
+			}
+		})
+	}
+	for _, t := range []int{1000, 5000, 10000} {
+		// t=1000 stays in short mode so bench-check gates the sparse
+		// engine too; the longer horizons are full-run only.
+		if testing.Short() && t > 1000 {
+			continue
+		}
+		b.Run(fmt.Sprintf("t=%d/engine=sparse", t), func(b *testing.B) {
+			a, ctx := benchAgentEngine(b, t, EngineSparse)
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				a.SelectControl(ctx)
 			}

@@ -69,6 +69,14 @@ type CheckpointInfo struct {
 	// DecomposedCost reports whether the checkpoint carries the two
 	// decomposed power GPs in addition to the three objective GPs.
 	DecomposedCost bool
+	// Engine is the engine selector the agent was configured with
+	// ("exact", "sparse", or "auto"). Version-1 checkpoints predate the
+	// sparse engine and always report "exact".
+	Engine string
+	// InducingPoints and SparseSwitchAt are the resolved sparse-engine
+	// configuration (zero for version-1 checkpoints).
+	InducingPoints int
+	SparseSwitchAt int
 	// Objectives lists each serialized GP and its retained observation
 	// count, in section order.
 	Objectives []ObjectiveSize
@@ -78,6 +86,13 @@ type CheckpointInfo struct {
 type ObjectiveSize struct {
 	Name         string
 	Observations int
+	// Engine is the engine this GP was running at save time ("exact" or
+	// "sparse" — under the auto selector both can appear over a run's
+	// lifetime). Empty for version-1 checkpoints.
+	Engine string
+	// InducingPoints is the GP's current inducing-basis size (0 when
+	// exact).
+	InducingPoints int
 }
 
 // metaState is the decoded META section.
@@ -94,6 +109,11 @@ type metaState struct {
 	norm           Normalization
 	safeSeed       []Control
 	objectives     []ObjectiveSize
+	// Version-2 fields; a version-1 checkpoint decodes as the exact
+	// engine with zero sparse configuration.
+	engine         EngineSelector
+	inducingPoints int
+	sparseSwitchAt int
 }
 
 // normAffines flattens a Normalization into its five transforms in a
@@ -146,10 +166,27 @@ func (a *Agent) encodeMeta() []byte {
 			e.U64(uint64(g.Len()))
 		}
 	}
+	// Version-2 extension: the engine selector with its resolved sparse
+	// configuration, then per-objective engine identity (same order as the
+	// inventory above) so `ckpt info` can report the running engine and
+	// basis sizes without touching the GP payloads.
+	e.U8(uint8(a.opts.Engine))
+	e.U64(uint64(a.opts.InducingPoints))
+	e.U64(uint64(a.opts.SparseSwitchAt))
+	for _, g := range a.gps {
+		e.String(g.EngineName())
+		e.U64(uint64(g.InducingLen()))
+	}
+	if a.opts.DecomposedCost {
+		for _, g := range a.powerGPs {
+			e.String(g.EngineName())
+			e.U64(uint64(g.InducingLen()))
+		}
+	}
 	return e.Bytes()
 }
 
-func decodeMeta(data []byte) (*metaState, error) {
+func decodeMeta(data []byte, version uint16) (*metaState, error) {
 	d := checkpoint.NewDecoder(data)
 	m := &metaState{}
 	m.t = d.U64()
@@ -193,13 +230,34 @@ func decodeMeta(data []byte) (*metaState, error) {
 		obs := d.U64()
 		m.objectives = append(m.objectives, ObjectiveSize{Name: name, Observations: int(obs)})
 	}
+	if version >= 2 {
+		m.engine = EngineSelector(d.U8())
+		m.inducingPoints = int(d.U64())
+		m.sparseSwitchAt = int(d.U64())
+		for i := range m.objectives {
+			if d.Err() != nil {
+				break
+			}
+			m.objectives[i].Engine = d.String()
+			m.objectives[i].InducingPoints = int(d.U64())
+		}
+		if d.Err() == nil && (m.engine < EngineExact || m.engine > EngineAuto) {
+			return nil, fmt.Errorf("%w: unknown engine selector %d", checkpoint.ErrMalformed, m.engine)
+		}
+		if d.Err() == nil && (m.inducingPoints < 0 || m.sparseSwitchAt < 0) {
+			return nil, fmt.Errorf("%w: negative sparse configuration", checkpoint.ErrMalformed)
+		}
+	}
 	if err := d.Done(); err != nil {
 		return nil, fmt.Errorf("core: META section: %w", err)
 	}
 	return m, nil
 }
 
-// encodeGPState serializes a gp.State as one section payload.
+// encodeGPState serializes a gp.State as one section payload. The
+// version-1 layout is preserved as a prefix; version 2 appends the engine
+// identity and, verbatim, the sparse engine's streamed state (bases,
+// moments, both Cholesky factors) so a restore is bitwise lossless.
 func encodeGPState(s gp.State) []byte {
 	var e checkpoint.Encoder
 	e.String(s.Kernel)
@@ -212,10 +270,26 @@ func encodeGPState(s gp.State) []byte {
 	e.F64s(s.Factor)
 	e.F64(s.Jitter)
 	e.U64(s.Evictions)
+	e.String(s.Engine)
+	e.U32(uint32(s.MaxInducing))
+	e.F64(s.InsertTol)
+	e.F64(s.SwapMargin)
+	e.F64s(s.Zs)
+	e.F64s(s.Kmm)
+	e.F64s(s.A)
+	e.F64s(s.B)
+	e.F64(s.SumYY)
+	e.F64s(s.KmmFactor)
+	e.F64(s.KmmJitter)
+	e.F64s(s.SigFactor)
+	e.F64(s.SigJitter)
+	e.U64(s.Inserts)
+	e.U64(s.Swaps)
+	e.U64(uint64(s.SinceRefactor))
 	return e.Bytes()
 }
 
-func decodeGPState(data []byte) (gp.State, error) {
+func decodeGPState(data []byte, version uint16) (gp.State, error) {
 	d := checkpoint.NewDecoder(data)
 	var s gp.State
 	s.Kernel = d.String()
@@ -228,10 +302,28 @@ func decodeGPState(data []byte) (gp.State, error) {
 	s.Factor = d.F64s()
 	s.Jitter = d.F64()
 	s.Evictions = d.U64()
+	if version >= 2 {
+		s.Engine = d.String()
+		s.MaxInducing = int(d.U32())
+		s.InsertTol = d.F64()
+		s.SwapMargin = d.F64()
+		s.Zs = d.F64s()
+		s.Kmm = d.F64s()
+		s.A = d.F64s()
+		s.B = d.F64s()
+		s.SumYY = d.F64()
+		s.KmmFactor = d.F64s()
+		s.KmmJitter = d.F64()
+		s.SigFactor = d.F64s()
+		s.SigJitter = d.F64()
+		s.Inserts = d.U64()
+		s.Swaps = d.U64()
+		s.SinceRefactor = int(d.U64())
+	}
 	if err := d.Done(); err != nil {
 		return gp.State{}, err
 	}
-	if s.MaxObs < 0 || s.Dim < 0 {
+	if s.MaxObs < 0 || s.Dim < 0 || s.MaxInducing < 0 || s.SinceRefactor < 0 {
 		return gp.State{}, fmt.Errorf("%w: negative GP bounds", checkpoint.ErrMalformed)
 	}
 	return s, nil
@@ -357,13 +449,34 @@ func LoadCheckpoint(r io.Reader, opts Options) (*Agent, error) {
 	if metaSec == nil {
 		return nil, fmt.Errorf("%w: missing %s section", checkpoint.ErrMalformed, secMeta)
 	}
-	meta, err := decodeMeta(metaSec.Data)
+	meta, err := decodeMeta(metaSec.Data, arch.Version)
 	if err != nil {
 		return nil, err
 	}
 	a, err := NewAgent(opts)
 	if err != nil {
 		return nil, err
+	}
+	// Engine identity is fixed configuration: the learned state's meaning
+	// depends on the engine that produced it. Version-1 checkpoints predate
+	// the sparse engine and therefore restore only into exact agents; for
+	// version 2 the selector must match bitwise, and the sparse-engine knobs
+	// are compared only where they shape behaviour (the basis budget for
+	// sparse/auto, the switch threshold for auto).
+	if arch.Version < 2 {
+		if a.opts.Engine != EngineExact {
+			return nil, mismatch("Engine", EngineExact, a.opts.Engine)
+		}
+	} else {
+		if meta.engine != a.opts.Engine {
+			return nil, mismatch("Engine", meta.engine, a.opts.Engine)
+		}
+		if a.opts.Engine != EngineExact && meta.inducingPoints != a.opts.InducingPoints {
+			return nil, mismatch("InducingPoints", meta.inducingPoints, a.opts.InducingPoints)
+		}
+		if a.opts.Engine == EngineAuto && meta.sparseSwitchAt != a.opts.SparseSwitchAt {
+			return nil, mismatch("SparseSwitchAt", meta.sparseSwitchAt, a.opts.SparseSwitchAt)
+		}
 	}
 	// Fixed configuration must match bitwise: the learned state is only
 	// meaningful under the exact grid, priors, and normalization it was
@@ -417,12 +530,21 @@ func LoadCheckpoint(r io.Reader, opts Options) (*Agent, error) {
 	a.opts.Constraints = meta.constraints
 	a.opts.Weights = w
 	a.t = int(meta.t)
+	// An auto-selector checkpoint taken after the switch carries sparse GP
+	// states; the fresh agent starts exact, so convert it (over empty
+	// history, which is free) before the per-GP restore — gp.RestoreFrom
+	// rejects any remaining engine disagreement.
+	if a.opts.Engine == EngineAuto && len(meta.objectives) > 0 && meta.objectives[0].Engine == "sparse" {
+		if err := a.switchToSparse(); err != nil {
+			return nil, err
+		}
+	}
 	for i, g := range a.gps {
 		sec := arch.Find(gpTags[i])
 		if sec == nil {
 			return nil, fmt.Errorf("%w: missing %s section", checkpoint.ErrMalformed, gpTags[i])
 		}
-		st, err := decodeGPState(sec.Data)
+		st, err := decodeGPState(sec.Data, arch.Version)
 		if err != nil {
 			return nil, fmt.Errorf("core: section %s: %w", gpTags[i], err)
 		}
@@ -436,7 +558,7 @@ func LoadCheckpoint(r io.Reader, opts Options) (*Agent, error) {
 			if sec == nil {
 				return nil, fmt.Errorf("%w: missing %s section", checkpoint.ErrMalformed, powTags[i])
 			}
-			st, err := decodeGPState(sec.Data)
+			st, err := decodeGPState(sec.Data, arch.Version)
 			if err != nil {
 				return nil, fmt.Errorf("core: section %s: %w", powTags[i], err)
 			}
@@ -472,14 +594,21 @@ func ReadCheckpointInfo(r io.Reader) (CheckpointInfo, error) {
 	if metaSec == nil {
 		return CheckpointInfo{}, fmt.Errorf("%w: missing %s section", checkpoint.ErrMalformed, secMeta)
 	}
-	meta, err := decodeMeta(metaSec.Data)
+	meta, err := decodeMeta(metaSec.Data, arch.Version)
 	if err != nil {
 		return CheckpointInfo{}, err
+	}
+	engine := "exact"
+	if arch.Version >= 2 {
+		engine = meta.engine.String()
 	}
 	return CheckpointInfo{
 		Version:        arch.Version,
 		Periods:        int(meta.t),
 		DecomposedCost: meta.decomposed,
+		Engine:         engine,
+		InducingPoints: meta.inducingPoints,
+		SparseSwitchAt: meta.sparseSwitchAt,
 		Objectives:     meta.objectives,
 	}, nil
 }

@@ -113,6 +113,31 @@ func TestCheckpointRestoreEquivalence(t *testing.T) {
 		}},
 		{"generic sweep", func(o *Options) { o.KernelFactory = wrappedFactory }},
 		{"safeopt", func(o *Options) { o.Acquisition = AcquisitionSafeOpt }},
+		{"sparse", func(o *Options) {
+			o.Engine = EngineSparse
+			o.InducingPoints = 16
+		}},
+		{"sparse decomposed", func(o *Options) {
+			o.Engine = EngineSparse
+			o.InducingPoints = 16
+			o.DecomposedCost = true
+		}},
+		// Auto with the switch before the checkpoint: the saved state is
+		// sparse and LoadCheckpoint must convert the fresh agent before
+		// restoring.
+		{"auto post-switch", func(o *Options) {
+			o.Engine = EngineAuto
+			o.InducingPoints = 16
+			o.SparseSwitchAt = 8
+		}},
+		// Auto with the switch after the checkpoint: the saved state is
+		// exact and the restored run must convert at the same period the
+		// uninterrupted run did.
+		{"auto pre-switch", func(o *Options) {
+			o.Engine = EngineAuto
+			o.InducingPoints = 16
+			o.SparseSwitchAt = 20
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -164,6 +189,11 @@ func gpStatesEqual(a, b gp.State) bool {
 		a.Dim != b.Dim || a.Jitter != b.Jitter || a.Evictions != b.Evictions {
 		return false
 	}
+	if a.Engine != b.Engine || a.MaxInducing != b.MaxInducing ||
+		a.SumYY != b.SumYY || a.KmmJitter != b.KmmJitter || a.SigJitter != b.SigJitter ||
+		a.Inserts != b.Inserts || a.Swaps != b.Swaps || a.SinceRefactor != b.SinceRefactor {
+		return false
+	}
 	eq := func(x, y []float64) bool {
 		if len(x) != len(y) {
 			return false
@@ -175,7 +205,9 @@ func gpStatesEqual(a, b gp.State) bool {
 		}
 		return true
 	}
-	return eq(a.Xs, b.Xs) && eq(a.Ys, b.Ys) && eq(a.Factor, b.Factor) && eq(a.LengthScales, b.LengthScales)
+	return eq(a.Xs, b.Xs) && eq(a.Ys, b.Ys) && eq(a.Factor, b.Factor) && eq(a.LengthScales, b.LengthScales) &&
+		eq(a.Zs, b.Zs) && eq(a.Kmm, b.Kmm) && eq(a.A, b.A) && eq(a.B, b.B) &&
+		eq(a.KmmFactor, b.KmmFactor) && eq(a.SigFactor, b.SigFactor)
 }
 
 // TestCheckpointSurvivesRuntimeReconfig checks that runtime-mutable state

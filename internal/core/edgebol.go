@@ -58,6 +58,37 @@ func DefaultNormalization(w CostWeights) Normalization {
 	}
 }
 
+// EngineSelector picks the GP inference engine an agent runs.
+type EngineSelector int
+
+const (
+	// EngineExact is the exact GP: O(t²) per observation, O(t²) per
+	// candidate sweep, optionally capped by MaxObservations. The default,
+	// and the correctness oracle the sparse engine is tested against.
+	EngineExact EngineSelector = iota
+	// EngineSparse runs the inducing-point engine from the first
+	// observation: O(m²) per observation and per candidate regardless of
+	// horizon (see gp.SparseConfig).
+	EngineSparse
+	// EngineAuto starts exact — at small t the exact posterior is both
+	// affordable and strictly better — and converts every GP to the sparse
+	// engine once the period counter reaches SparseSwitchAt, replaying the
+	// retained history so the result matches having run sparse throughout.
+	EngineAuto
+)
+
+// String returns the selector's flag/metadata spelling.
+func (e EngineSelector) String() string {
+	switch e {
+	case EngineSparse:
+		return "sparse"
+	case EngineAuto:
+		return "auto"
+	default:
+		return "exact"
+	}
+}
+
 // Options configure an EdgeBOL agent.
 type Options struct {
 	// Grid is the discrete control space X.
@@ -100,7 +131,21 @@ type Options struct {
 	// default to DefaultNormalization(Weights).
 	Norm Normalization
 	// MaxObservations bounds each GP's retained history (0 = unlimited).
+	// It applies to the exact engine only: the sparse engine's costs are
+	// bounded by InducingPoints and eviction is a no-op there.
 	MaxObservations int
+	// Engine selects the GP inference engine (exact, sparse, or
+	// auto-switch at SparseSwitchAt). Fixed configuration: a checkpoint
+	// restores only under the selector it was saved with.
+	Engine EngineSelector
+	// InducingPoints is the sparse engine's basis budget m; 0 defaults to
+	// 128. Larger m tracks the exact posterior more tightly at O(m²)
+	// per-candidate cost.
+	InducingPoints int
+	// SparseSwitchAt is the period count at which EngineAuto converts to
+	// the sparse engine; 0 defaults to 512 — past that the exact sweep's
+	// O(t²) per-candidate cost dominates a control period.
+	SparseSwitchAt int
 	// InferenceWorkers is the degree of parallelism of the per-period
 	// posterior sweep: each objective's batched posterior is sharded across
 	// this many goroutines, and the objectives themselves run concurrently.
@@ -238,6 +283,21 @@ func (o *Options) applyDefaults() error {
 	if o.MaxObservations < 0 {
 		return fmt.Errorf("core: negative observation bound")
 	}
+	if o.Engine < EngineExact || o.Engine > EngineAuto {
+		return fmt.Errorf("core: unknown engine selector %d", o.Engine)
+	}
+	if o.InducingPoints < 0 {
+		return fmt.Errorf("core: negative inducing budget")
+	}
+	if o.InducingPoints == 0 {
+		o.InducingPoints = 128
+	}
+	if o.SparseSwitchAt < 0 {
+		return fmt.Errorf("core: negative sparse switch threshold")
+	}
+	if o.SparseSwitchAt == 0 {
+		o.SparseSwitchAt = 512
+	}
 	if o.InferenceWorkers < 0 {
 		return fmt.Errorf("core: negative inference worker count")
 	}
@@ -367,30 +427,23 @@ func NewAgent(opts Options) (*Agent, error) {
 		return nil, err
 	}
 	a := &Agent{opts: opts, grid: grid}
-	// One sweep plan per objective, built from the grid's level values;
-	// a constructor error (e.g. a custom kernel the plan cannot factorize)
-	// leaves the entry nil and that objective on the generic path.
-	levelVals, err := opts.Grid.LevelValues()
-	if err != nil {
-		return nil, err
-	}
-	buildPlan := func(g *gp.GP, objective string) *gp.SweepPlan {
-		plan, err := gp.NewSweepPlan(g, ContextDims, levelVals)
-		if err != nil {
-			return nil
+	newGP := func(ls []float64, noiseVar float64) (*gp.GP, error) {
+		if opts.Engine == EngineSparse {
+			return gp.NewSparse(opts.KernelFactory(ls), noiseVar, a.sparseConfig())
 		}
-		plan.Instrument(opts.Telemetry, objective)
-		return plan
+		return gp.New(opts.KernelFactory(ls), noiseVar, opts.MaxObservations), nil
 	}
-	gpNames := [numGPs]string{"cost", "delay", "map"}
 	for i := range a.gps {
 		ls := opts.LengthScales
 		if perGP := opts.LengthScalesPerGP[i]; perGP != nil {
 			ls = perGP
 		}
-		a.gps[i] = gp.New(opts.KernelFactory(ls), opts.NoiseVars[i], opts.MaxObservations)
-		a.gps[i].Instrument(opts.Telemetry, gpNames[i])
-		a.plans[i] = buildPlan(a.gps[i], gpNames[i])
+		g, err := newGP(ls, opts.NoiseVars[i])
+		if err != nil {
+			return nil, err
+		}
+		a.gps[i] = g
+		a.gps[i].Instrument(opts.Telemetry, objectiveNames[i])
 		a.mu[i] = make([]float64, len(grid))
 		a.sigma[i] = make([]float64, len(grid))
 	}
@@ -399,14 +452,22 @@ func NewAgent(opts Options) (*Agent, error) {
 		if perGP := opts.LengthScalesPerGP[gpCost]; perGP != nil {
 			ls = perGP
 		}
-		powerNames := [2]string{"server_power", "bs_power"}
 		for i := range a.powerGPs {
-			a.powerGPs[i] = gp.New(opts.KernelFactory(ls), opts.PowerNoiseVars[i], opts.MaxObservations)
-			a.powerGPs[i].Instrument(opts.Telemetry, powerNames[i])
-			a.powPlans[i] = buildPlan(a.powerGPs[i], powerNames[i])
+			g, err := newGP(ls, opts.PowerNoiseVars[i])
+			if err != nil {
+				return nil, err
+			}
+			a.powerGPs[i] = g
+			a.powerGPs[i].Instrument(opts.Telemetry, powerObjectiveNames[i])
 			a.powMu[i] = make([]float64, len(grid))
 			a.powSigma[i] = make([]float64, len(grid))
 		}
+	}
+	// One sweep plan per objective, built from the grid's level values;
+	// a constructor error (e.g. a custom kernel the plan cannot factorize)
+	// leaves the entry nil and that objective on the generic path.
+	if err := a.buildPlans(); err != nil {
+		return nil, err
 	}
 	// Registry methods are nil-safe: with Telemetry == nil every handle is
 	// nil and each instrumented site costs one predictable branch.
@@ -444,6 +505,79 @@ func NewAgent(opts Options) (*Agent, error) {
 		return nil, fmt.Errorf("core: no safe seed maps onto the grid")
 	}
 	return a, nil
+}
+
+// sparseConfig derives the gp.SparseConfig from the agent's options —
+// shared by construction (EngineSparse) and conversion (EngineAuto).
+func (a *Agent) sparseConfig() gp.SparseConfig {
+	return gp.SparseConfig{MaxInducing: a.opts.InducingPoints}
+}
+
+// buildPlans (re)builds the per-objective grid sweep plans from the
+// grid's level values against each GP's current basis. A plan constructor
+// error (e.g. a custom kernel the plan cannot factorize) leaves that entry
+// nil and the objective on the generic PosteriorBatch path; either way
+// results are bitwise identical.
+func (a *Agent) buildPlans() error {
+	levelVals, err := a.opts.Grid.LevelValues()
+	if err != nil {
+		return err
+	}
+	build := func(g *gp.GP, objective string) *gp.SweepPlan {
+		plan, err := gp.NewSweepPlan(g, ContextDims, levelVals)
+		if err != nil {
+			return nil
+		}
+		plan.Instrument(a.opts.Telemetry, objective)
+		return plan
+	}
+	for i := range a.gps {
+		a.plans[i] = build(a.gps[i], objectiveNames[i])
+	}
+	if a.opts.DecomposedCost {
+		for i := range a.powerGPs {
+			a.powPlans[i] = build(a.powerGPs[i], powerObjectiveNames[i])
+		}
+	}
+	return nil
+}
+
+// switchToSparse converts every GP to the inducing-point engine (replaying
+// the retained history through online basis selection), re-registers the
+// engine-labeled telemetry, and rebuilds the sweep plans over the new
+// bases. Used by EngineAuto when the period counter crosses SparseSwitchAt
+// and by LoadCheckpoint when restoring a post-switch snapshot.
+func (a *Agent) switchToSparse() error {
+	cfg := a.sparseConfig()
+	for i, g := range a.gps {
+		if err := g.ConvertToSparse(cfg); err != nil {
+			return fmt.Errorf("core: %s GP: %w", objectiveNames[i], err)
+		}
+		g.Instrument(a.opts.Telemetry, objectiveNames[i])
+	}
+	if a.opts.DecomposedCost {
+		for i, g := range a.powerGPs {
+			if err := g.ConvertToSparse(cfg); err != nil {
+				return fmt.Errorf("core: %s GP: %w", powerObjectiveNames[i], err)
+			}
+			g.Instrument(a.opts.Telemetry, powerObjectiveNames[i])
+		}
+	}
+	return a.buildPlans()
+}
+
+// EngineActive reports the engine currently serving inference: "exact" or
+// "sparse". Under EngineAuto it flips when the switch threshold is crossed.
+func (a *Agent) EngineActive() string { return a.gps[gpDelay].EngineName() }
+
+// InducingPoints reports the current inducing-basis size of the delay GP
+// (the engines convert in lockstep, so one GP is representative); 0 while
+// the exact engine is active.
+func (a *Agent) InducingPoints() int {
+	if !a.gps[gpDelay].IsSparse() {
+		return 0
+	}
+	return a.gps[gpDelay].InducingLen()
 }
 
 // needsGenericSweep reports whether any objective active this period lacks
@@ -703,7 +837,13 @@ func (a *Agent) SelectControl(ctx Context) (Control, SelectionInfo) {
 	fromSeed := a.mu[gpDelay][best]+a.opts.SafeBeta*a.sigma[gpDelay][best] > dmax ||
 		a.mu[gpMAP][best]-a.opts.SafeBeta*a.sigma[gpMAP][best] < rmin
 
-	resolvedWorkers := gp.ResolveWorkers(a.gps[gpDelay].Len(), len(a.grid), workers)
+	// The sweep's sharding decision is driven by the basis size: training
+	// rows for the exact engine, inducing points for the sparse one.
+	basis := a.gps[gpDelay].Len()
+	if a.gps[gpDelay].IsSparse() {
+		basis = a.gps[gpDelay].InducingLen()
+	}
+	resolvedWorkers := gp.ResolveWorkers(basis, len(a.grid), workers)
 	info := SelectionInfo{
 		SafeSetSize:  nSafe,
 		FromSeed:     fromSeed,
@@ -787,6 +927,16 @@ func (a *Agent) PosteriorAt(ctx Context, x Control) (cost, delay, mAP Posterior)
 func (a *Agent) Observe(ctx Context, x Control, k KPIs) error {
 	if err := x.Validate(); err != nil {
 		return err
+	}
+	// EngineAuto: convert to the sparse engine once the period counter
+	// crosses the threshold. The condition is stateless — it reads only
+	// the current engine and t — so a run restored from a post-switch
+	// checkpoint (already sparse) and a restored pre-switch run (converts
+	// on its first post-threshold period) both behave correctly.
+	if a.opts.Engine == EngineAuto && a.t >= a.opts.SparseSwitchAt && !a.gps[gpDelay].IsSparse() {
+		if err := a.switchToSparse(); err != nil {
+			return err
+		}
 	}
 	z := Features(ctx, x)
 	if a.opts.DecomposedCost {

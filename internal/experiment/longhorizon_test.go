@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestLongHorizonScaledDown runs the t≥10⁴ scenario at a test-sized
+// horizon: the auto selector must convert mid-run, the table must carry
+// one row per bucket, and every VerifyLongHorizon check must pass.
+func TestLongHorizonScaledDown(t *testing.T) {
+	cfg := LongHorizonConfig{
+		Periods:        360,
+		Engine:         core.EngineAuto,
+		InducingPoints: 48,
+		SparseSwitchAt: 120,
+		Buckets:        12,
+	}
+	tab, err := LongHorizon(tinyScale(), cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != cfg.Buckets {
+		t.Fatalf("%d rows, want %d buckets", len(tab.Rows), cfg.Buckets)
+	}
+	inducing, err := column(tab, "inducing", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inducing[0] != 0 {
+		t.Fatalf("first bucket already sparse (inducing %v)", inducing[0])
+	}
+	if last := inducing[len(inducing)-1]; last <= 0 || last > 48 {
+		t.Fatalf("final basis %v outside (0, 48]", last)
+	}
+	checks, err := VerifyLongHorizon(tab, cfg.InducingPoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) < 4 {
+		t.Fatalf("only %d checks emitted", len(checks))
+	}
+	for _, c := range checks {
+		if !c.OK {
+			t.Errorf("check failed: %s: %s (%s)", c.Figure, c.Claim, c.Detail)
+		}
+	}
+}
+
+// TestLongHorizonSparseFromStart covers the always-sparse configuration
+// and the degenerate-config errors.
+func TestLongHorizonSparseFromStart(t *testing.T) {
+	cfg := LongHorizonConfig{Periods: 120, Engine: core.EngineSparse, InducingPoints: 32, Buckets: 6}
+	tab, err := LongHorizon(tinyScale(), cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inducing, err := column(tab, "inducing", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range inducing {
+		if v <= 0 || v > 32 {
+			t.Fatalf("bucket %d: basis %v outside (0, 32]", i, v)
+		}
+	}
+	if _, err := LongHorizon(tinyScale(), LongHorizonConfig{Periods: 1}, 3); err == nil {
+		t.Fatal("degenerate horizon accepted")
+	}
+}

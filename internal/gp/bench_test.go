@@ -46,20 +46,68 @@ func benchCandidates(n int) [][]float64 {
 	return cands
 }
 
+// benchSparseGP is benchGP on the inducing-point engine: same stream of
+// observations, basis bounded at m.
+func benchSparseGP(b *testing.B, t, m int) *GP {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	ls := []float64{0.6, 0.6, 0.6, 1.0, 1.0, 1.2, 1.2}
+	g, err := NewSparse(NewMatern32(ls), 1e-3, SparseConfig{MaxInducing: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < t; i++ {
+		x := make([]float64, benchDims)
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		if err := g.Add(x, rng.NormFloat64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return g
+}
+
+// benchExactCap is the largest history the exact-engine benchmarks run
+// at: above it the O(t²)-per-candidate sweep takes minutes per iteration
+// and the sparse engine is the supported configuration, so the exact
+// variants skip with a logged reason instead of burning CI time.
+const benchExactCap = 1000
+
 // BenchmarkPosteriorBatch measures the per-period posterior sweep over the
 // full 14 641-point grid at several history sizes t — the dominant
 // wall-clock of every EdgeBOL experiment. Fixed seeds make runs
-// reproducible; `make bench` records the results in BENCH_gp.json.
+// reproducible; `make bench` records the results in BENCH_gp.json. The
+// engine=sparse variants pin the inducing-point engine's flat per-period
+// cost out to t=10⁴ (m=128 basis); exact entries above benchExactCap skip.
 func BenchmarkPosteriorBatch(b *testing.B) {
-	for _, t := range []int{50, 200, 1000} {
+	cands := benchCandidates(benchGridSize)
+	mu := make([]float64, len(cands))
+	sigma := make([]float64, len(cands))
+	for _, t := range []int{50, 200, 1000, 5000} {
 		if testing.Short() && t > 200 {
 			continue
 		}
-		g := benchGP(b, t)
-		cands := benchCandidates(benchGridSize)
-		mu := make([]float64, len(cands))
-		sigma := make([]float64, len(cands))
 		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			if t > benchExactCap {
+				b.Skipf("exact engine skipped at t=%d: O(t²) per-candidate sweep; see the engine=sparse variant", t)
+			}
+			g := benchGP(b, t)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.PosteriorBatch(cands, mu, sigma, BatchOptions{})
+			}
+		})
+	}
+	for _, t := range []int{1000, 5000, 10000} {
+		// t=1000 stays in short mode so bench-check gates the sparse
+		// engine too; the longer horizons are full-run only.
+		if testing.Short() && t > 1000 {
+			continue
+		}
+		b.Run(fmt.Sprintf("t=%d/engine=sparse", t), func(b *testing.B) {
+			g := benchSparseGP(b, t, 128)
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				g.PosteriorBatch(cands, mu, sigma, BatchOptions{})
 			}

@@ -122,12 +122,13 @@ func TestConcurrentPosteriorReads(t *testing.T) {
 	}
 }
 
-// TestEvictionRebuildMatchesBatchFit verifies that the post-eviction factor
-// rebuild and the from-scratch batch factorization (NewFromData) go through
-// the same Gram construction. The windowed GP's state right after the
-// eviction-triggering Add is rebuild(survivors) plus one incremental
-// append; a batch fit of the survivors followed by the same Add must agree
-// bitwise — any difference in the rebuilt factor would propagate.
+// TestEvictionRebuildMatchesBatchFit verifies that the post-eviction
+// factor downdate (Cholesky.DropLeading) agrees with a from-scratch batch
+// factorization (NewFromData) of the survivors. The downdate reaches the
+// survivors' factor by rotations instead of refactorizing their Gram
+// matrix, so agreement is to rounding tolerance — a few ulps — rather
+// than bitwise; a real defect in the downdate shows up orders of
+// magnitude above the 1e-12 gate.
 func TestEvictionRebuildMatchesBatchFit(t *testing.T) {
 	const window = 8
 	w := New(NewMatern32([]float64{0.4, 0.8}), 1e-3, window)
@@ -155,14 +156,14 @@ func TestEvictionRebuildMatchesBatchFit(t *testing.T) {
 	if err := fresh.Add(xs[window], ys[window]); err != nil {
 		t.Fatal(err)
 	}
-	if !bitsEqual(w.LogMarginalLikelihood(), fresh.LogMarginalLikelihood()) {
-		t.Fatalf("evidence diverges: windowed %v vs batch %v",
-			w.LogMarginalLikelihood(), fresh.LogMarginalLikelihood())
+	const tol = 1e-12
+	if lw, lf := w.LogMarginalLikelihood(), fresh.LogMarginalLikelihood(); math.Abs(lw-lf) > tol {
+		t.Fatalf("evidence diverges: windowed %v vs batch %v", lw, lf)
 	}
 	for _, c := range engineCandidates(25) {
 		mw, sw := w.Posterior(c)
 		mf, sf := fresh.Posterior(c)
-		if !bitsEqual(mw, mf) || !bitsEqual(sw, sf) {
+		if math.Abs(mw-mf) > tol || math.Abs(sw-sf) > tol {
 			t.Fatalf("posteriors diverge at %v: windowed (%v,%v) vs batch (%v,%v)", c, mw, sw, mf, sf)
 		}
 	}

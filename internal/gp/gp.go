@@ -14,10 +14,23 @@ import (
 // GP is a Gaussian-process regressor with zero prior mean and i.i.d.
 // Gaussian observation noise of variance NoiseVar (the paper's ζ²).
 //
-// Observations are added one at a time (Add); the Cholesky factor of
-// K_T + ζ²·I grows incrementally in O(t²) per observation. An optional
-// sliding window (MaxObservations) bounds memory and per-step cost for long
-// runs by discarding the oldest observations.
+// The regressor runs one of two engines behind the same interface:
+//
+//   - Exact (New, NewFromData): observations are added one at a time
+//     (Add); the Cholesky factor of K_T + ζ²·I grows incrementally in
+//     O(t²) per observation. An optional sliding window (MaxObservations)
+//     bounds memory and per-step cost for long runs by discarding the
+//     oldest observations via a factor downdate.
+//   - Sparse (NewSparse, ConvertToSparse): an online inducing-point DTC
+//     posterior over a fixed basis budget m; Add costs O(m²) and every
+//     posterior query O(m²) regardless of t, which is what makes
+//     unbounded-horizon runs affordable. The exact engine remains the
+//     correctness oracle — equivalence tests bound the approximation
+//     error at small t. In sparse mode MaxObservations is ignored:
+//     eviction exists to cap exact-engine growth, and the basis budget
+//     already bounds the sparse engine's costs, so eviction is a no-op
+//     by design (history stays retained for basis insertions and
+//     checkpointing; it is O(t·d) memory with no per-period cost).
 //
 // Training inputs are stored in one flat row-major matrix so the batched
 // posterior sweep streams them cache-linearly through Kernel.EvalBatch.
@@ -40,6 +53,11 @@ type GP struct {
 
 	maxObs int
 
+	// sp holds the inducing-point engine state; nil selects the exact
+	// engine. Set only at construction (NewSparse) or by the one-way
+	// ConvertToSparse, never flipped back.
+	sp *sparseState
+
 	// evictions counts sliding-window evictions for diagnostics even when
 	// telemetry is disabled; mutated only under the Add path, which is
 	// single-writer by the concurrency contract above.
@@ -53,6 +71,11 @@ type gpMetrics struct {
 	observations *telemetry.Counter
 	evictionsCtr *telemetry.Counter
 	sweep        *telemetry.Histogram
+
+	// Sparse-engine series; nil (no-op) under the exact engine.
+	inducing   *telemetry.Gauge
+	insertsCtr *telemetry.Counter
+	swapsCtr   *telemetry.Counter
 }
 
 // New returns a GP with the given kernel and observation-noise variance.
@@ -131,19 +154,43 @@ func gram(k Kernel, noiseVar float64, xs []float64, n int) *linalg.Matrix {
 
 // Instrument registers this GP's telemetry series on reg, labeled with
 // the objective name (e.g. "cost", "delay", "map"): observation and
-// eviction counters plus the batched posterior-sweep latency histogram.
-// Call it before concurrent use; a nil registry leaves telemetry
-// disabled at zero cost on the inference hot path.
+// eviction counters plus the batched posterior-sweep latency histogram,
+// labeled with the active engine so sparse and exact sweep latencies land
+// in separate series. Under the sparse engine it additionally registers
+// the inducing-set gauge and insert/swap counters. Call it before
+// concurrent use (and again after ConvertToSparse — registration is
+// idempotent per series); a nil registry leaves telemetry disabled at
+// zero cost on the inference hot path.
 func (g *GP) Instrument(reg *telemetry.Registry, objective string) {
 	g.met = gpMetrics{
 		observations: reg.Counter("edgebol_gp_observations_total", "gp", objective),
 		evictionsCtr: reg.Counter("edgebol_gp_evictions_total", "gp", objective),
-		sweep:        reg.Histogram("edgebol_gp_sweep_seconds", telemetry.LatencyBuckets(), "gp", objective),
+		sweep: reg.Histogram("edgebol_gp_sweep_seconds", telemetry.LatencyBuckets(),
+			"gp", objective, "engine", g.EngineName()),
+	}
+	if g.sp != nil {
+		g.met.inducing = reg.Gauge("edgebol_gp_inducing_points", "gp", objective)
+		g.met.insertsCtr = reg.Counter("edgebol_gp_inducing_inserts_total", "gp", objective)
+		g.met.swapsCtr = reg.Counter("edgebol_gp_inducing_swaps_total", "gp", objective)
+		g.met.inducing.Set(float64(g.sp.m))
 	}
 }
 
 // Evictions returns the cumulative number of sliding-window evictions.
 func (g *GP) Evictions() uint64 { return g.evictions }
+
+// basisGen is the generation counter of the basis a sweep plan tabulates:
+// whenever it moves, existing rows were renumbered and every distance
+// table must be rebuilt. Exact engine: the eviction counter (an eviction
+// drops leading training rows). Sparse engine: the swap counter (a swap
+// replaces an inducing row in place; inserts only append and are handled
+// by row-count growth).
+func (g *GP) basisGen() uint64 {
+	if g.sp != nil {
+		return g.sp.swaps
+	}
+	return g.evictions
+}
 
 // Kernel returns the kernel in use.
 func (g *GP) Kernel() Kernel { return g.kernel }
@@ -154,6 +201,25 @@ func (g *GP) NoiseVar() float64 { return g.noiseVar }
 // Len returns the number of retained observations.
 func (g *GP) Len() int { return len(g.ys) }
 
+// basisLen returns the number of points a posterior query solves against:
+// the inducing-set size under the sparse engine, the training size under
+// the exact one. It is the n of every read path's O(n²) solve.
+func (g *GP) basisLen() int {
+	if g.sp != nil {
+		return g.sp.m
+	}
+	return len(g.ys)
+}
+
+// basisXs returns the flat row-major inputs the cross-covariance is
+// evaluated against — inducing inputs (sparse) or training inputs (exact).
+func (g *GP) basisXs() []float64 {
+	if g.sp != nil {
+		return g.sp.zs
+	}
+	return g.xs
+}
+
 // Add incorporates the observation (x, y). The input is copied.
 func (g *GP) Add(x []float64, y float64) error {
 	if len(x) != g.dim {
@@ -161,6 +227,9 @@ func (g *GP) Add(x []float64, y float64) error {
 	}
 	if math.IsNaN(y) || math.IsInf(y, 0) {
 		return fmt.Errorf("gp: non-finite observation %v", y)
+	}
+	if g.sp != nil {
+		return g.addSparse(x, y)
 	}
 	if g.maxObs > 0 && g.Len() >= g.maxObs {
 		g.evict(g.maxObs / 2)
@@ -187,18 +256,19 @@ func (g *GP) Add(x []float64, y float64) error {
 	return nil
 }
 
-// evict drops the oldest dropCount observations and rebuilds the factor
-// from a fresh Gram matrix.
+// evict drops the oldest dropCount observations, shrinking the factor
+// with a downdate (linalg.Cholesky.DropLeading) instead of rebuilding the
+// Gram matrix: only the dropped rows changed, and the retained block plus
+// the dropped columns determine the shrunken factor without a single
+// kernel re-evaluation — O(k·(t−k)²) arithmetic against the rebuild's
+// O(t²·d) kernel evaluations + O(t³) refactorization. The downdated
+// factor agrees with a fresh rebuild to rounding error, not bitwise (the
+// equivalence tests pin the tolerance). Exact engine only: the sparse
+// engine never evicts (see the type comment).
 func (g *GP) evict(dropCount int) {
 	g.xs = append([]float64(nil), g.xs[dropCount*g.dim:]...)
 	g.ys = append([]float64(nil), g.ys[dropCount:]...)
-	chol, err := linalg.NewCholesky(gram(g.kernel, g.noiseVar, g.xs, g.Len()))
-	if err != nil {
-		// The kernel matrix with ζ² on the diagonal is positive definite by
-		// construction; a failure here indicates corrupted state.
-		panic(fmt.Sprintf("gp: rebuild after eviction failed: %v", err))
-	}
-	g.chol = chol
+	g.chol.DropLeading(dropCount)
 	g.evictions++
 	g.met.evictionsCtr.Inc()
 }
@@ -217,13 +287,26 @@ func (g *GP) Posterior(x []float64) (mu, sigma float64) {
 		panic(fmt.Sprintf("gp: input dimension %d does not match kernel dimension %d", len(x), g.dim))
 	}
 	prior := g.kernel.Prior()
-	n := g.Len()
+	n := g.basisLen()
 	if n == 0 {
 		//edgebol:allow nanguard -- prior variance is positive by the Kernel contract (Prior is k(x,x) > 0)
 		return 0, math.Sqrt(prior)
 	}
 	k := make([]float64, n)
-	g.kernel.EvalBatch(g.xs, g.dim, x, k)
+	g.kernel.EvalBatch(g.basisXs(), g.dim, x, k)
+	if g.sp != nil {
+		// DTC predictive: μ = kᵀα, σ² = prior − ‖L_mm⁻¹k‖² + ‖L_Σ⁻¹k‖².
+		sp := g.sp
+		mu = linalg.Dot(k, sp.alpha)
+		kq := append([]float64(nil), k...)
+		sp.cholKmm.ForwardSolveBatch([][]float64{kq})
+		sp.cholSig.ForwardSolveBatch([][]float64{k})
+		v := prior - linalg.Dot(kq, kq) + linalg.Dot(k, k)
+		if v < 0 {
+			v = 0
+		}
+		return mu, math.Sqrt(v)
+	}
 	mu = linalg.Dot(k, g.alpha)
 	// v = L⁻¹ k; var = k(x,x) − ‖v‖².
 	g.chol.ForwardSolveBatch([][]float64{k})
@@ -302,7 +385,7 @@ func (g *GP) PosteriorBatch(candidates [][]float64, mu, sigma []float64, opts Ba
 		start := time.Now()
 		defer func() { g.met.sweep.ObserveDuration(time.Since(start)) }()
 	}
-	n := g.Len()
+	n := g.basisLen()
 	if n == 0 {
 		prior := math.Sqrt(g.kernel.Prior())
 		for i := range candidates {
@@ -341,9 +424,16 @@ func (g *GP) PosteriorBatch(candidates [][]float64, mu, sigma []float64, opts Ba
 // scratch buffers are local to the call: read-path inference shares no
 // mutable state.
 //
+// Under the sparse engine each tile runs the fused solve twice against
+// the two m-sized factors — Σ (mean and explained-variance term) and K_mm
+// (Nyström term) — which is why the whole sweep is O(m²) per candidate
+// regardless of the training size. The exact branch is untouched: its
+// arithmetic is bit-for-bit the pre-sparse code.
+//
 //edgebol:hot
 func (g *GP) posteriorRange(candidates [][]float64, mu, sigma []float64) {
-	n := g.Len()
+	n := g.basisLen()
+	bxs := g.basisXs()
 	prior := g.kernel.Prior()
 	tile := len(candidates)
 	if tile > sweepTile {
@@ -354,15 +444,37 @@ func (g *GP) posteriorRange(candidates [][]float64, mu, sigma []float64) {
 	for b := range views {
 		views[b] = buf[b*n : (b+1)*n]
 	}
+	var buf2 []float64
+	var views2 [][]float64
+	if g.sp != nil {
+		buf2 = make([]float64, tile*n)
+		views2 = make([][]float64, tile)
+		for b := range views2 {
+			views2[b] = buf2[b*n : (b+1)*n]
+		}
+	}
 	var solver linalg.FusedSolver
-	var vsq [sweepTile]float64
+	var vsq, vsqNy, muNy [sweepTile]float64
 	for lo := 0; lo < len(candidates); lo += tile {
 		m := len(candidates) - lo
 		if m > tile {
 			m = tile
 		}
 		for b := 0; b < m; b++ {
-			g.kernel.EvalBatch(g.xs, g.dim, candidates[lo+b], views[b])
+			g.kernel.EvalBatch(bxs, g.dim, candidates[lo+b], views[b])
+		}
+		if g.sp != nil {
+			copy(buf2, buf)
+			solver.SolveFused(g.sp.cholSig, views[:m], g.sp.alpha, mu[lo:lo+m], vsq[:m])
+			solver.SolveFused(g.sp.cholKmm, views2[:m], g.sp.zeroAlpha[:n], muNy[:m], vsqNy[:m])
+			for b := 0; b < m; b++ {
+				v := prior - vsqNy[b] + vsq[b]
+				if v < 0 {
+					v = 0
+				}
+				sigma[lo+b] = math.Sqrt(v)
+			}
+			continue
 		}
 		solver.SolveFused(g.chol, views[:m], g.alpha, mu[lo:lo+m], vsq[:m])
 		for b := 0; b < m; b++ {
@@ -379,7 +491,13 @@ func (g *GP) posteriorRange(candidates [][]float64, mu, sigma []float64) {
 // observations under the current kernel and noise:
 //
 //	log p(y|X) = −½ yᵀα − ½ log det(K+ζ²I) − (n/2) log 2π.
+//
+// Under the sparse engine it returns the DTC evidence assembled from the
+// streamed moments (see sparseLML) — no history pass either way.
 func (g *GP) LogMarginalLikelihood() float64 {
+	if g.sp != nil {
+		return g.sparseLML()
+	}
 	n := g.Len()
 	if n == 0 {
 		return 0

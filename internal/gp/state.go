@@ -82,6 +82,37 @@ type State struct {
 	// Evictions is the cumulative sliding-window eviction count; sweep
 	// plans key their table rebuilds on it, so it must survive a restart.
 	Evictions uint64
+
+	// Engine identifies the inference engine the state was learned under:
+	// "exact" or "sparse". Empty means "exact" (states written before the
+	// sparse engine existed). A state restores only into a GP running the
+	// same engine — the learned representations are not interchangeable.
+	Engine string
+
+	// Sparse-engine state; meaningful only when Engine == "sparse". The
+	// two factors are serialized verbatim for the same reason Factor is:
+	// the streaming rank-1/append arithmetic that produced them is not
+	// reproducible by a batch refactorization, and α is a deterministic
+	// solve against SigFactor and B, so carrying the factors makes the
+	// round trip bitwise by construction.
+	MaxInducing int
+	InsertTol   float64
+	SwapMargin  float64
+	Zs          []float64 // flat row-major inducing inputs, m×Dim
+	Kmm         []float64 // K_mm, compact row-major m×m
+	A           []float64 // moment matrix, compact row-major m×m
+	B           []float64 // information vector, length m
+	SumYY       float64
+	KmmFactor   []float64
+	KmmJitter   float64
+	SigFactor   []float64
+	SigJitter   float64
+	Inserts     uint64
+	Swaps       uint64
+	// SinceRefactor preserves the periodic Σ-rebuild cadence across a
+	// restart, so a resumed run streams updates exactly like an
+	// uninterrupted one.
+	SinceRefactor int
 }
 
 // Snapshot captures the GP's learned state. Like the read paths it touches
@@ -97,10 +128,36 @@ func (g *GP) Snapshot() State {
 		Xs:           append([]float64(nil), g.xs...),
 		Ys:           append([]float64(nil), g.ys...),
 		Evictions:    g.evictions,
+		Engine:       g.EngineName(),
 	}
 	if g.chol != nil {
 		s.Factor = g.chol.FactorData()
 		s.Jitter = g.chol.Jitter()
+	}
+	if sp := g.sp; sp != nil {
+		m := sp.m
+		stride := sp.cfg.MaxInducing
+		s.MaxInducing = sp.cfg.MaxInducing
+		s.InsertTol = sp.cfg.InsertTol
+		s.SwapMargin = sp.cfg.SwapMargin
+		s.Zs = append([]float64(nil), sp.zs...)
+		s.Kmm = make([]float64, 0, m*m)
+		s.A = make([]float64, 0, m*m)
+		for i := 0; i < m; i++ {
+			s.Kmm = append(s.Kmm, sp.kmm[i*stride:i*stride+m]...)
+			s.A = append(s.A, sp.a[i*stride:i*stride+m]...)
+		}
+		s.B = append([]float64(nil), sp.b[:m]...)
+		s.SumYY = sp.sumYY
+		if sp.cholKmm != nil {
+			s.KmmFactor = sp.cholKmm.FactorData()
+			s.KmmJitter = sp.cholKmm.Jitter()
+			s.SigFactor = sp.cholSig.FactorData()
+			s.SigJitter = sp.cholSig.Jitter()
+		}
+		s.Inserts = sp.inserts
+		s.Swaps = sp.swaps
+		s.SinceRefactor = sp.sinceRefactor
 	}
 	return s
 }
@@ -139,8 +196,19 @@ func (g *GP) RestoreFrom(s State) error {
 	if s.Dim != g.dim {
 		return fmt.Errorf("gp: restore dimension %d into %d", s.Dim, g.dim)
 	}
+	engine := s.Engine
+	if engine == "" {
+		// States serialized before the sparse engine existed carry no
+		// engine tag; they are exact by construction.
+		engine = "exact"
+	}
+	if engine != g.EngineName() {
+		return fmt.Errorf("gp: restore %s-engine snapshot into %s engine", engine, g.EngineName())
+	}
 	n := len(s.Ys)
-	if g.maxObs > 0 && n > g.maxObs {
+	// The sliding window does not apply in sparse mode (eviction is a
+	// no-op there), so an arbitrarily long retained history is legal.
+	if g.sp == nil && g.maxObs > 0 && n > g.maxObs {
 		return fmt.Errorf("gp: restore %d observations over the bound %d", n, g.maxObs)
 	}
 	if len(s.Xs) != n*g.dim {
@@ -155,6 +223,9 @@ func (g *GP) RestoreFrom(s State) error {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("gp: non-finite restored observation %v", v)
 		}
+	}
+	if g.sp != nil {
+		return g.restoreSparse(s, n)
 	}
 	if n == 0 {
 		if len(s.Factor) != 0 {
@@ -174,5 +245,83 @@ func (g *GP) RestoreFrom(s State) error {
 	g.alpha = nil
 	g.refreshAlpha()
 	g.evictions = s.Evictions
+	return nil
+}
+
+// restoreSparse rebuilds the inducing-point state from a sparse snapshot.
+// Like the exact path it validates everything before mutating, carries
+// both factors verbatim, and recomputes α with the same deterministic
+// solve the streaming path uses — so a restored sparse GP reproduces
+// every posterior bitwise. Called by RestoreFrom after the shared
+// validation; g.sp is non-nil.
+func (g *GP) restoreSparse(s State, n int) error {
+	cfg := g.sp.cfg
+	if s.MaxInducing != cfg.MaxInducing {
+		return fmt.Errorf("gp: restore inducing budget %d into %d", s.MaxInducing, cfg.MaxInducing)
+	}
+	if s.InsertTol != cfg.InsertTol { //edgebol:allow floateq -- restore demands the exact engine configuration the snapshot ran under
+		return fmt.Errorf("gp: restore insert tolerance %v into %v", s.InsertTol, cfg.InsertTol)
+	}
+	if s.SwapMargin != cfg.SwapMargin { //edgebol:allow floateq -- restore demands the exact engine configuration the snapshot ran under
+		return fmt.Errorf("gp: restore swap margin %v into %v", s.SwapMargin, cfg.SwapMargin)
+	}
+	m := len(s.B)
+	if m > cfg.MaxInducing {
+		return fmt.Errorf("gp: restore %d inducing points over the budget %d", m, cfg.MaxInducing)
+	}
+	if m == 0 && n > 0 {
+		return fmt.Errorf("gp: restore %d observations with an empty inducing set", n)
+	}
+	if len(s.Zs) != m*g.dim {
+		return fmt.Errorf("gp: restore %d inducing values for %d points of dimension %d", len(s.Zs), m, g.dim)
+	}
+	if len(s.Kmm) != m*m || len(s.A) != m*m {
+		return fmt.Errorf("gp: restore moment blocks of %d, %d values for %d inducing points", len(s.Kmm), len(s.A), m)
+	}
+	for _, block := range [][]float64{s.Zs, s.Kmm, s.A, s.B} {
+		for _, v := range block {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("gp: non-finite restored sparse value %v", v)
+			}
+		}
+	}
+	if math.IsNaN(s.SumYY) || math.IsInf(s.SumYY, 0) || s.SumYY < 0 {
+		return fmt.Errorf("gp: invalid restored moment Σy² = %v", s.SumYY)
+	}
+	sp := newSparseState(cfg, g.dim)
+	if m > 0 {
+		cholKmm, err := linalg.NewCholeskyFromFactor(m, s.KmmFactor, s.KmmJitter)
+		if err != nil {
+			return fmt.Errorf("gp: restore inducing factor: %w", err)
+		}
+		cholSig, err := linalg.NewCholeskyFromFactor(m, s.SigFactor, s.SigJitter)
+		if err != nil {
+			return fmt.Errorf("gp: restore Σ factor: %w", err)
+		}
+		sp.cholKmm, sp.cholSig = cholKmm, cholSig
+	} else if len(s.KmmFactor) != 0 || len(s.SigFactor) != 0 {
+		return fmt.Errorf("gp: restore factors with no inducing points")
+	}
+	stride := cfg.MaxInducing
+	sp.zs = append(sp.zs, s.Zs...)
+	sp.m = m
+	for i := 0; i < m; i++ {
+		copy(sp.kmm[i*stride:i*stride+m], s.Kmm[i*m:(i+1)*m])
+		copy(sp.a[i*stride:i*stride+m], s.A[i*m:(i+1)*m])
+	}
+	copy(sp.b, s.B)
+	sp.sumYY = s.SumYY
+	sp.inserts = s.Inserts
+	sp.swaps = s.Swaps
+	sp.sinceRefactor = s.SinceRefactor
+	if m > 0 {
+		sp.refreshAlpha(g.noiseVar)
+	}
+	g.xs = append([]float64(nil), s.Xs...)
+	g.ys = append([]float64(nil), s.Ys...)
+	g.chol, g.alpha = nil, nil
+	g.sp = sp
+	g.evictions = s.Evictions
+	g.met.inducing.Set(float64(m))
 	return nil
 }

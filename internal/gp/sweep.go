@@ -25,11 +25,13 @@ import (
 //
 //	((x_i[ctxDims+d] − levels[d][l]) · inv[ctxDims+d])²
 //
-// for training row i — exactly the per-dimension term of the kernel's
-// EvalBatch. Cached rows are appended when the GP grows and rebuilt from
-// scratch when its eviction counter moves (a sliding-window eviction
-// renumbers the training rows); a hyperparameter refit constructs a new GP
-// and therefore a new plan.
+// for basis row i — exactly the per-dimension term of the kernel's
+// EvalBatch. The basis is the training set on the exact engine and the
+// inducing set on the sparse one. Cached rows are appended when the basis
+// grows and rebuilt from scratch when its generation counter moves (a
+// sliding-window eviction renumbers the training rows; an inducing-point
+// swap replaces a basis row in place); a hyperparameter refit constructs
+// a new GP and therefore a new plan.
 //
 // Bitwise contract: Sweep reproduces PosteriorBatch over the
 // enumerated grid bit for bit, for every worker count. The per-dimension
@@ -55,8 +57,8 @@ type SweepPlan struct {
 	evens, odds []int
 
 	tables   [][][]float64
-	rows     int    // training rows currently tabulated
-	evictGen uint64 // GP eviction count the tables were built against
+	rows     int    // basis rows currently tabulated
+	basisGen uint64 // GP basis generation the tables were built against
 
 	// c0/c1 are the per-period context partials: the even/odd chain
 	// prefixes over the context dimensions, one entry per training row.
@@ -149,9 +151,9 @@ func NewSweepPlan(g *GP, ctxDims int, levels [][]float64) (*SweepPlan, error) {
 			p.odds = append(p.odds, d)
 		}
 	}
-	p.evictGen = g.Evictions()
-	p.appendRows(0, g.Len())
-	p.rows = g.Len()
+	p.basisGen = g.basisGen()
+	p.appendRows(0, g.basisLen())
+	p.rows = g.basisLen()
 	p.met.builds.Inc()
 	return p, nil
 }
@@ -171,16 +173,18 @@ func (p *SweepPlan) Instrument(reg *telemetry.Registry, objective string) {
 // GridSize returns the grid cardinality the plan sweeps.
 func (p *SweepPlan) GridSize() int { return p.size }
 
-// appendRows tabulates training rows [from, to) into every distance table.
+// appendRows tabulates basis rows [from, to) into every distance table —
+// training rows on the exact engine, inducing rows on the sparse one.
 func (p *SweepPlan) appendRows(from, to int) {
 	dim := p.g.dim
+	bxs := p.g.basisXs()
 	for d, lv := range p.levels {
 		f := p.ctxDims + d
 		invf := p.inv[f]
 		for li, level := range lv {
 			tab := p.tables[d][li]
 			for i := from; i < to; i++ {
-				t := (p.g.xs[i*dim+f] - level) * invf
+				t := (bxs[i*dim+f] - level) * invf
 				tab = append(tab, t*t)
 			}
 			p.tables[d][li] = tab
@@ -188,20 +192,22 @@ func (p *SweepPlan) appendRows(from, to int) {
 	}
 }
 
-// sync brings the distance tables up to date with the GP: new observations
-// append rows; an eviction (which renumbers the retained rows) rebuilds
-// every table from scratch.
+// sync brings the distance tables up to date with the GP's basis: growth
+// (new observations, or basis insertions under the sparse engine) appends
+// rows; a moved basis generation — an eviction renumbering the training
+// rows, or an inducing-point swap replacing a basis row in place —
+// rebuilds every table from scratch.
 func (p *SweepPlan) sync() {
-	n := p.g.Len()
+	n := p.g.basisLen()
 	switch {
-	case p.g.Evictions() != p.evictGen || n < p.rows:
+	case p.g.basisGen() != p.basisGen || n < p.rows:
 		for d := range p.tables {
 			for li := range p.tables[d] {
 				p.tables[d][li] = p.tables[d][li][:0]
 			}
 		}
 		p.appendRows(0, n)
-		p.evictGen = p.g.Evictions()
+		p.basisGen = p.g.basisGen()
 		p.met.builds.Inc()
 	case n > p.rows:
 		p.appendRows(p.rows, n)
@@ -228,7 +234,7 @@ func (p *SweepPlan) Sweep(ctx []float64, mu, sigma []float64, workers int) {
 		start := time.Now()
 		defer func() { g.met.sweep.ObserveDuration(time.Since(start)) }()
 	}
-	n := g.Len()
+	n := g.basisLen()
 	if n == 0 {
 		prior := math.Sqrt(g.kernel.Prior())
 		for i := range mu {
@@ -248,8 +254,9 @@ func (p *SweepPlan) Sweep(ctx []float64, mu, sigma []float64, workers int) {
 	}
 	c0, c1 := p.c0[:n], p.c1[:n]
 	dim := g.dim
+	bxs := g.basisXs()
 	for i := 0; i < n; i++ {
-		row := g.xs[i*dim : i*dim+p.ctxDims]
+		row := bxs[i*dim : i*dim+p.ctxDims]
 		var s0, s1 float64
 		for j, x := range row {
 			t := (x - ctx[j]) * p.inv[j]
@@ -287,11 +294,14 @@ func (p *SweepPlan) Sweep(ctx []float64, mu, sigma []float64, workers int) {
 // cross-covariance column from the distance tables and context partials,
 // then run tiles of sweepTile columns through the fused solve — the same
 // tiling as posteriorRange, so shard boundaries never change results.
+// Sparse engine: the assembled columns are cross-covariances to the
+// inducing basis and each tile solves against both m-sized factors, the
+// same dual-solve shape as posteriorRange.
 //
 //edgebol:hot
 func (p *SweepPlan) sweepRange(lo, hi int, c0, c1, mu, sigma []float64) {
 	g := p.g
-	n := g.Len()
+	n := g.basisLen()
 	prior := g.kernel.Prior()
 	tile := hi - lo
 	if tile > sweepTile {
@@ -302,8 +312,17 @@ func (p *SweepPlan) sweepRange(lo, hi int, c0, c1, mu, sigma []float64) {
 	for b := range views {
 		views[b] = buf[b*n : (b+1)*n]
 	}
+	var buf2 []float64
+	var views2 [][]float64
+	if g.sp != nil {
+		buf2 = make([]float64, tile*n)
+		views2 = make([][]float64, tile)
+		for b := range views2 {
+			views2[b] = buf2[b*n : (b+1)*n]
+		}
+	}
 	var solver linalg.FusedSolver
-	var vsq [sweepTile]float64
+	var vsq, vsqNy, muNy [sweepTile]float64
 	li := make([]int, len(p.levels))
 	rowsE := make([][]float64, len(p.evens))
 	rowsO := make([][]float64, len(p.odds))
@@ -323,6 +342,19 @@ func (p *SweepPlan) sweepRange(lo, hi int, c0, c1, mu, sigma []float64) {
 			col := views[b]
 			fillSqDist(col, c0, c1, rowsE, rowsO)
 			p.applyTail(col)
+		}
+		if g.sp != nil {
+			copy(buf2, buf)
+			solver.SolveFused(g.sp.cholSig, views[:m], g.sp.alpha, mu[base:base+m], vsq[:m])
+			solver.SolveFused(g.sp.cholKmm, views2[:m], g.sp.zeroAlpha[:n], muNy[:m], vsqNy[:m])
+			for b := 0; b < m; b++ {
+				v := prior - vsqNy[b] + vsq[b]
+				if v < 0 {
+					v = 0
+				}
+				sigma[base+b] = math.Sqrt(v)
+			}
+			continue
 		}
 		solver.SolveFused(g.chol, views[:m], g.alpha, mu[base:base+m], vsq[:m])
 		for b := 0; b < m; b++ {

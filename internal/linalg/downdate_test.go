@@ -1,0 +1,181 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// addOuter returns a + x·xᵀ.
+func addOuter(a *Matrix, x []float64) *Matrix {
+	n := a.Rows()
+	out := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, a.At(i, j)+x[i]*x[j])
+		}
+	}
+	return out
+}
+
+func TestRank1UpdateReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 1; n <= 12; n++ {
+		a := randSPD(rng, n)
+		c, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := addOuter(a, x)
+		c.Rank1Update(x) // consumes x as scratch
+		if d := MaxAbsDiff(c.Reconstruct(), want); d > 1e-9 {
+			t.Fatalf("n=%d: updated factor off by %g", n, d)
+		}
+	}
+}
+
+func TestRank1UpdateRepeated(t *testing.T) {
+	// Many successive updates must stay accurate — this is the streaming
+	// regime of the sparse GP, which folds one observation per period.
+	const n, rounds = 8, 400
+	rng := rand.New(rand.NewSource(11))
+	a := randSPD(rng, n)
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a
+	x := make([]float64, n)
+	for r := 0; r < rounds; r++ {
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want = addOuter(want, x)
+		c.Rank1Update(x)
+	}
+	// Tolerance scales with the accumulated magnitude.
+	scale := 0.0
+	for i := 0; i < n; i++ {
+		scale = math.Max(scale, want.At(i, i))
+	}
+	if d := MaxAbsDiff(c.Reconstruct(), want); d > 1e-10*scale {
+		t.Fatalf("after %d updates factor off by %g (scale %g)", rounds, d, scale)
+	}
+}
+
+func TestRank1UpdateZeroVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randSPD(rng, 5)
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), c.l...)
+	c.Rank1Update(make([]float64, 5))
+	for i, v := range c.l {
+		if v != before[i] {
+			t.Fatalf("zero update changed factor entry %d: %v -> %v", i, before[i], v)
+		}
+	}
+}
+
+func TestRank1UpdateLengthMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c, err := NewCholesky(randSPD(rng, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	c.Rank1Update(make([]float64, 3))
+}
+
+func TestDropLeadingMatchesTrailingSubmatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for n := 1; n <= 12; n++ {
+		for k := 0; k <= n; k++ {
+			a := randSPD(rng, n)
+			c, err := NewCholesky(a)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			jit := c.Jitter()
+			c.DropLeading(k)
+			if c.Size() != n-k {
+				t.Fatalf("n=%d k=%d: size %d after drop", n, k, c.Size())
+			}
+			if c.Jitter() != jit {
+				t.Fatalf("n=%d k=%d: jitter changed %v -> %v", n, k, jit, c.Jitter())
+			}
+			m := n - k
+			want := NewMatrix(m, m)
+			for i := 0; i < m; i++ {
+				for j := 0; j < m; j++ {
+					want.Set(i, j, a.At(k+i, k+j))
+				}
+			}
+			if m == 0 {
+				continue
+			}
+			if d := MaxAbsDiff(c.Reconstruct(), want); d > 1e-9 {
+				t.Fatalf("n=%d k=%d: trailing submatrix off by %g", n, k, d)
+			}
+		}
+	}
+}
+
+func TestDropLeadingThenSolve(t *testing.T) {
+	// The downdated factor must be usable for solves — the exact GP's
+	// eviction path immediately solves against it.
+	const n, k = 10, 4
+	rng := rand.New(rand.NewSource(31))
+	a := randSPD(rng, n)
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DropLeading(k)
+	m := n - k
+	sub := NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			sub.Set(i, j, a.At(k+i, k+j))
+		}
+	}
+	ref, err := NewCholesky(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	got := c.SolveVec(append([]float64(nil), b...))
+	want := ref.SolveVec(append([]float64(nil), b...))
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("solve entry %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDropLeadingBoundsPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c, err := NewCholesky(randSPD(rng, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range drop count")
+		}
+	}()
+	c.DropLeading(5)
+}

@@ -4,9 +4,12 @@
 # Reruns the tracked GP-inference benchmarks in short mode (two repetitions,
 # best-of merge) and checks them against the recorded BENCH_gp.json via
 # `benchjson -check`: any tracked benchmark more than 25% slower than its
-# recorded ns/op fails the gate. The check self-skips when the recorded CPU
-# differs from the runner's (cross-machine ns/op measures hardware, not code)
-# and when a recorded benchmark is absent from the run (-short skips t=1000).
+# recorded ns/op fails the gate. Short mode covers the exact engine at
+# t ∈ {50, 200} plus the sparse inducing-point engine at t=1000, so a sparse
+# sweep regression fails CI just like an exact one. The check self-skips when
+# the recorded CPU differs from the runner's (cross-machine ns/op measures
+# hardware, not code) and when a recorded benchmark is absent from the run
+# (-short skips exact t=1000 and the sparse t ≥ 5000 horizons).
 #
 # Set EDGEBOL_SKIP_BENCH_CHECK=1 to skip explicitly (e.g. on known-noisy or
 # heavily shared runners).
