@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-baseline fmt fmt-check vet check bench bench-check sparse-equiv metrics-smoke ckpt-smoke clean
+.PHONY: all build test race lint lint-baseline fmt fmt-check vet check bench bench-fleet bench-check sparse-equiv metrics-smoke ckpt-smoke fleet-smoke clean
 
 all: build
 
@@ -42,7 +42,7 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: build fmt-check lint test race sparse-equiv
+check: build fmt-check lint test race sparse-equiv fleet-smoke
 
 # sparse-equiv runs the sparse-vs-exact equivalence suite on its own:
 # posterior error bounds against the exact oracle, bitwise sweep-plan and
@@ -66,6 +66,13 @@ metrics-smoke:
 ckpt-smoke:
 	sh scripts/ckpt_smoke.sh
 
+# fleet-smoke runs the multi-cell workflow through the edgebol-sim CLI:
+# a 3-cell fleet (per-cell agents behind per-cell O-RAN stacks) plus a
+# warm-started joiner, checking the roll-ups, the pooled seeding, and
+# that the warm joiner converges no slower than a cold twin.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
+
 # bench reruns the GP-inference benchmarks (posterior sweep over the
 # 14 641-point grid and full SelectControl periods; exact engine at
 # t ∈ {50, 200, 1000}, sparse inducing-point engine out to t = 10⁴) and
@@ -78,6 +85,18 @@ bench:
 		-after results/bench_after.txt -out BENCH_gp.json \
 		-note "before = generic block-4 engine at the previous release (results/bench_before.txt); after = AVX fused-panel solves plus grid SweepPlan distance tables on the same host. vs_generic compares the SweepPlan against the generic path within the after run. engine=sparse entries are the m=128 inducing-point engine, flat in t; exact entries above t=1000 skip by policy. See DESIGN.md, Performance."
 	@echo "wrote BENCH_gp.json"
+	$(MAKE) bench-fleet
+
+# bench-fleet measures one fleet control period (per-cell acquisition
+# sweep + the full per-cell O-RAN round trip) at 4/16/64 cells and
+# records BENCH_fleet.json. No before-baseline: the fleet subsystem has
+# no pre-optimization ancestor; the JSON is the tracked reference.
+bench-fleet:
+	$(GO) test -run '^$$' -bench 'FleetStep' -benchtime 3x \
+		./internal/fleet | tee results/bench_fleet.txt
+	$(GO) run ./cmd/benchjson -after results/bench_fleet.txt -out BENCH_fleet.json \
+		-note "One Fleet.Step at 4/16/64 cells: every cell's full acquisition sweep (sparse engine, m=16, 3-level grid) plus its own loopback A1/E2/O1 round trip, sharded over the default worker pool. Expect near-linear growth in the cell count. See DESIGN.md 13."
+	@echo "wrote BENCH_fleet.json"
 
 # bench-check is the CI regression gate: rerun the tracked benchmarks in
 # short mode and fail if any regressed >25% against BENCH_gp.json. Skips

@@ -10,6 +10,16 @@
 //	            [-resume PATH] [-engine exact|sparse|auto] [-inducing M]
 //	edgebol-sim ckpt info PATH
 //	edgebol-sim ckpt latest DIR
+//	edgebol-sim -fleet N [-fleet-workers W] [-warm-neighbors K] [...]
+//
+// With -fleet N, the command runs an N-cell fleet instead of a single
+// loop: every cell is its own slice testbed, agent, and O-RAN control
+// plane (per-cell E2/O1 endpoints), stepped concurrently over a bounded
+// worker pool with per-fleet cost/power/violation roll-ups. With
+// -warm-neighbors K, one extra cell joins after the run, warm-started
+// from its K most context-similar neighbors' observation histories, and
+// the summary reports the periods each joiner needed to reach its first
+// safe learned period (cold twin vs warm joiner).
 //
 // With -metrics, a registry instruments the agent and the testbed and an
 // HTTP server on ADDR serves /metrics (Prometheus text) and /debug/pprof
@@ -25,6 +35,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -35,6 +46,8 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/fleet"
+	"repro/internal/multislice"
 	"repro/internal/oran"
 	"repro/internal/ran"
 	"repro/internal/telemetry"
@@ -62,11 +75,34 @@ func main() {
 	resume := flag.String("resume", "", "warm-start from this checkpoint file; \"latest\" resolves via -checkpoint-dir")
 	engineName := flag.String("engine", "exact", "GP inference engine: exact, sparse, or auto (convert when history reaches the switch threshold)")
 	inducing := flag.Int("inducing", 0, "sparse-engine inducing-point budget (0 = default 128)")
+	fleetN := flag.Int("fleet", 0, "run an N-cell fleet instead of a single loop (0 disables)")
+	fleetWorkers := flag.Int("fleet-workers", 0, "fleet worker-pool size (0 = default)")
+	warmNeighbors := flag.Int("warm-neighbors", 0, "with -fleet: admit one joiner warm-started from its K most similar neighbors (0 disables)")
 	flag.Parse()
 
 	engine, err := parseEngine(*engineName)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *fleetN > 0 {
+		fleetMain(fleetParams{
+			cells:     *fleetN,
+			workers:   *fleetWorkers,
+			neighbors: *warmNeighbors,
+			periods:   *periods,
+			users:     *users,
+			snr:       *snr,
+			weights:   core.CostWeights{Delta1: *delta1, Delta2: *delta2},
+			cons:      core.Constraints{MaxDelay: *dmax, MinMAP: *rmin},
+			grid:      core.GridSpec{Levels: *gridLevels, MinResolution: 0.1, MinAirtime: 0.1},
+			seed:      *seed,
+			engine:    engine,
+			inducing:  *inducing,
+			metrics:   *metricsAddr,
+			quiet:     *quiet,
+		})
+		return
 	}
 
 	var reg *telemetry.Registry
@@ -157,6 +193,135 @@ func main() {
 	fmt.Printf("oracle (exhaustive search): cost %.1f mu at [res %.2f air %.2f gpu %.2f mcs %.2f]\n",
 		oc, xo.Resolution, xo.Airtime, xo.GPUSpeed, xo.MCS)
 	fmt.Printf("optimality gap: %.1f%%\n", 100*(experiment.Median(tail)-oc)/oc)
+}
+
+// fleetParams carries the -fleet mode's resolved flags.
+type fleetParams struct {
+	cells, workers, neighbors int
+	periods, users            int
+	snr                       float64
+	weights                   core.CostWeights
+	cons                      core.Constraints
+	grid                      core.GridSpec
+	seed                      int64
+	engine                    core.EngineSelector
+	inducing                  int
+	metrics                   string
+	quiet                     bool
+}
+
+// fleetMain runs the -fleet mode: N cells behind one coordinator, each
+// with its own O-RAN control plane, plus an optional warm-started joiner.
+func fleetMain(p fleetParams) {
+	var reg *telemetry.Registry
+	if p.metrics != "" {
+		reg = telemetry.NewRegistry()
+		ln, err := net.Listen("tcp", p.metrics)
+		if err != nil {
+			fatal(err)
+		}
+		go func() { _ = http.Serve(ln, telemetry.Mux(reg)) }() // lives until exit
+		fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
+	}
+	us := make([]ran.User, p.users)
+	for i := range us {
+		us[i] = ran.User{SNRdB: p.snr - 2*float64(i)}
+	}
+	slice := multislice.SliceConfig{
+		Name:          "cell",
+		AirtimeBudget: 0.9,
+		GPUShare:      0.9,
+		Users:         us,
+		Weights:       p.weights,
+		Constraints:   p.cons,
+	}
+	opts := fleet.Options{
+		Cells:    fleet.Cells(p.cells, slice),
+		Agent:    core.Options{Grid: p.grid, Engine: p.engine, InducingPoints: p.inducing},
+		Workers:  p.workers,
+		BaseSeed: p.seed,
+		WarmStart: fleet.WarmStartPolicy{
+			Neighbors: p.neighbors,
+		},
+		Telemetry: reg,
+	}
+	f, err := fleet.New(context.Background(), opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	fmt.Printf("fleet: %d cells, %d periods\n", p.cells, p.periods)
+	for t := 0; t < p.periods; t++ {
+		res, err := f.Step()
+		if err != nil {
+			fatal(err)
+		}
+		if !p.quiet {
+			var cost, power float64
+			viol := 0
+			for _, r := range res {
+				cost += r.Cost
+				power += r.KPIs.ServerPower + r.KPIs.BSPower
+				if !r.Satisfied {
+					viol++
+				}
+			}
+			fmt.Printf("t=%3d  fleet cost=%.1f mu  power=%.1f W  violations=%d/%d\n",
+				t, cost, power, viol, len(res))
+		}
+	}
+	sum := f.Summary()
+	fmt.Printf("\nfleet summary: %d cells, %d periods, total cost %.1f mu, %d violations, last-period power %.1f W\n",
+		sum.Cells, sum.Periods, sum.TotalCost, sum.Violations, sum.PowerWatts)
+
+	if p.neighbors > 0 {
+		joiner := slice
+		joiner.Name = "joiner"
+		cell, seeded, err := f.AddCell(context.Background(), fleet.CellConfig{Name: "joiner", Slice: joiner})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("joiner: warm-started with %d pooled samples from %d neighbors\n", seeded, p.neighbors)
+		warm := firstSafePeriod(cell.Agent, cell.Env, p.periods)
+		coldEnv, err := multislice.NewSliceEnv(testbed.DefaultConfig(), joiner, cell.Seed)
+		if err != nil {
+			fatal(err)
+		}
+		coldAgent, err := core.NewAgent(core.Options{
+			Grid: p.grid, Weights: p.weights, Constraints: p.cons,
+			Engine: p.engine, InducingPoints: p.inducing,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		cold := firstSafePeriod(coldAgent, coldEnv, p.periods)
+		fmt.Printf("periods to first safe learned period: warm %s, cold %s\n",
+			periodsString(warm, p.periods), periodsString(cold, p.periods))
+	}
+}
+
+// firstSafePeriod steps the agent until it first picks a learned
+// (non-seed) control that satisfies the constraints; 0 means never
+// within the horizon.
+func firstSafePeriod(agent *core.Agent, env core.Environment, maxPeriods int) int {
+	cons := agent.Constraints()
+	for t := 1; t <= maxPeriods; t++ {
+		_, k, info, err := agent.Step(env)
+		if err != nil {
+			fatal(err)
+		}
+		if !info.FromSeed && cons.Satisfied(k) {
+			return t
+		}
+	}
+	return 0
+}
+
+func periodsString(p, horizon int) string {
+	if p == 0 {
+		return fmt.Sprintf(">%d", horizon)
+	}
+	return fmt.Sprintf("%d", p)
 }
 
 // parseEngine maps the -engine flag onto the core selector.

@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (fig1..fig6, fig9..fig14, or all)")
+	fig := flag.String("fig", "all", "figure to regenerate (fig1..fig6, fig9..fig14, all, or fleetwarm)")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or paper")
 	seed := flag.Int64("seed", 1, "base random seed")
 	out := flag.String("out", "", "directory for CSV output (omit to print only)")
@@ -82,6 +82,10 @@ func main() {
 		"fig12": one(experiment.Fig12),
 		"fig13": one(experiment.Fig13),
 		"fig14": one(experiment.Fig14),
+		// Beyond the paper: cross-cell warm-start convergence (cold vs
+		// warm periods-to-first-safe-learned-period; DESIGN.md §13).
+		// Selectable by name, not part of -fig all.
+		"fleetwarm": one(experiment.FleetWarmStart),
 	}
 	order := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig9", "fig10", "fig12", "fig13", "fig14"}
 
@@ -111,6 +115,9 @@ func main() {
 		"fig12": experiment.VerifyFig12,
 		"fig13": experiment.VerifyFig13,
 		"fig14": experiment.VerifyFig14,
+		"fleetwarm": func(t *experiment.Table) ([]experiment.Check, error) {
+			return experiment.VerifyFleetWarmStart(t, scale.Periods)
+		},
 	}
 
 	failed := false

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,7 +43,7 @@ func main() {
 		fatal(err)
 	}
 	tb.Instrument(reg)
-	dep, err := oran.Deploy(tb, oran.DeployOptions{
+	dep, err := oran.Deploy(context.Background(), tb, oran.DeployOptions{
 		Timeout:     5 * time.Second,
 		MetricsAddr: *metricsAddr,
 		Telemetry:   reg,

@@ -14,8 +14,11 @@
 //     CostWeights),
 //   - the simulated prototype (Testbed) standing in for the paper's
 //     srsRAN + USRP + RTX 2080 Ti testbed,
-//   - the O-RAN control plane (Deploy, DeployContext) for driving the
-//     loop over real loopback TCP interfaces,
+//   - the O-RAN control plane (Deploy) for driving the loop over real
+//     loopback TCP interfaces,
+//   - fleet-scale orchestration (NewFleet) — many cells, each with its
+//     own agent and control plane, with cross-cell GP warm starts for
+//     joining cells (WarmStart),
 //   - the telemetry subsystem (Registry, PeriodRecord, Snapshot) that
 //     instruments all of the above,
 //   - the benchmark controllers (DDPG, Oracle) of the paper's evaluation,
@@ -51,6 +54,8 @@ import (
 	"repro/internal/bandit"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/fleet"
+	"repro/internal/multislice"
 	"repro/internal/oran"
 	"repro/internal/ran"
 	"repro/internal/telemetry"
@@ -241,16 +246,66 @@ type (
 	DeployOptions = oran.DeployOptions
 )
 
-// Deploy stands up the control plane around an environment. The zero
-// DeployOptions is valid (default timeout, telemetry off).
-func Deploy(env Environment, opts DeployOptions) (*Deployment, error) {
-	return oran.Deploy(env, opts)
+// Deploy stands up the control plane around an environment, scoped to
+// ctx: cancellation tears the deployment down. The zero DeployOptions is
+// valid (default timeout, telemetry off); callers that never cancel pass
+// context.Background().
+func Deploy(ctx context.Context, env Environment, opts DeployOptions) (*Deployment, error) {
+	return oran.Deploy(ctx, env, opts)
 }
 
-// DeployContext is Deploy scoped to ctx: cancellation tears the
-// deployment down.
-func DeployContext(ctx context.Context, env Environment, opts DeployOptions) (*Deployment, error) {
-	return oran.DeployContext(ctx, env, opts)
+// Fleet-scale orchestration: N cells — each a network slice with its own
+// testbed, agent, and O-RAN control plane — behind one coordinator, with
+// cross-cell GP warm starts for joining cells. See DESIGN.md §13.
+type (
+	// Fleet is N cells behind one non-RT-RIC-shaped coordinator.
+	Fleet = fleet.Fleet
+	// FleetOptions configure NewFleet; Validate returns typed
+	// *FleetOptionError values.
+	FleetOptions = fleet.Options
+	// FleetOptionError is the typed validation error of FleetOptions.
+	FleetOptionError = fleet.OptionError
+	// FleetCellConfig is one cell of a fleet: a named service slice.
+	FleetCellConfig = fleet.CellConfig
+	// FleetCell is one deployed member: slice env, agent, control plane.
+	FleetCell = fleet.Cell
+	// FleetCellResult is one cell's outcome in one fleet period.
+	FleetCellResult = fleet.CellResult
+	// FleetSummary aggregates a fleet's cost/violation/power roll-ups.
+	FleetSummary = fleet.Summary
+	// WarmStartPolicy governs cross-cell knowledge transfer: how many
+	// context-similar neighbors donate history to a joining cell, and the
+	// pooled-observation cap.
+	WarmStartPolicy = fleet.WarmStartPolicy
+	// WarmStartDonor is one candidate donor for WarmStart.
+	WarmStartDonor = fleet.Donor
+	// SliceConfig describes one service slice (shared with the §4.4
+	// multi-slice deployment architecture).
+	SliceConfig = multislice.SliceConfig
+	// HistorySample is one GP training observation in normalized working
+	// units — the currency of cross-cell observation pooling (see
+	// Agent.History and Agent.SeedHistory).
+	HistorySample = core.HistorySample
+)
+
+// NewFleet builds and deploys a fleet. The context scopes every cell's
+// control plane: canceling it tears the whole fleet down.
+func NewFleet(ctx context.Context, opts FleetOptions) (*Fleet, error) {
+	return fleet.New(ctx, opts)
+}
+
+// FleetCells builds n uniform cell configurations from one slice
+// template — the convenient input for symmetric fleets.
+func FleetCells(n int, template SliceConfig) []FleetCellConfig {
+	return fleet.Cells(n, template)
+}
+
+// WarmStart seeds an agent from neighbors' observation histories,
+// selected by context similarity and capped by the policy; the seeded
+// agent is bitwise identical to a fresh agent that observed the pooled
+// history itself.
+func WarmStart(a *Agent, target Context, donors []WarmStartDonor, policy WarmStartPolicy) (int, error) {
+	return fleet.WarmStart(a, target, donors, policy)
 }
 
 // Experiments (§3 and §6).

@@ -2,6 +2,7 @@ package edgebol
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -99,7 +100,7 @@ func TestFacadeORANDeployment(t *testing.T) {
 		t.Fatal(err)
 	}
 	var dep *Deployment
-	dep, err = Deploy(tb, DeployOptions{Timeout: 3 * time.Second})
+	dep, err = Deploy(context.Background(), tb, DeployOptions{Timeout: 3 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,5 +188,121 @@ func TestFacadeCheckpointRoundTrip(t *testing.T) {
 	var re *ErrInvalidReconfig
 	if err := restored.SetConstraints(Constraints{MaxDelay: -1, MinMAP: 0.5}); !errors.As(err, &re) {
 		t.Fatalf("SetConstraints err = %v, want *ErrInvalidReconfig", err)
+	}
+}
+
+// TestFacadeFleet drives the fleet orchestration surface end to end the
+// way an adopter would: validate options, deploy a small fleet, step it,
+// admit a warm-started joiner, and read the roll-up summary.
+func TestFacadeFleet(t *testing.T) {
+	slice := SliceConfig{
+		Name:          "svc",
+		AirtimeBudget: 0.9,
+		GPUShare:      0.9,
+		Users:         []User{{SNRdB: 35}},
+		Weights:       CostWeights{Delta1: 1, Delta2: 1},
+		Constraints:   Constraints{MaxDelay: 0.4, MinMAP: 0.5},
+	}
+	opts := FleetOptions{
+		Cells:     FleetCells(2, slice),
+		Agent:     Options{Grid: GridSpec{Levels: 3, MinResolution: 0.1, MinAirtime: 0.1}},
+		BaseSeed:  3,
+		WarmStart: WarmStartPolicy{Neighbors: 2},
+	}
+	// Typed validation errors surface through the facade.
+	bad := opts
+	bad.Workers = -1
+	var oe *FleetOptionError
+	if err := bad.Validate(); !errors.As(err, &oe) || oe.Field != "Workers" {
+		t.Fatalf("want *FleetOptionError naming Workers, got %v", err)
+	}
+	f, err := NewFleet(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	for p := 0; p < 4; p++ {
+		res, err := f.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 2 {
+			t.Fatalf("period returned %d cell results", len(res))
+		}
+	}
+	joiner := slice
+	joiner.Name = "joiner"
+	cell, seeded, err := f.AddCell(context.Background(), FleetCellConfig{Name: "joiner", Slice: joiner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded == 0 {
+		t.Fatal("joiner was not warm-started")
+	}
+	if cell.Agent.Observations() != seeded {
+		t.Fatalf("joiner observations %d != seeded %d", cell.Agent.Observations(), seeded)
+	}
+	sum := f.Summary()
+	if sum.Cells != 3 || sum.Periods != 4 || sum.TotalCost <= 0 {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+// TestFacadeWarmStartEquivalence pins the facade-level warm-start
+// contract: WarmStart-seeded agents select bitwise identically to agents
+// that observed the pooled history directly.
+func TestFacadeWarmStartEquivalence(t *testing.T) {
+	tb, err := NewTestbed(DefaultTestbedConfig(), []User{{SNRdB: 35}}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Grid:        GridSpec{Levels: 4, MinResolution: 0.1, MinAirtime: 0.1},
+		Weights:     CostWeights{Delta1: 1, Delta2: 1},
+		Constraints: Constraints{MaxDelay: 0.4, MinMAP: 0.5},
+	}
+	donor, err := NewAgent(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 15; p++ {
+		if _, _, _, err := donor.Step(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool := donor.History(0)
+	warm, err := NewAgent(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := WarmStart(warm, tb.Context(), []WarmStartDonor{{Context: tb.Context(), History: pool}},
+		WarmStartPolicy{Neighbors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(pool) {
+		t.Fatalf("seeded %d of %d pooled samples", n, len(pool))
+	}
+	direct, err := NewAgent(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.SeedHistory(pool); err != nil {
+		t.Fatal(err)
+	}
+	xw, _ := warm.SelectControl(tb.Context())
+	xd, _ := direct.SelectControl(tb.Context())
+	if xw != xd {
+		t.Fatalf("warm-started selection %+v != directly seeded %+v", xw, xd)
+	}
+	var bw, bd bytes.Buffer
+	if err := SaveCheckpoint(warm, &bw); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpoint(direct, &bd); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bw.Bytes(), bd.Bytes()) {
+		t.Fatal("warm-start checkpoint bytes diverge")
 	}
 }

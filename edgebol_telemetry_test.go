@@ -85,7 +85,7 @@ func TestMetricsEndpointAllLayers(t *testing.T) {
 	}
 	reg := NewRegistry()
 	tb.Instrument(reg)
-	dep, err := Deploy(tb, DeployOptions{
+	dep, err := Deploy(context.Background(), tb, DeployOptions{
 		Timeout:     3 * time.Second,
 		MetricsAddr: "127.0.0.1:0",
 		Telemetry:   reg,
@@ -141,15 +141,15 @@ func TestMetricsEndpointAllLayers(t *testing.T) {
 	}
 }
 
-// TestDeployContextCancellation checks that canceling the DeployContext
-// context tears the whole control plane down.
-func TestDeployContextCancellation(t *testing.T) {
+// TestDeployCancellation checks that canceling the Deploy context tears
+// the whole control plane down.
+func TestDeployCancellation(t *testing.T) {
 	tb, err := NewTestbed(DefaultTestbedConfig(), []User{{SNRdB: 35}}, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	dep, err := DeployContext(ctx, tb, DeployOptions{Timeout: 2 * time.Second})
+	dep, err := Deploy(ctx, tb, DeployOptions{Timeout: 2 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -23,7 +24,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dep, err := oran.Deploy(tb, oran.DeployOptions{Timeout: 5 * time.Second})
+	dep, err := oran.Deploy(context.Background(), tb, oran.DeployOptions{Timeout: 5 * time.Second})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,54 @@
+package experiment
+
+import "testing"
+
+// TestFleetWarmStartScenario regenerates the fleet warm-start table at a
+// test scale and asserts every VerifyFleetWarmStart claim — including the
+// headline: a warm-started joiner reaches safe convergence in at most
+// half the cold joiner's periods.
+func TestFleetWarmStartScenario(t *testing.T) {
+	scale := tinyScale()
+	scale.Cells = 3
+	scale.WarmStartNeighbors = 2
+	tab, err := FleetWarmStart(scale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != scale.Reps {
+		t.Fatalf("table has %d rows, want %d", len(tab.Rows), scale.Reps)
+	}
+	checks, err := VerifyFleetWarmStart(tab, scale.Periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range checks {
+		if !c.OK {
+			t.Errorf("claim failed: %s (%s)", c.Claim, c.Detail)
+		}
+	}
+}
+
+// TestScaleValidateFleetFields covers the new Scale fields' validation.
+func TestScaleValidateFleetFields(t *testing.T) {
+	s := tinyScale()
+	s.Cells = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative Cells accepted")
+	}
+	s = tinyScale()
+	s.WarmStartNeighbors = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative WarmStartNeighbors accepted")
+	}
+	s = tinyScale()
+	s.Cells = 2
+	s.WarmStartNeighbors = 3
+	if err := s.Validate(); err == nil {
+		t.Fatal("more neighbors than cells accepted")
+	}
+	for _, sc := range []Scale{PaperScale(), QuickScale()} {
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("canonical scale invalid: %v", err)
+		}
+	}
+}

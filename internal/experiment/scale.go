@@ -31,6 +31,12 @@ type Scale struct {
 	TailWindow int
 	// MaxObservations caps GP history on long runs (0 = unlimited).
 	MaxObservations int
+	// Cells is the donor-fleet size of the fleet warm-start scenario
+	// (FleetWarmStart); 0 defaults to 3 donors.
+	Cells int
+	// WarmStartNeighbors is how many context-similar donors seed a
+	// joining cell in that scenario; 0 defaults to min(2, Cells).
+	WarmStartNeighbors int
 	// Telemetry, when non-nil, instruments every agent and testbed the
 	// experiment creates, so a long figure regeneration can be watched
 	// live over /metrics. Nil (the default scales) disables telemetry.
@@ -42,15 +48,17 @@ type Scale struct {
 // grid is what the paper's §5 O(N³) remark alludes to.
 func PaperScale() Scale {
 	return Scale{
-		GridLevels:      11,
-		Periods:         150,
-		Reps:            10,
-		SweepLevels:     11,
-		DynamicPeriods:  150,
-		PhasePeriods:    1000,
-		Delta2s:         []float64{1, 2, 4, 8, 16, 32, 64},
-		TailWindow:      25,
-		MaxObservations: 400,
+		GridLevels:         11,
+		Periods:            150,
+		Reps:               10,
+		SweepLevels:        11,
+		DynamicPeriods:     150,
+		PhasePeriods:       1000,
+		Delta2s:            []float64{1, 2, 4, 8, 16, 32, 64},
+		TailWindow:         25,
+		MaxObservations:    400,
+		Cells:              8,
+		WarmStartNeighbors: 3,
 	}
 }
 
@@ -58,15 +66,17 @@ func PaperScale() Scale {
 // while running orders of magnitude faster.
 func QuickScale() Scale {
 	return Scale{
-		GridLevels:      5,
-		Periods:         90,
-		Reps:            2,
-		SweepLevels:     5,
-		DynamicPeriods:  90,
-		PhasePeriods:    120,
-		Delta2s:         []float64{1, 4, 16, 64},
-		TailWindow:      20,
-		MaxObservations: 180,
+		GridLevels:         5,
+		Periods:            90,
+		Reps:               2,
+		SweepLevels:        5,
+		DynamicPeriods:     90,
+		PhasePeriods:       120,
+		Delta2s:            []float64{1, 4, 16, 64},
+		TailWindow:         20,
+		MaxObservations:    180,
+		Cells:              4,
+		WarmStartNeighbors: 2,
 	}
 }
 
@@ -86,6 +96,16 @@ func (s Scale) Validate() error {
 	}
 	if s.MaxObservations < 0 {
 		return fmt.Errorf("experiment: negative MaxObservations")
+	}
+	if s.Cells < 0 {
+		return fmt.Errorf("experiment: negative Cells")
+	}
+	if s.WarmStartNeighbors < 0 {
+		return fmt.Errorf("experiment: negative WarmStartNeighbors")
+	}
+	if s.Cells > 0 && s.WarmStartNeighbors > s.Cells {
+		return fmt.Errorf("experiment: WarmStartNeighbors %d exceeds the %d-cell donor fleet",
+			s.WarmStartNeighbors, s.Cells)
 	}
 	return nil
 }

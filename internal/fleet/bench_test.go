@@ -1,0 +1,43 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkFleetStep measures one fleet control period — every cell's
+// full acquisition sweep plus the A1/E2/O1 round trip over its own
+// control plane — as the fleet scales. The per-period cost should grow
+// close to linearly in the cell count: cells are independent and shard
+// across the worker pool, so the fixed sweep cost dominates and the
+// coordinator adds only the post-barrier roll-up.
+func BenchmarkFleetStep(b *testing.B) {
+	for _, cells := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("cells=%d", cells), func(b *testing.B) {
+			opts := Options{
+				Cells: Cells(cells, testSlice()),
+				Base:  quickBase(),
+				Agent: core.Options{
+					Grid:           core.GridSpec{Levels: 3, MinResolution: 0.1, MinAirtime: 0.1},
+					Engine:         core.EngineSparse,
+					InducingPoints: 16,
+				},
+				BaseSeed: 11,
+			}
+			f, err := New(context.Background(), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = f.Close() }()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,427 @@
+// Package fleet scales the single-cell EdgeBOL loop out to an operator
+// fleet: N cells, each a simulated vBS + edge-AI slice (a
+// multislice.SliceEnv over its own testbed) driven by its own core.Agent
+// through its own O-RAN control-plane deployment (per-cell E2/O1
+// endpoints, one A1 policy stream per slice), all orchestrated by one
+// non-RT-RIC-shaped coordinator.
+//
+// The fleet preserves the paper's per-slice decomposition (§4.4): cells
+// never share a model, so per-cell learning stays four-dimensional and
+// per-cell periods are embarrassingly parallel. What cells do share is
+// data: a cell joining the fleet can be warm-started from its most
+// context-similar neighbors' observation histories (WarmStart), which is
+// bitwise equivalent to the new agent having lived the pooled history
+// itself — see core.Agent.SeedHistory.
+//
+// Periods are sharded across a bounded worker pool, and results are
+// collected by cell index, so a fleet's trajectory is deterministic in
+// (Options, seeds) regardless of Workers. See DESIGN.md §13.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/multislice"
+	"repro/internal/oran"
+	"repro/internal/telemetry"
+	"repro/internal/testbed"
+)
+
+// DefaultWorkers bounds the per-period goroutine pool when Options leaves
+// Workers zero. Cells are simulated and CPU-bound, so a small pool keeps
+// the control plane responsive without oversubscribing the host.
+const DefaultWorkers = 8
+
+// cellSeedStride separates consecutive cells' RNG streams; a large prime
+// keeps derived seeds distinct for any realistic fleet size.
+const cellSeedStride = 1_000_003
+
+// OptionError is the typed validation error Options.Validate returns:
+// the offending field plus why it was rejected. Test with errors.As.
+type OptionError struct {
+	Field  string
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("fleet: invalid Options.%s: %s", e.Field, e.Reason)
+}
+
+// CellConfig describes one cell of the fleet: a named slice over the
+// shared substrate template.
+type CellConfig struct {
+	// Name labels the cell in results, metrics, and checkpoint paths.
+	// Must be unique within the fleet.
+	Name string
+	// Slice is the cell's service slice: users, airtime budget, GPU share,
+	// weights, constraints. Each cell is its own machine room, so budgets
+	// do not need to sum to one across cells (unlike multislice.System).
+	Slice multislice.SliceConfig
+}
+
+// Cells builds n uniform cell configurations named cell-000..cell-(n-1)
+// from one slice template — the convenient input for symmetric fleets
+// (edgebol-sim -fleet N). Vary the template per index for heterogeneous
+// fleets by editing the returned slice.
+func Cells(n int, template multislice.SliceConfig) []CellConfig {
+	out := make([]CellConfig, n)
+	for i := range out {
+		sc := template
+		sc.Name = fmt.Sprintf("%s-%03d", nonEmpty(template.Name, "cell"), i)
+		out[i] = CellConfig{Name: sc.Name, Slice: sc}
+	}
+	return out
+}
+
+func nonEmpty(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
+}
+
+// Options configure a Fleet.
+type Options struct {
+	// Cells are the fleet's members, one per cell. Required non-empty;
+	// names must be unique.
+	Cells []CellConfig
+	// Base is the shared substrate template every cell's testbed derives
+	// from. The zero value means testbed.DefaultConfig().
+	Base testbed.Config
+	// Agent is the per-cell agent template: grid, normalization, engine,
+	// noise priors. Weights and Constraints come from each cell's slice
+	// config; everything else is shared so that observation histories stay
+	// poolable across cells (SeedHistory requires one working-unit system).
+	Agent core.Options
+	// Deploy templates each cell's O-RAN control-plane deployment. With
+	// more than one cell, MetricsAddr must be empty or end in ":0"
+	// (ephemeral), otherwise the per-cell HTTP listeners would collide;
+	// CheckpointDir, when set, gains a per-cell subdirectory.
+	Deploy oran.DeployOptions
+	// Workers bounds the goroutine pool that shards per-period work across
+	// cells. Zero means DefaultWorkers; negative is invalid. The pool size
+	// affects wall-clock only, never results.
+	Workers int
+	// BaseSeed derives every cell's RNG seed (BaseSeed + index*stride), so
+	// one integer pins the whole fleet's trajectory.
+	BaseSeed int64
+	// WarmStart governs how AddCell seeds joiners from existing cells.
+	// The zero value disables warm starts.
+	WarmStart WarmStartPolicy
+	// Telemetry receives the fleet-level roll-ups (per-fleet cost, power,
+	// and violation aggregates plus per-cell labeled series). Nil disables
+	// them. This registry is distinct from Agent.Telemetry/Deploy.Telemetry,
+	// which instrument individual cells when set.
+	Telemetry *telemetry.Registry
+}
+
+// Validate reports whether the options describe a buildable fleet; every
+// failure is an *OptionError naming the offending field.
+func (o Options) Validate() error {
+	if len(o.Cells) == 0 {
+		return &OptionError{Field: "Cells", Reason: "fleet needs at least one cell"}
+	}
+	seen := make(map[string]bool, len(o.Cells))
+	for i, c := range o.Cells {
+		if c.Name == "" {
+			return &OptionError{Field: "Cells", Reason: fmt.Sprintf("cell %d has no name", i)}
+		}
+		if seen[c.Name] {
+			return &OptionError{Field: "Cells", Reason: fmt.Sprintf("duplicate cell name %q", c.Name)}
+		}
+		seen[c.Name] = true
+		if err := c.Slice.Validate(); err != nil {
+			return &OptionError{Field: "Cells", Reason: fmt.Sprintf("cell %q: %v", c.Name, err)}
+		}
+	}
+	if o.Workers < 0 {
+		return &OptionError{Field: "Workers", Reason: fmt.Sprintf("%d is negative", o.Workers)}
+	}
+	if len(o.Cells) > 1 && o.Deploy.MetricsAddr != "" && !strings.HasSuffix(o.Deploy.MetricsAddr, ":0") {
+		return &OptionError{Field: "Deploy", Reason: fmt.Sprintf(
+			"MetricsAddr %q names a fixed port; per-cell metric servers would collide (use an ephemeral \":0\" address)",
+			o.Deploy.MetricsAddr)}
+	}
+	if err := o.WarmStart.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Cell is one fleet member: its slice environment, learning agent, and
+// O-RAN control plane.
+type Cell struct {
+	// Name and Index identify the cell within the fleet.
+	Name  string
+	Index int
+	// Seed is the cell's derived RNG seed.
+	Seed int64
+	// Env is the cell's slice-partition view of its testbed.
+	Env *multislice.SliceEnv
+	// Agent is the cell's EdgeBOL learner.
+	Agent *core.Agent
+	// Deployment is the cell's own loopback control plane; the agent
+	// drives Deployment.Env(), so every period crosses the cell's A1, E2,
+	// O1, and service interfaces like a single-cell run would.
+	Deployment *oran.Deployment
+}
+
+// CellResult is one cell's outcome in one fleet period.
+type CellResult struct {
+	Cell    string
+	Index   int
+	Control core.Control
+	KPIs    core.KPIs
+	Info    core.SelectionInfo
+	// Cost is the cell's energy cost under its own slice weights.
+	Cost float64
+	// Satisfied reports whether the period met the cell's constraints.
+	Satisfied bool
+}
+
+// Fleet is N cells behind one coordinator.
+type Fleet struct {
+	opts    Options
+	workers int
+	cells   []*Cell
+	met     *metrics
+
+	mu      sync.Mutex
+	periods int
+	closed  bool
+}
+
+// New builds and deploys the fleet: per-cell testbeds, agents, and O-RAN
+// stacks. The context scopes every cell's control plane — canceling it
+// tears the whole fleet down. On error, cells already deployed are closed.
+func New(ctx context.Context, opts Options) (*Fleet, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	base := opts.Base
+	if base.Edge.BaseServiceTime == 0 {
+		base = testbed.DefaultConfig()
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = DefaultWorkers
+	}
+	f := &Fleet{opts: opts, workers: workers, met: newMetrics(opts.Telemetry)}
+	for i, cc := range opts.Cells {
+		cell, err := f.buildCell(ctx, base, cc, i)
+		if err != nil {
+			_ = f.Close() // already failing; keep the construction error
+			return nil, fmt.Errorf("fleet: cell %q: %w", cc.Name, err)
+		}
+		f.cells = append(f.cells, cell)
+	}
+	f.met.setCells(len(f.cells))
+	return f, nil
+}
+
+// buildCell stands up one cell: slice env, agent from the template (the
+// cell's own weights/constraints grafted in), and its control plane.
+func (f *Fleet) buildCell(ctx context.Context, base testbed.Config, cc CellConfig, index int) (*Cell, error) {
+	seed := f.opts.BaseSeed + int64(index)*cellSeedStride
+	env, err := multislice.NewSliceEnv(base, cc.Slice, seed)
+	if err != nil {
+		return nil, err
+	}
+	aopts := f.opts.Agent
+	aopts.Weights = cc.Slice.Weights
+	aopts.Constraints = cc.Slice.Constraints
+	agent, err := core.NewAgent(aopts)
+	if err != nil {
+		return nil, err
+	}
+	dopts := f.opts.Deploy
+	if dopts.CheckpointDir != "" {
+		dopts.CheckpointDir = filepath.Join(dopts.CheckpointDir, cc.Name)
+	}
+	dep, err := oran.Deploy(ctx, env, dopts)
+	if err != nil {
+		return nil, err
+	}
+	return &Cell{Name: cc.Name, Index: index, Seed: seed, Env: env, Agent: agent, Deployment: dep}, nil
+}
+
+// Cells returns the fleet's members in index order. The slice is shared;
+// treat it as read-only.
+func (f *Fleet) Cells() []*Cell { return f.cells }
+
+// Periods returns how many fleet periods have completed.
+func (f *Fleet) Periods() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.periods
+}
+
+// Step runs one control period on every cell, sharded across the worker
+// pool, and returns per-cell results in cell-index order. Cells are
+// independent, and the telemetry roll-up happens serially after all cells
+// finish, so results are identical for any Workers setting. Cells that
+// fail contribute a joined error but never block the others.
+func (f *Fleet) Step() ([]CellResult, error) {
+	results := make([]CellResult, len(f.cells))
+	errs := make([]error, len(f.cells))
+	f.forEach(func(i int) {
+		cell := f.cells[i]
+		x, k, info, err := cell.Agent.Step(cell.Deployment.Env())
+		if err != nil {
+			errs[i] = fmt.Errorf("fleet: cell %q: %w", cell.Name, err)
+			return
+		}
+		results[i] = CellResult{
+			Cell:      cell.Name,
+			Index:     i,
+			Control:   x,
+			KPIs:      k,
+			Info:      info,
+			Cost:      cell.Env.Config().Weights.Cost(k),
+			Satisfied: cell.Env.Config().Constraints.Satisfied(k),
+		}
+	})
+	if err := errors.Join(errs...); err != nil {
+		return results, err
+	}
+	f.mu.Lock()
+	f.periods++
+	f.mu.Unlock()
+	f.met.rollUp(results)
+	return results, nil
+}
+
+// Run executes periods control periods, returning the last period's
+// results. It stops at the first period that errors.
+func (f *Fleet) Run(periods int) ([]CellResult, error) {
+	var last []CellResult
+	for p := 0; p < periods; p++ {
+		res, err := f.Step()
+		if err != nil {
+			return res, err
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// forEach runs fn(i) for every cell index over the bounded worker pool.
+func (f *Fleet) forEach(fn func(i int)) {
+	n := len(f.cells)
+	workers := f.workers
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// AddCell deploys a new cell into the running fleet and, when the warm
+// start policy enables it, seeds the joiner's GPs from its most
+// context-similar neighbors' observation histories before the cell serves
+// its first period. Returns the new cell and how many pooled samples
+// seeded it (zero when warm starts are disabled or no donor has data).
+func (f *Fleet) AddCell(ctx context.Context, cc CellConfig) (*Cell, int, error) {
+	if cc.Name == "" {
+		return nil, 0, &OptionError{Field: "Cells", Reason: "cell has no name"}
+	}
+	for _, c := range f.cells {
+		if c.Name == cc.Name {
+			return nil, 0, &OptionError{Field: "Cells", Reason: fmt.Sprintf("duplicate cell name %q", cc.Name)}
+		}
+	}
+	if err := cc.Slice.Validate(); err != nil {
+		return nil, 0, &OptionError{Field: "Cells", Reason: fmt.Sprintf("cell %q: %v", cc.Name, err)}
+	}
+	base := f.opts.Base
+	if base.Edge.BaseServiceTime == 0 {
+		base = testbed.DefaultConfig()
+	}
+	cell, err := f.buildCell(ctx, base, cc, len(f.cells))
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet: cell %q: %w", cc.Name, err)
+	}
+	seeded := 0
+	if f.opts.WarmStart.Neighbors > 0 {
+		donors := make([]Donor, 0, len(f.cells))
+		for _, c := range f.cells {
+			donors = append(donors, Donor{
+				Context: c.Env.Context(),
+				History: c.Agent.History(0),
+			})
+		}
+		seeded, err = WarmStart(cell.Agent, cell.Env.Context(), donors, f.opts.WarmStart)
+		if err != nil {
+			_ = cell.Deployment.Close()
+			return nil, 0, fmt.Errorf("fleet: warm-starting cell %q: %w", cc.Name, err)
+		}
+		f.met.warmStart(seeded)
+	}
+	f.cells = append(f.cells, cell)
+	f.met.setCells(len(f.cells))
+	return cell, seeded, nil
+}
+
+// Summary aggregates the fleet's telemetry roll-ups: cumulative cost,
+// violation count, and last-period power across all cells.
+type Summary struct {
+	Cells      int
+	Periods    int
+	TotalCost  float64
+	Violations int
+	// PowerWatts is the fleet-wide power draw (server + vBS, every cell)
+	// observed in the most recent period.
+	PowerWatts float64
+}
+
+// Summary returns the fleet's aggregate state.
+func (f *Fleet) Summary() Summary {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Summary{
+		Cells:      len(f.cells),
+		Periods:    f.periods,
+		TotalCost:  f.met.totalCost(),
+		Violations: f.met.totalViolations(),
+		PowerWatts: f.met.lastPower(),
+	}
+}
+
+// Close tears down every cell's control plane. Idempotent; returns the
+// first teardown error.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	var first error
+	for i := len(f.cells) - 1; i >= 0; i-- {
+		if err := f.cells[i].Deployment.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,367 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/multislice"
+	"repro/internal/oran"
+	"repro/internal/ran"
+	"repro/internal/telemetry"
+	"repro/internal/testbed"
+)
+
+// testSlice returns a small slice template for fleet tests.
+func testSlice(users ...ran.User) multislice.SliceConfig {
+	if len(users) == 0 {
+		users = []ran.User{{SNRdB: 35}}
+	}
+	return multislice.SliceConfig{
+		Name:          "cell",
+		AirtimeBudget: 0.9,
+		GPUShare:      0.9,
+		Users:         users,
+		Weights:       core.CostWeights{Delta1: 1, Delta2: 1},
+		Constraints:   core.Constraints{MaxDelay: 0.4, MinMAP: 0.5},
+	}
+}
+
+// quickBase returns a substrate sized for CI: a small per-period
+// evaluation batch keeps each Measure cheap without changing the shape of
+// the surfaces the agents learn.
+func quickBase() testbed.Config {
+	cfg := testbed.DefaultConfig()
+	cfg.ImagesPerMeasurement = 20
+	return cfg
+}
+
+func testOptions(cells int) Options {
+	return Options{
+		Cells:    Cells(cells, testSlice()),
+		Base:     quickBase(),
+		Agent:    core.Options{Grid: core.GridSpec{Levels: 3, MinResolution: 0.1, MinAirtime: 0.1}},
+		BaseSeed: 42,
+	}
+}
+
+func TestOptionsValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*Options)
+		field string
+	}{
+		{"no cells", func(o *Options) { o.Cells = nil }, "Cells"},
+		{"unnamed cell", func(o *Options) { o.Cells[0].Name = "" }, "Cells"},
+		{"duplicate name", func(o *Options) { o.Cells[1].Name = o.Cells[0].Name }, "Cells"},
+		{"bad slice", func(o *Options) { o.Cells[0].Slice.GPUShare = 2 }, "Cells"},
+		{"negative workers", func(o *Options) { o.Workers = -1 }, "Workers"},
+		{"fixed metrics port", func(o *Options) { o.Deploy.MetricsAddr = "127.0.0.1:9090" }, "Deploy"},
+		{"negative neighbors", func(o *Options) { o.WarmStart.Neighbors = -1 }, "WarmStart"},
+		{"negative pool", func(o *Options) { o.WarmStart.MaxPool = -1 }, "WarmStart"},
+	}
+	for _, tc := range cases {
+		opts := testOptions(2)
+		tc.mut(&opts)
+		err := opts.Validate()
+		var oe *OptionError
+		if !errors.As(err, &oe) {
+			t.Fatalf("%s: got %v, want *OptionError", tc.name, err)
+		}
+		if oe.Field != tc.field {
+			t.Fatalf("%s: error names field %q, want %q", tc.name, oe.Field, tc.field)
+		}
+	}
+	opts := testOptions(2)
+	opts.Deploy.MetricsAddr = "127.0.0.1:0" // ephemeral per-cell ports are fine
+	if err := opts.Validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+}
+
+// TestFleetDeterministicAcrossPoolSizes is the scheduling-independence
+// contract: the same options and seed produce bitwise-identical per-cell
+// trajectories whether periods run on one worker or many. Run under
+// -race this also exercises the worker pool for data races.
+func TestFleetDeterministicAcrossPoolSizes(t *testing.T) {
+	run := func(workers int) [][]CellResult {
+		opts := testOptions(4)
+		opts.Workers = workers
+		f, err := New(context.Background(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = f.Close() }()
+		var all [][]CellResult
+		for p := 0; p < 4; p++ {
+			res, err := f.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, res)
+		}
+		return all
+	}
+	serial := run(1)
+	pooled := run(4)
+	for p := range serial {
+		for i := range serial[p] {
+			a, b := serial[p][i], pooled[p][i]
+			if a.Control != b.Control {
+				t.Fatalf("period %d cell %d: selections diverge across pool sizes: %+v vs %+v", p, i, a.Control, b.Control)
+			}
+			if a.KPIs != b.KPIs || a.Cost != b.Cost { //edgebol:allow floateq -- determinism means bitwise equality
+				t.Fatalf("period %d cell %d: observations diverge across pool sizes", p, i)
+			}
+		}
+	}
+}
+
+// TestFleetPerCellEndpoints checks each cell really owns its own control
+// plane: distinct E2 endpoints, distinct testbeds, and per-cell contexts
+// served over O1.
+func TestFleetPerCellEndpoints(t *testing.T) {
+	f, err := New(context.Background(), testOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	seen := make(map[string]bool)
+	for _, c := range f.Cells() {
+		addr := c.Deployment.E2Node.Addr()
+		if addr == "" || seen[addr] {
+			t.Fatalf("cell %s E2 endpoint %q not unique", c.Name, addr)
+		}
+		seen[addr] = true
+		if got := c.Deployment.Env().Context(); got != c.Env.Context() {
+			t.Fatalf("cell %s context over O1 %+v != substrate context %+v", c.Name, got, c.Env.Context())
+		}
+	}
+}
+
+// TestFleetWarmStartAddCell grows a fleet by one cell and checks the
+// joiner is seeded from its neighbors' histories, capped by policy.
+func TestFleetWarmStartAddCell(t *testing.T) {
+	opts := testOptions(3)
+	opts.WarmStart = WarmStartPolicy{Neighbors: 2, MaxPool: 9}
+	f, err := New(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	const lived = 6
+	for p := 0; p < lived; p++ {
+		if _, err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	joiner := CellConfig{Name: "joiner", Slice: testSlice()}
+	cell, seeded, err := f.AddCell(context.Background(), joiner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two donors with 6 samples each, capped at 9.
+	if seeded != 9 {
+		t.Fatalf("seeded %d samples, want 9", seeded)
+	}
+	if cell.Agent.Observations() != seeded {
+		t.Fatalf("joiner period counter %d, want %d", cell.Agent.Observations(), seeded)
+	}
+	if len(f.Cells()) != 4 {
+		t.Fatalf("fleet has %d cells after AddCell, want 4", len(f.Cells()))
+	}
+	// The grown fleet keeps stepping, joiner included.
+	res, err := f.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 || res[3].Cell != "joiner" {
+		t.Fatalf("post-join results %+v missing the joiner", res)
+	}
+	// Duplicate names are rejected with a typed error.
+	if _, _, err := f.AddCell(context.Background(), joiner); err == nil {
+		t.Fatal("duplicate cell name accepted")
+	}
+}
+
+// TestSelectDonors pins the similarity ranking: nearest contexts first,
+// ties broken by donor index.
+func TestSelectDonors(t *testing.T) {
+	target := core.Context{NumUsers: 4, MeanCQI: 10, VarCQI: 1}
+	donors := []Donor{
+		{Context: core.Context{NumUsers: 20, MeanCQI: 3}},            // far
+		{Context: core.Context{NumUsers: 4, MeanCQI: 10, VarCQI: 1}}, // exact
+		{Context: core.Context{NumUsers: 5, MeanCQI: 10, VarCQI: 1}}, // near
+		{Context: core.Context{NumUsers: 4, MeanCQI: 10, VarCQI: 1}}, // exact tie with 1
+	}
+	got := selectDonors(target, donors, 3)
+	want := []int{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("selectDonors = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPoolHistoriesCap pins the budget split: nearer donors win pool
+// budget, and within a donor the most recent samples win.
+func TestPoolHistoriesCap(t *testing.T) {
+	mk := func(vals ...float64) []core.HistorySample {
+		out := make([]core.HistorySample, len(vals))
+		for i, v := range vals {
+			out[i] = core.HistorySample{Cost: v}
+		}
+		return out
+	}
+	donors := []Donor{
+		{History: mk(1, 2, 3)},
+		{History: mk(4, 5, 6)},
+	}
+	pool := poolHistories([]int{0, 1}, donors, 4)
+	want := []float64{1, 2, 3, 6} // donor 0 whole, donor 1's most recent
+	if len(pool) != len(want) {
+		t.Fatalf("pool size %d, want %d", len(pool), len(want))
+	}
+	for i := range want {
+		if pool[i].Cost != want[i] { //edgebol:allow floateq -- sentinel values pass through untouched
+			t.Fatalf("pool[%d].Cost = %v, want %v", i, pool[i].Cost, want[i])
+		}
+	}
+	if got := poolHistories([]int{0, 1}, donors, 0); len(got) != 6 {
+		t.Fatalf("uncapped pool size %d, want 6", len(got))
+	}
+}
+
+// TestFleetTelemetryRollUps checks the fleet-level aggregates and the
+// per-cell labeled series land in the shared registry.
+func TestFleetTelemetryRollUps(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	opts := testOptions(2)
+	opts.Telemetry = reg
+	f, err := New(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	var wantCost float64
+	const periods = 3
+	for p := 0; p < periods; p++ {
+		res, err := f.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			wantCost += r.Cost
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["edgebol_fleet_periods_total"]; got != periods {
+		t.Fatalf("fleet periods counter %d, want %d", got, periods)
+	}
+	if got := snap.Gauges["edgebol_fleet_cells"]; got != 2 {
+		t.Fatalf("fleet cells gauge %v, want 2", got)
+	}
+	if got := snap.Gauges["edgebol_fleet_cost_total"]; got < wantCost-1e-9 || got > wantCost+1e-9 {
+		t.Fatalf("fleet cost roll-up %v, want %v", got, wantCost)
+	}
+	sum := f.Summary()
+	if sum.Periods != periods || sum.Cells != 2 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if sum.TotalCost < wantCost-1e-9 || sum.TotalCost > wantCost+1e-9 {
+		t.Fatalf("summary cost %v, want %v", sum.TotalCost, wantCost)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, series := range []string{
+		"edgebol_fleet_cells 2",
+		`edgebol_fleet_cell_cost{cell="cell-000"}`,
+		`edgebol_fleet_cell_power_watts{cell="cell-001"}`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Fatalf("exposition missing %q:\n%s", series, text)
+		}
+	}
+}
+
+// TestFleetCloseIdempotent checks teardown is repeatable and that a
+// canceled context tears the whole fleet down.
+func TestFleetCloseIdempotent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	f, err := New(ctx, testOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cancel() // after Close: must not panic or double-close
+	for _, c := range f.Cells() {
+		<-c.Deployment.Done()
+	}
+}
+
+// TestFleet256Cells50Periods is the scale acceptance run: 256 cells, each
+// with its own agent and control plane, 50 periods on the sparse engine.
+// Skipped under -short and -race, where the deliberately large fleet
+// would dominate suite wall-clock without adding coverage the smaller
+// tests lack.
+func TestFleet256Cells50Periods(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-cell fleet is a long test")
+	}
+	if raceEnabled {
+		t.Skip("the race detector covers the worker pool via the smaller fleet tests")
+	}
+	opts := Options{
+		Cells: Cells(256, testSlice()),
+		Base:  quickBase(),
+		Agent: core.Options{
+			Grid:           core.GridSpec{Levels: 3, MinResolution: 0.1, MinAirtime: 0.1},
+			Engine:         core.EngineSparse,
+			InducingPoints: 16,
+		},
+		Deploy:   oran.DeployOptions{},
+		Workers:  8,
+		BaseSeed: 7,
+	}
+	f, err := New(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	if got := len(f.Cells()); got != 256 {
+		t.Fatalf("fleet has %d cells, want 256", got)
+	}
+	const periods = 50
+	for p := 0; p < periods; p++ {
+		res, err := f.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 256 {
+			t.Fatalf("period %d returned %d results", p, len(res))
+		}
+	}
+	sum := f.Summary()
+	if sum.Periods != periods {
+		t.Fatalf("summary periods %d, want %d", sum.Periods, periods)
+	}
+	if sum.TotalCost <= 0 || sum.PowerWatts <= 0 {
+		t.Fatalf("degenerate aggregates %+v", sum)
+	}
+	// Every cell really ran on the sparse engine and learned all periods.
+	for _, c := range f.Cells() {
+		if c.Agent.Observations() != periods {
+			t.Fatalf("cell %s observed %d periods, want %d", c.Name, c.Agent.Observations(), periods)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package fleet
+
+// raceEnabled reports whether the race detector instruments this build;
+// the scale test skips itself under -race, where its 5–20× slowdown
+// would dominate the suite without adding coverage.
+const raceEnabled = false

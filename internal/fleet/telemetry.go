@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// metrics carries the fleet-level roll-ups: aggregates the coordinator
+// tracks itself (so Summary works without a registry) mirrored into the
+// telemetry registry when one is attached. Per-cell series are labeled
+// with the cell name over the same registry the rest of the stack uses,
+// so one /metrics endpoint can expose a whole fleet.
+//
+// All roll-up updates happen serially after each period's worker-pool
+// barrier (Fleet.Step), keeping exposition values deterministic for any
+// pool size; the mutex only guards against concurrent readers (Summary,
+// Snapshot) observing torn aggregates.
+type metrics struct {
+	mu         sync.Mutex
+	cost       float64
+	violations int
+	power      float64
+
+	reg *telemetry.Registry
+
+	cells       *telemetry.Gauge
+	periods     *telemetry.Counter
+	costTotal   *telemetry.Gauge
+	violTotal   *telemetry.Counter
+	powerWatts  *telemetry.Gauge
+	warmStarts  *telemetry.Counter
+	warmSamples *telemetry.Counter
+
+	cellCost map[string]*telemetry.Gauge
+	cellPow  map[string]*telemetry.Gauge
+	cellViol map[string]*telemetry.Counter
+}
+
+// newMetrics registers the fleet metric families. reg may be nil, in
+// which case every handle is a nil no-op and only the local aggregates
+// (for Summary) are maintained.
+func newMetrics(reg *telemetry.Registry) *metrics {
+	return &metrics{
+		reg:         reg,
+		cells:       reg.Gauge("edgebol_fleet_cells"),
+		periods:     reg.Counter("edgebol_fleet_periods_total"),
+		costTotal:   reg.Gauge("edgebol_fleet_cost_total"),
+		violTotal:   reg.Counter("edgebol_fleet_violations_total"),
+		powerWatts:  reg.Gauge("edgebol_fleet_power_watts"),
+		warmStarts:  reg.Counter("edgebol_fleet_warm_starts_total"),
+		warmSamples: reg.Counter("edgebol_fleet_warm_samples_total"),
+		cellCost:    make(map[string]*telemetry.Gauge),
+		cellPow:     make(map[string]*telemetry.Gauge),
+		cellViol:    make(map[string]*telemetry.Counter),
+	}
+}
+
+func (m *metrics) setCells(n int) {
+	m.cells.Set(float64(n))
+}
+
+// rollUp folds one period's per-cell results into the fleet aggregates
+// and the per-cell labeled series.
+func (m *metrics) rollUp(results []CellResult) {
+	var periodCost, periodPower float64
+	periodViolations := 0
+	for _, r := range results {
+		periodCost += r.Cost
+		power := r.KPIs.ServerPower + r.KPIs.BSPower
+		periodPower += power
+		if !r.Satisfied {
+			periodViolations++
+			m.perCellViol(r.Cell).Inc()
+		}
+		m.perCellCost(r.Cell).Set(r.Cost)
+		m.perCellPower(r.Cell).Set(power)
+	}
+	m.mu.Lock()
+	m.cost += periodCost
+	m.violations += periodViolations
+	m.power = periodPower
+	m.mu.Unlock()
+	m.periods.Inc()
+	m.costTotal.Add(periodCost)
+	m.violTotal.Add(uint64(periodViolations))
+	m.powerWatts.Set(periodPower)
+}
+
+func (m *metrics) warmStart(samples int) {
+	m.warmStarts.Inc()
+	m.warmSamples.Add(uint64(samples))
+}
+
+func (m *metrics) totalCost() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cost
+}
+
+func (m *metrics) totalViolations() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.violations
+}
+
+func (m *metrics) lastPower() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.power
+}
+
+// perCellCost et al. lazily register the labeled per-cell series; the
+// registry dedups by identity, so the maps only spare the registry lock
+// and label rendering in the steady state.
+func (m *metrics) perCellCost(cell string) *telemetry.Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.cellCost[cell]
+	if !ok {
+		g = m.reg.Gauge("edgebol_fleet_cell_cost", "cell", cell)
+		m.cellCost[cell] = g
+	}
+	return g
+}
+
+func (m *metrics) perCellPower(cell string) *telemetry.Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.cellPow[cell]
+	if !ok {
+		g = m.reg.Gauge("edgebol_fleet_cell_power_watts", "cell", cell)
+		m.cellPow[cell] = g
+	}
+	return g
+}
+
+func (m *metrics) perCellViol(cell string) *telemetry.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.cellViol[cell]
+	if !ok {
+		c = m.reg.Counter("edgebol_fleet_cell_violations_total", "cell", cell)
+		m.cellViol[cell] = c
+	}
+	return c
+}

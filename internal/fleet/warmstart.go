@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// WarmStartPolicy governs cross-cell knowledge transfer: how many
+// context-similar neighbors donate observation history to a joining cell,
+// and how large the pooled history may grow. The zero value disables warm
+// starts.
+type WarmStartPolicy struct {
+	// Neighbors is the number of donor cells K. Zero disables warm starts;
+	// negative is invalid. When fewer cells exist, all of them donate.
+	Neighbors int
+	// MaxPool caps the pooled observation count. Zero means "the target
+	// agent's own retention bound" (core.Options.MaxObservations; unlimited
+	// when that is zero too); negative is invalid.
+	MaxPool int
+}
+
+// Validate reports whether the policy is usable; failures are typed
+// *OptionError values naming Options.WarmStart.
+func (p WarmStartPolicy) Validate() error {
+	if p.Neighbors < 0 {
+		return &OptionError{Field: "WarmStart", Reason: fmt.Sprintf("Neighbors %d is negative", p.Neighbors)}
+	}
+	if p.MaxPool < 0 {
+		return &OptionError{Field: "WarmStart", Reason: fmt.Sprintf("MaxPool %d is negative", p.MaxPool)}
+	}
+	return nil
+}
+
+// Donor is one candidate cell for warm-starting: its current slice
+// context and its exported observation history (core.Agent.History).
+type Donor struct {
+	Context core.Context
+	History []core.HistorySample
+}
+
+// WarmStart seeds a joining cell's agent from its neighbors' observation
+// histories. Donor selection is by context similarity: the K =
+// policy.Neighbors donors closest to the target context (Euclidean
+// distance over the normalized context features, ties broken by donor
+// index) are pooled, nearest first. The pool is capped — by policy.MaxPool
+// or the agent's own MaxObservations — keeping each donor's most recent
+// samples, and replayed via Agent.SeedHistory, so the warm-started agent
+// is bitwise identical to a fresh agent that observed the pooled history
+// itself.
+//
+// Returns the number of samples seeded. Zero donors with data, or a
+// disabled policy (Neighbors == 0), is a no-op, not an error: a cold
+// start is always a valid fallback.
+func WarmStart(a *core.Agent, target core.Context, donors []Donor, policy WarmStartPolicy) (int, error) {
+	if err := policy.Validate(); err != nil {
+		return 0, err
+	}
+	if policy.Neighbors == 0 || len(donors) == 0 {
+		return 0, nil
+	}
+	selected := selectDonors(target, donors, policy.Neighbors)
+	maxPool := policy.MaxPool
+	if maxPool == 0 {
+		maxPool = a.MaxObservations()
+	}
+	pool := poolHistories(selected, donors, maxPool)
+	if len(pool) == 0 {
+		return 0, nil
+	}
+	if err := a.SeedHistory(pool); err != nil {
+		return 0, err
+	}
+	return len(pool), nil
+}
+
+// selectDonors returns the indices of the k donors nearest to the target
+// context, nearest first, ties broken by the lower donor index so the
+// selection is deterministic for any input order of equal distances.
+func selectDonors(target core.Context, donors []Donor, k int) []int {
+	tf := core.ContextFeatures(target)
+	type ranked struct {
+		idx  int
+		dist float64
+	}
+	rs := make([]ranked, len(donors))
+	for i, d := range donors {
+		df := core.ContextFeatures(d.Context)
+		var sum float64
+		for j := range tf {
+			delta := tf[j] - df[j]
+			sum += delta * delta
+		}
+		rs[i] = ranked{idx: i, dist: math.Sqrt(sum)}
+	}
+	sort.SliceStable(rs, func(a, b int) bool {
+		if rs[a].dist != rs[b].dist { //edgebol:allow floateq -- exact ties fall through to the index tie-break
+			return rs[a].dist < rs[b].dist
+		}
+		return rs[a].idx < rs[b].idx
+	})
+	if k > len(rs) {
+		k = len(rs)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = rs[i].idx
+	}
+	return out
+}
+
+// poolHistories concatenates the selected donors' histories nearest-donor
+// first, each donor's samples in their lived (chronological) order. When
+// the cap binds, nearer donors win budget over farther ones, and within a
+// donor its most recent samples win over older ones. maxPool <= 0 means
+// uncapped.
+func poolHistories(selected []int, donors []Donor, maxPool int) []core.HistorySample {
+	var pool []core.HistorySample
+	remaining := maxPool
+	for _, idx := range selected {
+		h := donors[idx].History
+		if maxPool > 0 {
+			if remaining <= 0 {
+				break
+			}
+			if len(h) > remaining {
+				h = h[len(h)-remaining:]
+			}
+			remaining -= len(h)
+		}
+		pool = append(pool, h...)
+	}
+	return pool
+}

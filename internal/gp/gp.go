@@ -201,6 +201,23 @@ func (g *GP) NoiseVar() float64 { return g.noiseVar }
 // Len returns the number of retained observations.
 func (g *GP) Len() int { return len(g.ys) }
 
+// Training returns copies of the GP's retained training inputs (flat
+// row-major, Dim columns) and targets, oldest first. max > 0 caps the
+// result to the most recent max rows; max <= 0 returns everything. It is
+// the export half of cross-model observation pooling (see core's
+// Agent.History): unlike Snapshot it carries no factors, so it stays
+// O(n·d) however long the run.
+func (g *GP) Training(max int) (xs []float64, ys []float64) {
+	n := len(g.ys)
+	if max > 0 && max < n {
+		n = max
+	}
+	start := len(g.ys) - n
+	xs = append([]float64(nil), g.xs[start*g.dim:]...)
+	ys = append([]float64(nil), g.ys[start:]...)
+	return xs, ys
+}
+
 // basisLen returns the number of points a posterior query solves against:
 // the inducing-set size under the sparse engine, the training size under
 // the exact one. It is the n of every read path's O(n²) solve.

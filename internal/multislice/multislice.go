@@ -114,6 +114,35 @@ func (s *SliceEnv) attribute(k core.KPIs) core.KPIs {
 // Context implements core.Environment.
 func (s *SliceEnv) Context() core.Context { return s.tb.Context() }
 
+// Config returns the slice configuration the environment was built from.
+func (s *SliceEnv) Config() SliceConfig { return s.cfg }
+
+// Testbed returns the underlying per-slice substrate, e.g. for attaching
+// telemetry via Testbed.Instrument.
+func (s *SliceEnv) Testbed() *testbed.Testbed { return s.tb }
+
+// NewSliceEnv builds one slice's environment over its own partition of the
+// shared substrate: a testbed whose GPU runs GPUShare as fast, wrapped in
+// the airtime-budget scaling and idle-power attribution lens. This is the
+// per-cell building block System and fleet.Fleet share; unlike New it does
+// not validate cross-slice budget sums — the caller owns that invariant.
+func NewSliceEnv(base testbed.Config, sc SliceConfig, seed int64) (*SliceEnv, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := base
+	// The slice sees a GPU that is GPUShare as fast: the server's
+	// scheduler grants it that fraction of cycles.
+	cfg.Edge.BaseServiceTime = base.Edge.BaseServiceTime / sc.GPUShare
+	tb, err := testbed.New(cfg, sc.Users, seed)
+	if err != nil {
+		return nil, fmt.Errorf("multislice: %s: %w", sc.Name, err)
+	}
+	bsIdle, _ := ran.BSPowerRange()
+	serverIdle := cfg.Edge.ServerIdleW + float64(cfg.Edge.PoolSize())*cfg.Edge.GPUIdleW
+	return &SliceEnv{cfg: sc, tb: tb, bsIdleW: bsIdle, serverIdleW: serverIdle}, nil
+}
+
 // Slice couples a slice's environment with its EdgeBOL agent.
 type Slice struct {
 	Config SliceConfig
@@ -147,18 +176,11 @@ func New(base testbed.Config, grid core.GridSpec, slices []SliceConfig, seed int
 		return nil, fmt.Errorf("multislice: GPU shares sum to %v > 1", gpuSum)
 	}
 	sys := &System{}
-	bsIdle, _ := ran.BSPowerRange()
 	for i, sc := range slices {
-		cfg := base
-		// The slice sees a GPU that is GPUShare as fast: the server's
-		// scheduler grants it that fraction of cycles.
-		cfg.Edge.BaseServiceTime = base.Edge.BaseServiceTime / sc.GPUShare
-		tb, err := testbed.New(cfg, sc.Users, seed+int64(i)*977)
+		env, err := NewSliceEnv(base, sc, seed+int64(i)*977)
 		if err != nil {
-			return nil, fmt.Errorf("multislice: %s: %w", sc.Name, err)
+			return nil, err
 		}
-		serverIdle := cfg.Edge.ServerIdleW + float64(cfg.Edge.PoolSize())*cfg.Edge.GPUIdleW
-		env := &SliceEnv{cfg: sc, tb: tb, bsIdleW: bsIdle, serverIdleW: serverIdle}
 		agent, err := core.NewAgent(core.Options{
 			Grid:        grid,
 			Weights:     sc.Weights,

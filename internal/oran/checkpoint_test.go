@@ -1,6 +1,7 @@
 package oran
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -167,7 +168,7 @@ func TestDeploymentKillAndResume(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		d, err := Deploy(tb, DeployOptions{
+		d, err := Deploy(context.Background(), tb, DeployOptions{
 			Timeout:         3 * time.Second,
 			Telemetry:       reg,
 			CheckpointDir:   dir,

@@ -16,8 +16,8 @@ import (
 // leaves Timeout zero.
 const DefaultTimeout = 5 * time.Second
 
-// DeployOptions configures a Deploy/DeployContext call. The zero value is
-// valid: default timeout, no metrics endpoint, no telemetry.
+// DeployOptions configures a Deploy call. The zero value is valid:
+// default timeout, no metrics endpoint, no telemetry.
 type DeployOptions struct {
 	// Timeout bounds every control-plane request (A1, E2, O1, and the
 	// custom service interface). Zero or negative means DefaultTimeout.
@@ -64,17 +64,11 @@ type Deployment struct {
 }
 
 // Deploy stands up the whole Fig. 7 stack on loopback ephemeral ports
-// around the given environment (typically a *testbed.Testbed), with the
-// given options and no cancellation scope.
-func Deploy(env core.Environment, opts DeployOptions) (*Deployment, error) {
-	return DeployContext(context.Background(), env, opts)
-}
-
-// DeployContext stands up the whole Fig. 7 stack on loopback ephemeral
-// ports around the given environment. Canceling ctx after a successful
-// return tears the deployment down (equivalent to Close); cancellation
-// during bring-up aborts the in-flight dials.
-func DeployContext(ctx context.Context, env core.Environment, opts DeployOptions) (*Deployment, error) {
+// around the given environment (typically a *testbed.Testbed). The context
+// is required: canceling it after a successful return tears the deployment
+// down (equivalent to Close), and cancellation during bring-up aborts the
+// in-flight dials. Callers that never cancel pass context.Background().
+func Deploy(ctx context.Context, env core.Environment, opts DeployOptions) (*Deployment, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -182,11 +176,11 @@ func (d *Deployment) MetricsAddr() string {
 }
 
 // Done is closed when the deployment has been torn down, whether by Close
-// or by the DeployContext context being canceled.
+// or by the Deploy context being canceled.
 func (d *Deployment) Done() <-chan struct{} { return d.done }
 
 // Close tears the stack down. It is idempotent and safe to race with the
-// context watcher installed by DeployContext.
+// context watcher installed by Deploy.
 func (d *Deployment) Close() error {
 	d.closeOnce.Do(func() {
 		if d.stopWatch != nil {

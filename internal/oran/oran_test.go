@@ -2,6 +2,7 @@ package oran
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"strings"
 	"sync"
@@ -169,7 +170,7 @@ func newDeployment(t *testing.T, seed int64) (*Deployment, *testbed.Testbed) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := Deploy(tb, DeployOptions{Timeout: 3 * time.Second})
+	d, err := Deploy(context.Background(), tb, DeployOptions{Timeout: 3 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package oran
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -157,7 +158,7 @@ func TestSubscriptionThroughDeployment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := Deploy(tb, DeployOptions{Timeout: 3 * time.Second})
+	d, err := Deploy(context.Background(), tb, DeployOptions{Timeout: 3 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

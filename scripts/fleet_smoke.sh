@@ -1,0 +1,56 @@
+#!/bin/sh
+# fleet_smoke.sh is the CI proof the fleet workflow holds together end to
+# end through the public CLI: run a small multi-cell fleet (per-cell
+# agents behind per-cell O-RAN stacks), admit a warm-started joiner, and
+# check (a) the fleet completes with sane roll-ups, (b) the joiner is
+# seeded from its neighbors, and (c) the warm joiner reaches its first
+# safe learned period no later than the cold twin. The bitwise
+# warm-start-equivalence contract itself is pinned by unit tests; this
+# script exercises the user-facing composition.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp)
+trap 'rm -f "$bin"' EXIT
+
+go build -o "$bin" ./cmd/edgebol-sim
+
+out=$("$bin" -fleet 3 -periods 8 -grid 4 -seed 7 -quiet -warm-neighbors 2)
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | grep -q "fleet summary: 3 cells, 8 periods" || {
+    echo "FAIL: fleet run did not complete 8 periods over 3 cells" >&2
+    exit 1
+}
+
+# The joiner must be warm-started from a non-empty pool.
+pool=$(printf '%s\n' "$out" |
+    sed -n 's/^joiner: warm-started with \([0-9][0-9]*\) pooled samples.*/\1/p')
+[ -n "$pool" ] && [ "$pool" -gt 0 ] || {
+    echo "FAIL: joiner was not warm-started (pool=${pool:-none})" >&2
+    exit 1
+}
+echo "ok: joiner seeded with $pool pooled samples"
+
+# Warm must not be slower than cold (">8" sorts after any number, so a
+# non-converged warm joiner fails here too).
+line=$(printf '%s\n' "$out" | grep "periods to first safe learned period")
+warm=$(printf '%s\n' "$line" | sed -n 's/.*warm \([0-9][0-9]*\),.*/\1/p')
+cold=$(printf '%s\n' "$line" | sed -n 's/.*cold \([0-9>]*\)$/\1/p')
+[ -n "$warm" ] || {
+    echo "FAIL: warm joiner never reached a safe learned period: $line" >&2
+    exit 1
+}
+case "$cold" in
+">"*) : ;; # cold never converged; warm converging at all is the win
+*)
+    [ "$warm" -le "$cold" ] || {
+        echo "FAIL: warm joiner ($warm) slower than cold ($cold)" >&2
+        exit 1
+    }
+    ;;
+esac
+echo "ok: warm joiner converged in $warm periods (cold: $cold)"
+
+echo "fleet smoke: ok"
