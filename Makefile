@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-baseline fmt fmt-check vet check bench bench-fleet bench-check sparse-equiv metrics-smoke ckpt-smoke fleet-smoke clean
+.PHONY: all build test race lint lint-baseline fmt fmt-check vet check bench bench-fleet bench-check sparse-equiv acq-equiv metrics-smoke ckpt-smoke fleet-smoke clean
 
 all: build
 
@@ -42,7 +42,7 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: build fmt-check lint test race sparse-equiv fleet-smoke
+check: build fmt-check lint test race sparse-equiv acq-equiv fleet-smoke
 
 # sparse-equiv runs the sparse-vs-exact equivalence suite on its own:
 # posterior error bounds against the exact oracle, bitwise sweep-plan and
@@ -54,6 +54,16 @@ sparse-equiv:
 	$(GO) test -count=1 -run 'TestSparse|TestConvertToSparse' ./internal/gp
 	$(GO) test -count=1 -run 'TestSparse|TestAutoSwitch|TestEngine|TestCheckpointRestoreEquivalence|TestReadCheckpointInfoReportsEngine' ./internal/core
 	$(GO) test -count=1 -run 'TestLongHorizon' ./internal/experiment
+
+# acq-equiv runs the adaptive-acquisition equivalence suite: bitwise
+# SweepSubset-vs-Sweep agreement, the exhaustive-vs-adaptive twin-agent
+# exactness contract on small (randomized, non-uniform, split-carrying)
+# grids, bounded regret within the evaluation budget on grids above the
+# auto threshold, grid index-algebra properties, and the adaptive
+# checkpoint round-trip.
+acq-equiv:
+	$(GO) test -count=1 -run 'TestSweepSubset' ./internal/gp
+	$(GO) test -count=1 -run 'TestGridNonUniform|TestAcqEquiv|TestAcqAdaptive|TestAcqAuto|TestAcqCheckpoint' ./internal/core
 
 # metrics-smoke boots the O-RAN deployment with -metrics, curls /metrics,
 # and greps for the documented core/gp/oran/testbed metric families.
@@ -83,7 +93,7 @@ bench:
 		./internal/gp ./internal/core | tee results/bench_after.txt
 	$(GO) run ./cmd/benchjson -before results/bench_before.txt \
 		-after results/bench_after.txt -out BENCH_gp.json \
-		-note "before = generic block-4 engine at the previous release (results/bench_before.txt); after = AVX fused-panel solves plus grid SweepPlan distance tables on the same host. vs_generic compares the SweepPlan against the generic path within the after run. engine=sparse entries are the m=128 inducing-point engine, flat in t; exact entries above t=1000 skip by policy. See DESIGN.md, Performance."
+		-note "before = generic block-4 engine at the previous release (results/bench_before.txt); after = AVX fused-panel solves plus grid SweepPlan distance tables on the same host. vs_generic compares the SweepPlan against the generic path within the after run. engine=sparse entries are the m=128 inducing-point engine, flat in t; exact entries above t=1000 skip by policy. grid= entries compare the exhaustive sweep against the adaptive coarse-to-fine engine at t=200 as the control space grows to the 31^4x8 = 7.4M-candidate split-inference grid; 31^4x8 has no exhaustive twin (extrapolate x8 from grid=31p4, ~680x adaptive speedup at ~4% of candidates evaluated). See DESIGN.md 14."
 	@echo "wrote BENCH_gp.json"
 	$(MAKE) bench-fleet
 

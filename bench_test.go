@@ -275,14 +275,14 @@ func BenchmarkAblationContext(b *testing.B) {
 func BenchmarkAblationAcquisition(b *testing.B) {
 	for _, acq := range []struct {
 		name string
-		kind core.Acquisition
+		kind core.AcquisitionRule
 	}{{"lcb", core.AcquisitionLCB}, {"safeopt", core.AcquisitionSafeOpt}} {
 		b.Run(acq.name, func(b *testing.B) {
 			var cost float64
 			var violations int
 			for i := 0; i < b.N; i++ {
 				opts := ablationOptions()
-				opts.Acquisition = acq.kind
+				opts.Rule = acq.kind
 				c, v := runAblationAgent(b, opts, 60, int64(i)+1)
 				cost += c
 				violations += v

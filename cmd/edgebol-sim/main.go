@@ -5,9 +5,11 @@
 // Usage:
 //
 //	edgebol-sim [-periods N] [-users N] [-snr DB] [-delta1 F] [-delta2 F]
-//	            [-dmax S] [-rmin F] [-grid LEVELS] [-seed N] [-quiet]
+//	            [-dmax S] [-rmin F] [-grid LEVELS] [-grid-levels R,A,G,M[,S]]
+//	            [-split-layers N] [-seed N] [-quiet]
 //	            [-metrics ADDR] [-checkpoint-dir DIR] [-checkpoint-every N]
 //	            [-resume PATH] [-engine exact|sparse|auto] [-inducing M]
+//	            [-acquisition auto|exhaustive|adaptive]
 //	edgebol-sim ckpt info PATH
 //	edgebol-sim ckpt latest DIR
 //	edgebol-sim -fleet N [-fleet-workers W] [-warm-neighbors K] [...]
@@ -20,6 +22,14 @@
 // from its K most context-similar neighbors' observation histories, and
 // the summary reports the periods each joiner needed to reach its first
 // safe learned period (cold twin vs warm joiner).
+//
+// With -grid-levels, the per-dimension level counts replace the uniform
+// -grid value; a fifth count (or -split-layers N) opens the
+// split-inference dimension, placing part of the detector DNN on the
+// device. Grids past the paper's scale (e.g. -grid 31 -split-layers 8,
+// 7.4M candidates) are what -acquisition is for: auto keeps the
+// bitwise-exact exhaustive sweep on small grids and switches to the
+// coarse-to-fine adaptive engine on large ones.
 //
 // With -metrics, a registry instruments the agent and the testbed and an
 // HTTP server on ADDR serves /metrics (Prometheus text) and /debug/pprof
@@ -41,6 +51,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/bandit"
 	"repro/internal/checkpoint"
@@ -67,6 +79,9 @@ func main() {
 	dmax := flag.Float64("dmax", 0.4, "max service delay in seconds")
 	rmin := flag.Float64("rmin", 0.5, "min mAP")
 	gridLevels := flag.Int("grid", 7, "control-grid levels per dimension")
+	gridPerDim := flag.String("grid-levels", "", "comma-separated per-dimension level counts res,air,gpu,mcs[,split] (overrides -grid)")
+	splitLayers := flag.Int("split-layers", 0, "levels of the split-inference control dimension (0 = pinned at all-edge)")
+	acqName := flag.String("acquisition", "auto", "acquisition engine: auto, exhaustive, or adaptive")
 	seed := flag.Int64("seed", 1, "random seed")
 	quiet := flag.Bool("quiet", false, "suppress per-period lines")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (empty disables)")
@@ -84,6 +99,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	acq, err := parseAcquisition(*acqName)
+	if err != nil {
+		fatal(err)
+	}
+	grid, err := buildGrid(*gridLevels, *gridPerDim, *splitLayers)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *fleetN > 0 {
 		fleetMain(fleetParams{
@@ -95,9 +118,10 @@ func main() {
 			snr:       *snr,
 			weights:   core.CostWeights{Delta1: *delta1, Delta2: *delta2},
 			cons:      core.Constraints{MaxDelay: *dmax, MinMAP: *rmin},
-			grid:      core.GridSpec{Levels: *gridLevels, MinResolution: 0.1, MinAirtime: 0.1},
+			grid:      grid,
 			seed:      *seed,
 			engine:    engine,
+			acq:       acq,
 			inducing:  *inducing,
 			metrics:   *metricsAddr,
 			quiet:     *quiet,
@@ -127,14 +151,16 @@ func main() {
 	tb.Instrument(reg)
 	w := core.CostWeights{Delta1: *delta1, Delta2: *delta2}
 	cons := core.Constraints{MaxDelay: *dmax, MinMAP: *rmin}
-	grid := core.GridSpec{Levels: *gridLevels, MinResolution: 0.1, MinAirtime: 0.1}
 	opts := core.Options{
 		Grid: grid, Weights: w, Constraints: cons, Telemetry: reg,
-		Engine: engine, InducingPoints: *inducing,
+		Engine: engine, InducingPoints: *inducing, Acquisition: acq,
 	}
 	agent, err := loadOrNewAgent(opts, *resume, *ckptDir)
 	if err != nil {
 		fatal(err)
+	}
+	if !*quiet {
+		fmt.Printf("acquisition: %s over %d candidates\n", agent.AcquisitionEngine(), grid.Size())
 	}
 	var ckpt *oran.Checkpointer
 	if *ckptDir != "" {
@@ -172,8 +198,12 @@ func main() {
 			}
 		}
 		if !*quiet {
-			fmt.Printf("t=%3d  x=[res %.2f air %.2f gpu %.2f mcs %.2f]  d=%.3fs mAP=%.3f  ps=%.1fW pb=%.2fW  u=%.1f  |S|=%d%s\n",
-				t, x.Resolution, x.Airtime, x.GPUSpeed, x.MCS,
+			split := ""
+			if grid.LevelsPerDim[4] > 1 {
+				split = fmt.Sprintf(" spl %.2f", x.SplitLayer)
+			}
+			fmt.Printf("t=%3d  x=[res %.2f air %.2f gpu %.2f mcs %.2f%s]  d=%.3fs mAP=%.3f  ps=%.1fW pb=%.2fW  u=%.1f  |S|=%d%s\n",
+				t, x.Resolution, x.Airtime, x.GPUSpeed, x.MCS, split,
 				k.Delay, k.MAP, k.ServerPower, k.BSPower, cost, info.SafeSetSize, viol)
 		}
 	}
@@ -185,6 +215,10 @@ func main() {
 	fmt.Printf("\nconverged cost (median of last %d): %.1f mu\n", len(tail), experiment.Median(tail))
 	fmt.Printf("constraint violations after burn-in: %d/%d periods\n", violations, *periods-*periods/3)
 
+	if grid.Size() > 1<<18 {
+		fmt.Printf("oracle: skipped (exhaustive search over %d candidates)\n", grid.Size())
+		return
+	}
 	xo, oc, err := bandit.Oracle(tb.Expected, grid, w, cons)
 	if err != nil {
 		fmt.Printf("oracle: %v\n", err)
@@ -205,6 +239,7 @@ type fleetParams struct {
 	grid                      core.GridSpec
 	seed                      int64
 	engine                    core.EngineSelector
+	acq                       core.AcquisitionMode
 	inducing                  int
 	metrics                   string
 	quiet                     bool
@@ -237,7 +272,7 @@ func fleetMain(p fleetParams) {
 	}
 	opts := fleet.Options{
 		Cells:    fleet.Cells(p.cells, slice),
-		Agent:    core.Options{Grid: p.grid, Engine: p.engine, InducingPoints: p.inducing},
+		Agent:    core.Options{Grid: p.grid, Engine: p.engine, InducingPoints: p.inducing, Acquisition: p.acq},
 		Workers:  p.workers,
 		BaseSeed: p.seed,
 		WarmStart: fleet.WarmStartPolicy{
@@ -289,7 +324,7 @@ func fleetMain(p fleetParams) {
 		}
 		coldAgent, err := core.NewAgent(core.Options{
 			Grid: p.grid, Weights: p.weights, Constraints: p.cons,
-			Engine: p.engine, InducingPoints: p.inducing,
+			Engine: p.engine, InducingPoints: p.inducing, Acquisition: p.acq,
 		})
 		if err != nil {
 			fatal(err)
@@ -335,6 +370,47 @@ func parseEngine(name string) (core.EngineSelector, error) {
 		return core.EngineAuto, nil
 	}
 	return 0, fmt.Errorf("unknown -engine %q (want exact, sparse, or auto)", name)
+}
+
+// parseAcquisition maps the -acquisition flag onto the core mode.
+func parseAcquisition(name string) (core.AcquisitionMode, error) {
+	switch name {
+	case "auto":
+		return core.AcqAuto, nil
+	case "exhaustive":
+		return core.AcqExhaustive, nil
+	case "adaptive":
+		return core.AcqAdaptive, nil
+	}
+	return 0, fmt.Errorf("unknown -acquisition %q (want auto, exhaustive, or adaptive)", name)
+}
+
+// buildGrid resolves -grid, -grid-levels, and -split-layers into one
+// GridSpec: -grid-levels replaces the uniform count per dimension (a
+// fifth entry opens the split dimension), and -split-layers overrides the
+// split dimension's count on either base.
+func buildGrid(levels int, perDim string, splitLayers int) (core.GridSpec, error) {
+	g := core.GridSpec{Levels: levels, MinResolution: 0.1, MinAirtime: 0.1}
+	if perDim != "" {
+		parts := strings.Split(perDim, ",")
+		if len(parts) != 4 && len(parts) != 5 {
+			return g, fmt.Errorf("-grid-levels wants 4 or 5 comma-separated counts, got %q", perDim)
+		}
+		for i, p := range parts {
+			n, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || n < 1 {
+				return g, fmt.Errorf("-grid-levels entry %q is not a positive count", p)
+			}
+			g.LevelsPerDim[i] = n
+		}
+	}
+	if splitLayers < 0 {
+		return g, fmt.Errorf("-split-layers %d is negative", splitLayers)
+	}
+	if splitLayers > 0 {
+		g.LevelsPerDim[4] = splitLayers
+	}
+	return g, nil
 }
 
 // loadOrNewAgent builds the agent, warm-starting from a checkpoint when
@@ -384,6 +460,7 @@ func ckptMain(args []string) {
 		fmt.Printf("periods:        %d\n", info.Periods)
 		fmt.Printf("decomposed:     %v\n", info.DecomposedCost)
 		fmt.Printf("engine:         %s\n", info.Engine)
+		fmt.Printf("acquisition:    %s\n", info.Acquisition)
 		if info.Engine != "exact" {
 			fmt.Printf("inducing:       %d\n", info.InducingPoints)
 		}

@@ -86,6 +86,16 @@ func main() {
 		// warm periods-to-first-safe-learned-period; DESIGN.md §13).
 		// Selectable by name, not part of -fig all.
 		"fleetwarm": one(experiment.FleetWarmStart),
+		// Beyond the paper: adaptive acquisition over the 31⁴×8 ≈ 7.4M-
+		// candidate split-inference grid (DESIGN.md §14). Selectable by
+		// name, not part of -fig all.
+		"biggrid": func() ([]*experiment.Table, error) {
+			t, err := experiment.BigGrid(scale, experiment.DefaultBigGrid(), *seed)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiment.Table{t}, nil
+		},
 	}
 	order := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig9", "fig10", "fig12", "fig13", "fig14"}
 
@@ -118,6 +128,7 @@ func main() {
 		"fleetwarm": func(t *experiment.Table) ([]experiment.Check, error) {
 			return experiment.VerifyFleetWarmStart(t, scale.Periods)
 		},
+		"biggrid": experiment.VerifyBigGrid,
 	}
 
 	failed := false

@@ -95,6 +95,11 @@ type (
 	Affine = core.Affine
 	// EngineSelector picks the GP inference engine (Options.Engine).
 	EngineSelector = core.EngineSelector
+	// AcquisitionRule selects the selection formula (Options.Rule).
+	AcquisitionRule = core.AcquisitionRule
+	// AcquisitionMode selects the acquisition engine — exhaustive sweep
+	// or coarse-to-fine adaptive search (Options.Acquisition).
+	AcquisitionMode = core.AcquisitionMode
 )
 
 // GP inference engines: the exact posterior (the default, bitwise-stable
@@ -112,6 +117,15 @@ const (
 const (
 	AcquisitionLCB     = core.AcquisitionLCB
 	AcquisitionSafeOpt = core.AcquisitionSafeOpt
+)
+
+// Acquisition engines (DESIGN.md §14): auto picks the exhaustive sweep on
+// grids up to the paper's scale and the adaptive coarse-to-fine engine on
+// the larger spaces the split-inference dimension opens up.
+const (
+	AcqAuto       = core.AcqAuto
+	AcqExhaustive = core.AcqExhaustive
+	AcqAdaptive   = core.AcqAdaptive
 )
 
 // Offline hyperparameter fitting (§5 "Kernel selection").

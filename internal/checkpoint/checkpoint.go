@@ -37,8 +37,10 @@ const Magic = "EBOLCKPT"
 // Version is the container format version this package writes. Version 2
 // extended the core META and GP section layouts with the GP engine
 // identity and the sparse-engine state (inducing set, moment blocks, dual
-// factors).
-const Version = 2
+// factors). Version 3 widened the core META layout to the split-inference
+// control dimension (five-component safe seeds, per-dimension grid level
+// counts) and added the acquisition mode.
+const Version = 3
 
 // MinVersion is the oldest container version this reader still accepts.
 // Version-1 checkpoints predate the sparse engine; their sections decode

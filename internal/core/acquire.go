@@ -1,0 +1,771 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/gp"
+)
+
+// This file implements the adaptive acquisition engine: SelectControl
+// without materializing the grid. The exhaustive sweep computes every
+// candidate's posterior every period — perfect on the paper's 11⁴ grid,
+// hopeless on the 31⁴×8 ≈ 7.4M-candidate spaces the split-inference
+// dimension opens up. The adaptive engine evaluates a budgeted subset
+// chosen in three waves:
+//
+//  1. a mandatory set — the safe seeds S₀ (the selection rules need their
+//     posteriors unconditionally) plus every training anchor (grid points
+//     the agent has actually observed; the incumbent optimum is always
+//     among them, so the previous period's winner is never lost);
+//  2. a coarse-to-fine multigrid — a strided sub-lattice of at most
+//     coarseTarget points (always containing each dimension's endpoints),
+//     refined by repeatedly halving the strides and re-evaluating the
+//     ±stride axis neighbours of the current top slots until native
+//     resolution;
+//  3. a best-first flood — a priority queue over all evaluated points,
+//     keyed safest-and-cheapest-first, expanding ±1 grid neighbours until
+//     the frontier dies out, the evaluation budget is exhausted, or
+//     floodPatience pops go by without improving the best safe LCB.
+//
+// Every evaluated candidate flows through the same formulas as the
+// exhaustive sweep — same safety test, same LCB, same seed retirement and
+// fallback, same tie-breaking — so on grids small enough for wave 3 to be
+// replaced by full coverage (size ≤ acqAutoThreshold, which only happens
+// under a forced AcqAdaptive) the selected control, its LCB, and the
+// safe-set size are bitwise identical to the exhaustive engine's: the
+// contract the acq-equiv gate enforces. On larger grids the engine holds
+// a bounded optimum regret while evaluating a few percent of the grid.
+const (
+	// informedSigma gates the safe-set test: a candidate is certified only
+	// when the posterior actually carries information about it — at prior
+	// uncertainty (σ ≈ 1) the bound test is vacuous whenever the
+	// thresholds are lax relative to the prior, and "unexplored" must not
+	// read as "safe".
+	informedSigma = 0.95
+	// seedRetireSigma is the learned-enough threshold below which a seed
+	// whose posterior mean violates a constraint is retired from
+	// selection (it still counts as safe — S₀ membership is the
+	// operator's prior belief).
+	seedRetireSigma = 0.5
+
+	// minEvalBudget and maxEvalDivisor bound the adaptive engine's
+	// per-period posterior evaluations: min(size, max(minEvalBudget,
+	// size/maxEvalDivisor)) — at most a few percent of a large grid, and
+	// never less than a healthy multiple of the coarse lattice.
+	minEvalBudget  = 16384
+	maxEvalDivisor = 25
+	// coarseTarget caps the initial strided sub-lattice size.
+	coarseTarget = 4096
+	// refineTopK is the number of incumbent slots whose axis neighbours
+	// each multigrid refinement round evaluates.
+	refineTopK = 48
+	// floodBatch is the number of pending candidates that triggers a
+	// posterior flush during the best-first flood.
+	floodBatch = 512
+	// floodPatience is the number of consecutive queue pops without an
+	// improvement of the best safe LCB after which the flood gives up.
+	floodPatience = 2048
+)
+
+// predSigma inflates a latent posterior σ by the observation noise ζ:
+// the delay constraint of eq. 2 bounds the *noisy per-period
+// observations* d_t, so its safety test uses the predictive bound
+// β·√(σ² + ζ²) — with the latent bound alone the agent legally rides the
+// boundary and observation noise produces violations far beyond the
+// paper's ≈2 %.
+func predSigma(s, zeta float64) float64 { return math.Sqrt(s*s + zeta*zeta) }
+
+// acqEngine is the pooled state of the adaptive acquisition. Every slice
+// is allocated once at construction to its worst-case size (the
+// evaluation budget), so the per-period hot loops never allocate: slot s
+// of idx/mu/sigma/lcb/rank/safe describes the s-th candidate evaluated
+// this period, in evaluation order.
+type acqEngine struct {
+	a        *Agent
+	gridSize int
+	// small selects the full-coverage mode: every grid point is evaluated
+	// (in grid order, so slot == grid index) and the selection is
+	// structurally identical to the exhaustive sweep. Only reachable by
+	// forcing AcqAdaptive on a grid at or below acqAutoThreshold.
+	small   bool
+	maxEval int
+
+	// dimN and strideFlat are the per-dimension level counts and flat-
+	// index strides of the grid's Enumerate ordering (last dim fastest).
+	dimN       [ControlDims]int
+	strideFlat [ControlDims]int
+
+	// Per-slot candidate state, evaluation-ordered.
+	idx       []int32
+	mu, sigma [numGPs][]float64
+	powMu     [2][]float64
+	powSigma  [2][]float64
+	lcb       []float64
+	rank      []uint8 // 0 safe, 1 informed-unsafe, 2 uninformed
+	safe      []bool
+
+	// seen is a grid-indexed dedup bitmap (large mode only).
+	seen []uint64
+	// heap is the flood's priority queue of slots, safest-cheapest first.
+	heap []int32
+	// seedSlot maps each Options.SafeSeed entry to its slot, aligned with
+	// Agent.safeSeedIx (duplicate seeds share a slot).
+	seedSlot []int32
+	// topSlots is the refinement rounds' incumbent scratch.
+	topSlots []int32
+	// latIdx holds the per-dimension level indices of the coarse lattice.
+	latIdx [ControlDims][]int32
+	// stride is the current multigrid stride per dimension.
+	stride [ControlDims]int
+
+	// featFlat/featRows back the generic PosteriorBatch fallback for
+	// objectives without a SweepPlan; allocated on first need.
+	featFlat []float64
+	featRows [][]float64
+
+	// Per-period scalars.
+	cbuf                [ContextDims]float64
+	cf                  []float64
+	n, done             int // added and evaluated watermarks
+	dmaxN, rminN, zetaD float64
+	workers             int
+	refineRounds        int
+	budgetHit           bool
+	flooding            bool
+	improved            bool
+	bestSafeLCB         float64
+	bestSafeIdx         int32
+}
+
+// AcquisitionBudget returns the adaptive engine's per-period posterior-
+// evaluation budget for a grid of the given size: the full grid at or
+// below the auto threshold (full-coverage mode), min(size,
+// max(minEvalBudget, size/maxEvalDivisor)) above it. Exported so
+// experiment verifiers can assert the budget from the outside.
+func AcquisitionBudget(size int) int {
+	if size <= acqAutoThreshold {
+		return size
+	}
+	budget := size / maxEvalDivisor
+	if budget < minEvalBudget {
+		budget = minEvalBudget
+	}
+	if budget > size {
+		budget = size
+	}
+	return budget
+}
+
+// newAcqEngine allocates the pooled adaptive-engine state for an agent.
+func newAcqEngine(a *Agent) *acqEngine {
+	g := a.opts.Grid
+	size := g.Size()
+	e := &acqEngine{a: a, gridSize: size, small: size <= acqAutoThreshold}
+	e.maxEval = AcquisitionBudget(size)
+	stride := 1
+	for d := ControlDims - 1; d >= 0; d-- {
+		e.dimN[d] = g.dimLevels(d)
+		e.strideFlat[d] = stride
+		stride *= e.dimN[d]
+	}
+	e.idx = make([]int32, e.maxEval)
+	for i := range e.mu {
+		e.mu[i] = make([]float64, e.maxEval)
+		e.sigma[i] = make([]float64, e.maxEval)
+	}
+	if a.opts.DecomposedCost {
+		for i := range e.powMu {
+			e.powMu[i] = make([]float64, e.maxEval)
+			e.powSigma[i] = make([]float64, e.maxEval)
+		}
+	}
+	e.lcb = make([]float64, e.maxEval)
+	e.rank = make([]uint8, e.maxEval)
+	e.safe = make([]bool, e.maxEval)
+	if !e.small {
+		e.seen = make([]uint64, (size+63)/64)
+	}
+	e.heap = make([]int32, 0, e.maxEval)
+	e.seedSlot = make([]int32, len(a.safeSeedIx))
+	if e.small {
+		// Full coverage: slot == grid index, so the seed slots are static.
+		for k, gi := range a.safeSeedIx {
+			e.seedSlot[k] = int32(gi)
+		}
+	}
+	e.topSlots = make([]int32, 0, refineTopK)
+	for d := range e.latIdx {
+		e.latIdx[d] = make([]int32, 0, e.dimN[d])
+	}
+	return e
+}
+
+// selectAdaptive is SelectControl under the adaptive engine: evaluate a
+// budgeted candidate subset, then select with the exhaustive engine's
+// exact semantics over the evaluated slots.
+func (a *Agent) selectAdaptive(ctx Context) (Control, SelectionInfo) {
+	start := time.Now()
+	e := a.acq
+	e.reset(ctx)
+	if e.small {
+		e.addAll()
+		e.flush()
+	} else {
+		e.addMandatory()
+		e.addCoarseLattice()
+		e.flush()
+		e.refine()
+		e.flood()
+	}
+	return e.finish(start)
+}
+
+// reset prepares the pooled state for one period.
+func (e *acqEngine) reset(ctx Context) {
+	a := e.a
+	e.cf = ctx.appendFeatures(e.cbuf[:0])
+	e.n, e.done = 0, 0
+	e.refineRounds = 0
+	e.budgetHit = false
+	e.flooding = false
+	e.improved = false
+	e.heap = e.heap[:0]
+	e.bestSafeLCB = math.Inf(1)
+	e.bestSafeIdx = math.MaxInt32
+	e.workers = a.opts.InferenceWorkers
+	cons := a.opts.Constraints
+	e.dmaxN = a.opts.Norm.Delay.Norm(cons.MaxDelay)
+	e.rminN = a.opts.Norm.MAP.Norm(cons.MinMAP)
+	e.zetaD = math.Sqrt(a.gps[gpDelay].NoiseVar()) //edgebol:allow nanguard -- NoiseVar is validated non-negative at construction
+	for i := range e.seen {
+		e.seen[i] = 0
+	}
+}
+
+// add appends one candidate by grid index, deduplicated against the seen
+// bitmap and capped at the evaluation budget. Large mode only.
+//
+//edgebol:hot
+func (e *acqEngine) add(gi int) {
+	w := gi >> 6
+	b := uint64(1) << (gi & 63)
+	if e.seen[w]&b != 0 {
+		return
+	}
+	if e.n >= e.maxEval {
+		e.budgetHit = true
+		return
+	}
+	e.seen[w] |= b
+	e.idx[e.n] = int32(gi)
+	e.n++
+}
+
+// addAll stages the whole grid in index order (small mode's full
+// coverage; slot == grid index).
+//
+//edgebol:hot
+func (e *acqEngine) addAll() {
+	for gi := 0; gi < e.gridSize; gi++ {
+		e.idx[gi] = int32(gi)
+	}
+	e.n = e.gridSize
+}
+
+// addMandatory stages the safe seeds (recording their slots) and every
+// training anchor — the grid points of the agent's observation history.
+// The incumbent optimum from the previous period is always among the
+// anchors, so it is re-evaluated unconditionally every period.
+func (e *acqEngine) addMandatory() {
+	a := e.a
+	for k, gi := range a.safeSeedIx {
+		if w, b := gi>>6, uint64(1)<<(gi&63); e.seen[w]&b != 0 {
+			// A duplicate seed: reuse the slot of its first occurrence so
+			// the retirement and fallback loops keep the exhaustive
+			// engine's exact duplicate semantics.
+			for j := 0; j < k; j++ {
+				if a.safeSeedIx[j] == gi {
+					e.seedSlot[k] = e.seedSlot[j]
+					break
+				}
+			}
+			continue
+		}
+		e.seedSlot[k] = int32(e.n)
+		e.add(gi)
+	}
+	g := a.gps[gpDelay]
+	for i := 0; i < g.Len(); i++ {
+		row := g.TrainingRow(i)
+		x := Control{
+			Resolution: row[ContextDims+dimResolution],
+			Airtime:    row[ContextDims+dimAirtime],
+			GPUSpeed:   row[ContextDims+dimGPUSpeed],
+			MCS:        row[ContextDims+dimMCS],
+			SplitLayer: row[ContextDims+dimSplit],
+		}
+		e.add(a.opts.Grid.Index(x))
+	}
+}
+
+// latCount returns the strided lattice's point count along dimension d:
+// every stride[d]-th level plus the far endpoint.
+func (e *acqEngine) latCount(d int) int {
+	n := e.dimN[d]
+	if n == 1 {
+		return 1
+	}
+	return (n-2)/e.stride[d] + 2
+}
+
+// addCoarseLattice stages a strided sub-lattice of at most coarseTarget
+// points: starting from native resolution, the stride of the currently
+// largest dimension is doubled until the lattice fits. Both endpoints of
+// every dimension are always included.
+func (e *acqEngine) addCoarseLattice() {
+	var cnt [ControlDims]int
+	total := 1
+	for d := range e.stride {
+		e.stride[d] = 1
+		cnt[d] = e.latCount(d)
+		total *= cnt[d]
+	}
+	for total > coarseTarget {
+		bd := -1
+		for d := range cnt {
+			if cnt[d] > 2 && (bd < 0 || cnt[d] > cnt[bd]) {
+				bd = d
+			}
+		}
+		if bd < 0 {
+			break
+		}
+		e.stride[bd] *= 2
+		total /= cnt[bd]
+		cnt[bd] = e.latCount(bd)
+		total *= cnt[bd]
+	}
+	for d := range e.latIdx {
+		lat := e.latIdx[d][:0]
+		n, h := e.dimN[d], e.stride[d]
+		if n == 1 {
+			e.latIdx[d] = append(lat, 0)
+			continue
+		}
+		for l := 0; l <= n-2; l += h {
+			lat = append(lat, int32(l))
+		}
+		e.latIdx[d] = append(lat, int32(n-1))
+	}
+	var pos [ControlDims]int
+	for {
+		gi := 0
+		for d := 0; d < ControlDims; d++ {
+			gi += int(e.latIdx[d][pos[d]]) * e.strideFlat[d]
+		}
+		e.add(gi)
+		d := ControlDims - 1
+		for ; d >= 0; d-- {
+			pos[d]++
+			if pos[d] < len(e.latIdx[d]) {
+				break
+			}
+			pos[d] = 0
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// refine runs the multigrid refinement: halve every stride, evaluate the
+// ±stride axis neighbours of the current top slots, and repeat until
+// native resolution.
+func (e *acqEngine) refine() {
+	maxStride := 0
+	for _, h := range e.stride {
+		if h > maxStride {
+			maxStride = h
+		}
+	}
+	for maxStride > 1 {
+		for d := range e.stride {
+			if e.stride[d] > 1 {
+				e.stride[d] >>= 1
+			}
+		}
+		maxStride >>= 1
+		e.refineRounds++
+		e.selectTop()
+		for _, s := range e.topSlots {
+			e.expand(int(e.idx[s]))
+		}
+		e.flush()
+	}
+	for d := range e.stride {
+		e.stride[d] = 1
+	}
+}
+
+// expand stages the in-bounds ±stride axis neighbours of a grid point,
+// clamping overshoot onto the dimension's endpoints.
+//
+//edgebol:hot
+func (e *acqEngine) expand(gi int) {
+	rem := gi
+	for d := ControlDims - 1; d >= 0; d-- {
+		n := e.dimN[d]
+		l := rem % n
+		rem /= n
+		if n == 1 {
+			continue
+		}
+		h := e.stride[d]
+		sf := e.strideFlat[d]
+		if l-h >= 0 {
+			e.add(gi - h*sf)
+		} else if l > 0 {
+			e.add(gi - l*sf)
+		}
+		if l+h <= n-1 {
+			e.add(gi + h*sf)
+		} else if l < n-1 {
+			e.add(gi + (n-1-l)*sf)
+		}
+	}
+}
+
+// slotBetter orders slots safest-first, then by ascending LCB, then by
+// ascending grid index for determinism.
+//
+//edgebol:hot
+func (e *acqEngine) slotBetter(x, y int32) bool {
+	if e.rank[x] != e.rank[y] {
+		return e.rank[x] < e.rank[y]
+	}
+	if e.lcb[x] != e.lcb[y] { //edgebol:allow floateq -- exact-equality tie detection; ties fall through to the index order
+		return e.lcb[x] < e.lcb[y]
+	}
+	return e.idx[x] < e.idx[y]
+}
+
+// selectTop fills topSlots with the refineTopK best evaluated slots in
+// slotBetter order (insertion into a small sorted array).
+//
+//edgebol:hot
+func (e *acqEngine) selectTop() {
+	e.topSlots = e.topSlots[:0]
+	for s := 0; s < e.done; s++ {
+		k := len(e.topSlots)
+		if k == refineTopK {
+			if !e.slotBetter(int32(s), e.topSlots[k-1]) {
+				continue
+			}
+			k--
+		} else {
+			e.topSlots = e.topSlots[:k+1]
+		}
+		i := k
+		for i > 0 && e.slotBetter(int32(s), e.topSlots[i-1]) {
+			e.topSlots[i] = e.topSlots[i-1]
+			i--
+		}
+		e.topSlots[i] = int32(s)
+	}
+}
+
+// heapPush inserts a slot into the flood's priority queue.
+//
+//edgebol:hot
+func (e *acqEngine) heapPush(s int32) {
+	n := len(e.heap)
+	e.heap = e.heap[:n+1]
+	e.heap[n] = s
+	for n > 0 {
+		p := (n - 1) / 2
+		if !e.slotBetter(e.heap[n], e.heap[p]) {
+			break
+		}
+		e.heap[n], e.heap[p] = e.heap[p], e.heap[n]
+		n = p
+	}
+}
+
+// heapPop removes and returns the best slot of the priority queue.
+//
+//edgebol:hot
+func (e *acqEngine) heapPop() int32 {
+	top := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && e.slotBetter(e.heap[l], e.heap[m]) {
+			m = l
+		}
+		if r < n && e.slotBetter(e.heap[r], e.heap[m]) {
+			m = r
+		}
+		if m == i {
+			return top
+		}
+		e.heap[i], e.heap[m] = e.heap[m], e.heap[i]
+		i = m
+	}
+}
+
+// flood runs the best-first local search: all evaluated slots enter a
+// priority queue; popping a slot stages its ±1 grid neighbours, flushing
+// posteriors every floodBatch additions (newly scored slots join the
+// queue). It stops when the frontier dies out, the evaluation budget is
+// exhausted, or floodPatience pops go by without improving the best safe
+// LCB.
+func (e *acqEngine) flood() {
+	e.flooding = true
+	for s := 0; s < e.done; s++ {
+		e.heapPush(int32(s))
+	}
+	pops, lastImprove := 0, 0
+	for len(e.heap) > 0 {
+		if e.budgetHit && e.n == e.done {
+			break
+		}
+		if pops-lastImprove >= floodPatience {
+			break
+		}
+		s := e.heapPop()
+		pops++
+		e.expand(int(e.idx[s]))
+		if e.n-e.done >= floodBatch {
+			e.improved = false
+			e.flush()
+			if e.improved {
+				lastImprove = pops
+			}
+		}
+	}
+	e.flooding = false
+	e.flush()
+}
+
+// needFeats reports whether some active objective lacks a SweepPlan and
+// therefore sweeps through the generic feature-matrix path.
+func (e *acqEngine) needFeats() bool { return e.a.needsGenericSweep() }
+
+// fillFeatRows materializes the joint feature rows of the pending
+// candidates for the generic PosteriorBatch fallback.
+func (e *acqEngine) fillFeatRows(lo, hi int) {
+	const dims = ContextDims + ControlDims
+	if e.featFlat == nil {
+		e.featFlat = make([]float64, e.maxEval*dims)
+		e.featRows = make([][]float64, e.maxEval)
+		for i := range e.featRows {
+			e.featRows[i] = e.featFlat[i*dims : (i+1)*dims : (i+1)*dims]
+		}
+	}
+	for s := lo; s < hi; s++ {
+		row := e.featRows[s-lo]
+		copy(row[:ContextDims], e.cf)
+		x := e.a.opts.Grid.At(int(e.idx[s]))
+		x.appendFeatures(row[ContextDims:ContextDims])
+	}
+}
+
+// flush evaluates the pending candidates [done, n): one posterior batch
+// per objective (SweepSubset through the factorized plan, PosteriorBatch
+// through the generic path — bitwise interchangeable, exactly like the
+// exhaustive sweep), the decomposed-cost combination, and the safety/LCB
+// scoring. During the flood, newly scored slots join the priority queue.
+func (e *acqEngine) flush() {
+	lo, hi := e.done, e.n
+	if lo == hi {
+		return
+	}
+	a := e.a
+	idxs := e.idx[lo:hi]
+	if e.needFeats() {
+		e.fillFeatRows(lo, hi)
+	}
+	// The per-objective batches are independent — disjoint output slices,
+	// shared read-only inputs — so they run concurrently exactly like the
+	// exhaustive sweep's per-objective goroutines.
+	var wg sync.WaitGroup
+	sweep := func(g *gp.GP, plan *gp.SweepPlan, mu, sigma []float64) {
+		run := func(w int) {
+			if plan != nil {
+				plan.SweepSubset(e.cf, idxs, mu, sigma, w)
+				return
+			}
+			g.PosteriorBatch(e.featRows[:hi-lo], mu, sigma, gp.BatchOptions{Workers: w})
+		}
+		if e.workers == 1 {
+			run(1)
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run(e.workers)
+		}()
+	}
+	for i := range a.gps {
+		if i == gpCost && a.opts.DecomposedCost {
+			continue
+		}
+		sweep(a.gps[i], a.plans[i], e.mu[i][lo:hi], e.sigma[i][lo:hi])
+	}
+	if a.opts.DecomposedCost {
+		for i := range a.powerGPs {
+			sweep(a.powerGPs[i], a.powPlans[i], e.powMu[i][lo:hi], e.powSigma[i][lo:hi])
+		}
+	}
+	wg.Wait()
+	if a.opts.DecomposedCost {
+		// Same combination as the exhaustive sweep: μ_u = δ₁·p̂_s + δ₂·p̂_b
+		// in raw units, σ_u² = (δ₁·s_s·σ_s)² + (δ₂·s_b·σ_b)².
+		w := a.opts.Weights
+		nm := a.opts.Norm
+		for s := lo; s < hi; s++ {
+			ps := e.powMu[0][s]*nm.ServerPower.Scale + nm.ServerPower.Center
+			pb := e.powMu[1][s]*nm.BSPower.Scale + nm.BSPower.Center
+			e.mu[gpCost][s] = w.Delta1*ps + w.Delta2*pb
+			ss := w.Delta1 * nm.ServerPower.Scale * e.powSigma[0][s]
+			sb := w.Delta2 * nm.BSPower.Scale * e.powSigma[1][s]
+			e.sigma[gpCost][s] = math.Sqrt(ss*ss + sb*sb)
+		}
+	}
+	e.scoreRange(lo, hi)
+	if e.flooding {
+		for s := lo; s < hi; s++ {
+			e.heapPush(int32(s))
+		}
+	}
+	e.done = hi
+}
+
+// scoreRange applies the exhaustive engine's exact safety test and LCB to
+// freshly evaluated slots, assigns their search ranks, and tracks the
+// best safe LCB for the flood's patience counter.
+//
+//edgebol:hot
+func (e *acqEngine) scoreRange(lo, hi int) {
+	a := e.a
+	disable := a.opts.DisableSafeSet
+	sb, ab := a.opts.SafeBeta, a.opts.AcqBeta
+	for s := lo; s < hi; s++ {
+		sd := e.sigma[gpDelay][s]
+		sm := e.sigma[gpMAP][s]
+		ok := disable
+		if !ok {
+			ok = sd < informedSigma && sm < informedSigma &&
+				e.mu[gpDelay][s]+sb*predSigma(sd, e.zetaD) <= e.dmaxN &&
+				e.mu[gpMAP][s]-sb*sm >= e.rminN
+		}
+		e.safe[s] = ok
+		l := e.mu[gpCost][s] - ab*e.sigma[gpCost][s]
+		e.lcb[s] = l
+		switch {
+		case ok:
+			e.rank[s] = 0
+		case sd < informedSigma || sm < informedSigma:
+			e.rank[s] = 1
+		default:
+			e.rank[s] = 2
+		}
+		if ok && (l < e.bestSafeLCB || (l == e.bestSafeLCB && e.idx[s] < e.bestSafeIdx)) { //edgebol:allow floateq -- exact-equality tie detection for the deterministic index order
+			e.bestSafeLCB = l
+			e.bestSafeIdx = e.idx[s]
+			e.improved = true
+		}
+	}
+}
+
+// finish runs the exhaustive engine's exact selection semantics over the
+// evaluated slots: seed retirement, constrained-LCB argmin with the
+// first-index tie-break, the least-violating-seed fallback, and the
+// diagnostics/metrics.
+func (e *acqEngine) finish(start time.Time) (Control, SelectionInfo) {
+	a := e.a
+	nSafe := 0
+	for s := 0; s < e.n; s++ {
+		if e.safe[s] {
+			nSafe++
+		}
+	}
+	// S_t always contains S₀; a seed is retired from selection — though it
+	// still counts as safe — once the posterior has learned about it and
+	// its mean violates a constraint. Same duplicate semantics as the
+	// exhaustive loop: duplicate seeds share a slot.
+	for _, s := range e.seedSlot {
+		if e.safe[s] {
+			continue
+		}
+		nSafe++
+		retired := (e.mu[gpDelay][s] > e.dmaxN || e.mu[gpMAP][s] < e.rminN) &&
+			e.sigma[gpDelay][s] < seedRetireSigma && e.sigma[gpMAP][s] < seedRetireSigma
+		e.safe[s] = !retired
+	}
+	best := -1
+	bestLCB := math.Inf(1)
+	for s := 0; s < e.n; s++ {
+		if !e.safe[s] {
+			continue
+		}
+		l := e.lcb[s]
+		if l < bestLCB || (l == bestLCB && best >= 0 && e.idx[s] < e.idx[best]) { //edgebol:allow floateq -- tie-break on grid index matches the exhaustive first-index-wins scan
+			bestLCB = l
+			best = s
+		}
+	}
+	if best < 0 {
+		// Every seed retired and nothing certified: fall back to the
+		// least-violating seed by posterior mean.
+		bestScore := math.Inf(1)
+		for _, s := range e.seedSlot {
+			score := math.Max(e.mu[gpDelay][s]-e.dmaxN, 0) + math.Max(e.rminN-e.mu[gpMAP][s], 0)
+			if score < bestScore {
+				bestScore = score
+				best = int(s)
+			}
+		}
+		bestLCB = e.mu[gpCost][best] - a.opts.AcqBeta*e.sigma[gpCost][best]
+	}
+	fromSeed := e.mu[gpDelay][best]+a.opts.SafeBeta*e.sigma[gpDelay][best] > e.dmaxN ||
+		e.mu[gpMAP][best]-a.opts.SafeBeta*e.sigma[gpMAP][best] < e.rminN
+	basis := a.gps[gpDelay].Len()
+	if a.gps[gpDelay].IsSparse() {
+		basis = a.gps[gpDelay].InducingLen()
+	}
+	info := SelectionInfo{
+		SafeSetSize:         nSafe,
+		FromSeed:            fromSeed,
+		Adaptive:            true,
+		CandidatesEvaluated: e.n,
+		RefineRounds:        e.refineRounds,
+		LCB:                 bestLCB,
+		Cost:                Posterior{Mean: e.mu[gpCost][best], Sigma: e.sigma[gpCost][best]},
+		Delay:               Posterior{Mean: e.mu[gpDelay][best], Sigma: e.sigma[gpDelay][best]},
+		MAP:                 Posterior{Mean: e.mu[gpMAP][best], Sigma: e.sigma[gpMAP][best]},
+		Workers:             gp.ResolveWorkers(basis, e.n, e.workers),
+		SweepSeconds:        time.Since(start).Seconds(),
+	}
+	a.met.safeSize.Set(float64(nSafe))
+	a.met.lcb.Set(bestLCB)
+	a.met.sweep.Observe(info.SweepSeconds)
+	a.met.acqCandidates.Add(uint64(e.n))
+	a.met.acqRefines.Add(uint64(e.refineRounds))
+	if e.budgetHit {
+		a.met.acqFallback.Inc()
+	}
+	a.met.acqLatency.Observe(info.SweepSeconds)
+	if fromSeed {
+		a.met.seedFallback.Inc()
+	}
+	a.lastInfo = info
+	return a.opts.Grid.At(int(e.idx[best])), info
+}

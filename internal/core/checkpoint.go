@@ -77,6 +77,10 @@ type CheckpointInfo struct {
 	// configuration (zero for version-1 checkpoints).
 	InducingPoints int
 	SparseSwitchAt int
+	// Acquisition is the configured acquisition mode ("auto",
+	// "exhaustive", or "adaptive"). Version ≤ 2 checkpoints predate the
+	// adaptive engine and report "auto".
+	Acquisition string
 	// Objectives lists each serialized GP and its retained observation
 	// count, in section order.
 	Objectives []ObjectiveSize
@@ -100,7 +104,7 @@ type metaState struct {
 	t              uint64
 	decomposed     bool
 	disableSafeSet bool
-	acquisition    Acquisition
+	rule           AcquisitionRule
 	grid           GridSpec
 	weights        CostWeights
 	constraints    Constraints
@@ -114,6 +118,10 @@ type metaState struct {
 	engine         EngineSelector
 	inducingPoints int
 	sparseSwitchAt int
+	// Version-3 field; earlier checkpoints predate the adaptive engine
+	// and decode as AcqAuto — which on their (pre-LevelsPerDim) grids
+	// resolves to the exhaustive sweep they were saved under.
+	acqMode AcquisitionMode
 }
 
 // normAffines flattens a Normalization into its five transforms in a
@@ -127,7 +135,7 @@ func (a *Agent) encodeMeta() []byte {
 	e.U64(uint64(a.t))
 	e.Bool(a.opts.DecomposedCost)
 	e.Bool(a.opts.DisableSafeSet)
-	e.U8(uint8(a.opts.Acquisition))
+	e.U8(uint8(a.opts.Rule))
 	e.U32(uint32(a.opts.Grid.Levels))
 	e.F64(a.opts.Grid.MinResolution)
 	e.F64(a.opts.Grid.MinAirtime)
@@ -148,6 +156,8 @@ func (a *Agent) encodeMeta() []byte {
 		e.F64(s.Airtime)
 		e.F64(s.GPUSpeed)
 		e.F64(s.MCS)
+		// Version 3 widened the seeds to the split dimension.
+		e.F64(s.SplitLayer)
 	}
 	// Objective inventory: lets ReadCheckpointInfo report per-GP sizes
 	// from the META section alone, without touching the GP payloads.
@@ -183,6 +193,14 @@ func (a *Agent) encodeMeta() []byte {
 			e.U64(uint64(g.InducingLen()))
 		}
 	}
+	// Version-3 extension: the acquisition mode (as configured, so AcqAuto
+	// round-trips as AcqAuto) and the per-dimension grid level counts —
+	// the split-inference dimension and the LevelsPerDim overrides
+	// postdate version 2.
+	e.U8(uint8(a.opts.Acquisition))
+	for _, n := range a.opts.Grid.LevelsPerDim {
+		e.U32(uint32(n))
+	}
 	return e.Bytes()
 }
 
@@ -192,7 +210,7 @@ func decodeMeta(data []byte, version uint16) (*metaState, error) {
 	m.t = d.U64()
 	m.decomposed = d.Bool()
 	m.disableSafeSet = d.Bool()
-	m.acquisition = Acquisition(d.U8())
+	m.rule = AcquisitionRule(d.U8())
 	m.grid.Levels = int(d.U32())
 	m.grid.MinResolution = d.F64()
 	m.grid.MinAirtime = d.F64()
@@ -207,18 +225,27 @@ func decodeMeta(data []byte, version uint16) (*metaState, error) {
 		af.Scale = d.F64()
 	}
 	nSeed := int(d.U32())
-	// Every seed takes 32 payload bytes; bounding by the remaining bytes
+	// Every seed takes 32 payload bytes (40 from version 3, which widened
+	// the seeds to the split dimension); bounding by the remaining bytes
 	// keeps a hostile count from forcing a huge allocation.
-	if d.Err() == nil && nSeed > d.Remaining()/32 {
+	seedBytes := 32
+	if version >= 3 {
+		seedBytes = 40
+	}
+	if d.Err() == nil && nSeed > d.Remaining()/seedBytes {
 		return nil, fmt.Errorf("%w: %d safe seeds declared, %d bytes remain", checkpoint.ErrTruncated, nSeed, d.Remaining())
 	}
 	for i := 0; i < nSeed && d.Err() == nil; i++ {
-		m.safeSeed = append(m.safeSeed, Control{
+		s := Control{
 			Resolution: d.F64(),
 			Airtime:    d.F64(),
 			GPUSpeed:   d.F64(),
 			MCS:        d.F64(),
-		})
+		}
+		if version >= 3 {
+			s.SplitLayer = d.F64()
+		}
+		m.safeSeed = append(m.safeSeed, s)
 	}
 	nObj := int(d.U32())
 	// A name prefix plus the count is at least 12 bytes per objective.
@@ -246,6 +273,15 @@ func decodeMeta(data []byte, version uint16) (*metaState, error) {
 		}
 		if d.Err() == nil && (m.inducingPoints < 0 || m.sparseSwitchAt < 0) {
 			return nil, fmt.Errorf("%w: negative sparse configuration", checkpoint.ErrMalformed)
+		}
+	}
+	if version >= 3 {
+		m.acqMode = AcquisitionMode(d.U8())
+		for i := range m.grid.LevelsPerDim {
+			m.grid.LevelsPerDim[i] = int(d.U32())
+		}
+		if d.Err() == nil && (m.acqMode < AcqAuto || m.acqMode > AcqAdaptive) {
+			return nil, fmt.Errorf("%w: unknown acquisition mode %d", checkpoint.ErrMalformed, m.acqMode)
 		}
 	}
 	if err := d.Done(); err != nil {
@@ -391,7 +427,12 @@ func (a *Agent) SaveCheckpoint(w io.Writer) error {
 			sections = append(sections, checkpoint.Section{Tag: powTags[i], Data: encodeGPState(g.Snapshot())})
 		}
 	}
-	sections = append(sections, checkpoint.Section{Tag: secSafe, Data: encodeSafe(a.safe)})
+	// Adaptive agents hold no full-grid safe-set mask (the per-candidate
+	// pools are rebuilt from scratch each period), so the ancillary safe
+	// section is written by exhaustive agents only.
+	if !a.adaptive {
+		sections = append(sections, checkpoint.Section{Tag: secSafe, Data: encodeSafe(a.safe)})
+	}
 	cw := &countingWriter{w: w}
 	if err := checkpoint.Encode(cw, sections); err != nil {
 		return err
@@ -487,8 +528,11 @@ func LoadCheckpoint(r io.Reader, opts Options) (*Agent, error) {
 	if meta.disableSafeSet != a.opts.DisableSafeSet {
 		return nil, mismatch("DisableSafeSet", meta.disableSafeSet, a.opts.DisableSafeSet)
 	}
-	if meta.acquisition != a.opts.Acquisition {
-		return nil, mismatch("Acquisition", meta.acquisition, a.opts.Acquisition)
+	if meta.rule != a.opts.Rule {
+		return nil, mismatch("Rule", meta.rule, a.opts.Rule)
+	}
+	if meta.acqMode != a.opts.Acquisition {
+		return nil, mismatch("Acquisition", meta.acqMode, a.opts.Acquisition)
 	}
 	if meta.grid != a.opts.Grid {
 		return nil, mismatch("Grid", meta.grid, a.opts.Grid)
@@ -569,7 +613,8 @@ func LoadCheckpoint(r io.Reader, opts Options) (*Agent, error) {
 	}
 	// The safe-set section is ancillary: restore it when intact, recompute
 	// otherwise — SelectControl rebuilds it from posteriors every period.
-	if sec := arch.Find(secSafe); sec != nil {
+	// Adaptive agents keep no full-grid mask and skip it entirely.
+	if sec := arch.Find(secSafe); sec != nil && !a.adaptive {
 		if safe, err := decodeSafe(sec.Data, len(a.grid)); err == nil {
 			copy(a.safe, safe)
 		}
@@ -609,6 +654,7 @@ func ReadCheckpointInfo(r io.Reader) (CheckpointInfo, error) {
 		Engine:         engine,
 		InducingPoints: meta.inducingPoints,
 		SparseSwitchAt: meta.sparseSwitchAt,
+		Acquisition:    meta.acqMode.String(),
 		Objectives:     meta.objectives,
 	}, nil
 }

@@ -112,7 +112,7 @@ func TestCheckpointRestoreEquivalence(t *testing.T) {
 			o.MaxObservations = 8
 		}},
 		{"generic sweep", func(o *Options) { o.KernelFactory = wrappedFactory }},
-		{"safeopt", func(o *Options) { o.Acquisition = AcquisitionSafeOpt }},
+		{"safeopt", func(o *Options) { o.Rule = AcquisitionSafeOpt }},
 		{"sparse", func(o *Options) {
 			o.Engine = EngineSparse
 			o.InducingPoints = 16
@@ -264,7 +264,7 @@ func TestLoadCheckpointRejectsMismatchedConfig(t *testing.T) {
 		{"grid", func(o *Options) { o.Grid.Levels = 4 }},
 		{"safe beta", func(o *Options) { o.SafeBeta = 3 }},
 		{"acq beta", func(o *Options) { o.AcqBeta = 1.5 }},
-		{"acquisition", func(o *Options) { o.Acquisition = AcquisitionSafeOpt }},
+		{"acquisition", func(o *Options) { o.Rule = AcquisitionSafeOpt }},
 		{"safe set toggle", func(o *Options) { o.DisableSafeSet = true }},
 		{"decomposed toggle", func(o *Options) { o.DecomposedCost = true }},
 		{"normalization", func(o *Options) { o.Norm = DefaultNormalization(CostWeights{Delta1: 1, Delta2: 1}) }},

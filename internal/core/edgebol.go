@@ -156,11 +156,20 @@ type Options struct {
 	// to plain contextual LCB minimization over the whole grid — the
 	// safe-set ablation of the evaluation suite.
 	DisableSafeSet bool
-	// Acquisition selects the per-period control picker: the paper's
+	// Rule selects the per-period control picker: the paper's
 	// constrained LCB (eq. 9, default) or the SafeOpt-style
 	// uncertainty-in-maximizers-and-expanders rule the paper compared
 	// against and found "overly slow" (§5, citing Berkenkamp et al.).
-	Acquisition Acquisition
+	Rule AcquisitionRule
+	// Acquisition selects the acquisition engine: AcqAuto (default) runs
+	// the exhaustive sweep on grids where it is affordable and the
+	// adaptive coarse-to-fine engine past acqAutoThreshold candidates;
+	// AcqExhaustive and AcqAdaptive force one engine. On small grids the
+	// adaptive engine returns the exhaustive argmax exactly (the acq-equiv
+	// gate); on larger grids it holds a bounded optimum regret while
+	// evaluating a few percent of the candidates. Fixed configuration: a
+	// checkpoint restores only under the mode it was saved with.
+	Acquisition AcquisitionMode
 	// DecomposedCost learns the two power surfaces p_s and p_b with
 	// separate GPs instead of the scalar cost u. The acquisition combines
 	// them with the current weights, so δ₁/δ₂ may change at runtime
@@ -190,7 +199,11 @@ func (o *Options) applyDefaults() error {
 		return fmt.Errorf("core: cost weights %+v invalid", o.Weights)
 	}
 	if len(o.SafeSeed) == 0 {
-		for _, r := range levelsIn(o.Grid.MinResolution, 1, o.Grid.Levels) {
+		// One seed per resolution level, at maximum radio/compute resources
+		// with all-edge inference (SplitLayer 0): full resolution gives the
+		// highest mAP, lower resolutions the lowest delays, and all of them
+		// burn maximum power.
+		for _, r := range levelsIn(o.Grid.MinResolution, 1, o.Grid.dimLevels(dimResolution)) {
 			o.SafeSeed = append(o.SafeSeed, Control{Resolution: r, Airtime: 1, GPUSpeed: 1, MCS: 1})
 		}
 	}
@@ -214,11 +227,15 @@ func (o *Options) applyDefaults() error {
 		for i := 0; i < ContextDims; i++ {
 			o.LengthScales[i] = 0.6
 		}
-		steps := []float64{
-			(1 - o.Grid.MinResolution) / float64(o.Grid.Levels-1),
-			(1 - o.Grid.MinAirtime) / float64(o.Grid.Levels-1),
-			1 / float64(o.Grid.Levels-1),
-			1 / float64(o.Grid.Levels-1),
+		var steps [ControlDims]float64
+		for d := range steps {
+			// A single-level dimension is pinned: its feature distance is
+			// identically zero, so any positive length scale is equivalent.
+			if n := o.Grid.dimLevels(d); n > 1 {
+				steps[d] = (1 - o.Grid.dimLow(d)) / float64(n-1)
+			} else {
+				steps[d] = 1
+			}
 		}
 		for i, s := range steps {
 			ls := 12 * s
@@ -301,6 +318,18 @@ func (o *Options) applyDefaults() error {
 	if o.InferenceWorkers < 0 {
 		return fmt.Errorf("core: negative inference worker count")
 	}
+	if o.Rule < AcquisitionLCB || o.Rule > AcquisitionSafeOpt {
+		return fmt.Errorf("core: unknown acquisition rule %d", o.Rule)
+	}
+	if o.Acquisition < AcqAuto || o.Acquisition > AcqAdaptive {
+		return fmt.Errorf("core: unknown acquisition mode %d", o.Acquisition)
+	}
+	if o.Acquisition == AcqAdaptive && o.Rule == AcquisitionSafeOpt {
+		// SafeOpt ranks maximizers and expanders against the *global*
+		// best-UCB over the safe set, which requires the full posterior
+		// arrays the adaptive engine exists to avoid materializing.
+		return fmt.Errorf("core: AcquisitionSafeOpt requires the exhaustive acquisition engine")
+	}
 	return nil
 }
 
@@ -311,22 +340,62 @@ func controlsClose(a, b Control) bool {
 	return math.Abs(a.Resolution-b.Resolution) < eps &&
 		math.Abs(a.Airtime-b.Airtime) < eps &&
 		math.Abs(a.GPUSpeed-b.GPUSpeed) < eps &&
-		math.Abs(a.MCS-b.MCS) < eps
+		math.Abs(a.MCS-b.MCS) < eps &&
+		math.Abs(a.SplitLayer-b.SplitLayer) < eps
 }
 
-// Acquisition identifies a control-selection rule.
-type Acquisition int
+// AcquisitionRule identifies a control-selection rule.
+type AcquisitionRule int
 
 const (
 	// AcquisitionLCB is the paper's constrained lower-confidence-bound
 	// rule (eq. 9).
-	AcquisitionLCB Acquisition = iota
+	AcquisitionLCB AcquisitionRule = iota
 	// AcquisitionSafeOpt is the SafeOpt-style rule: sample the most
 	// uncertain point among the potential minimizers and the safe-set
 	// expanders. It carries exploration guarantees but converges slowly —
 	// the comparison that motivated the paper's choice of eq. 9.
 	AcquisitionSafeOpt
 )
+
+// AcquisitionMode selects how the per-period acquisition searches the
+// control grid.
+type AcquisitionMode int
+
+const (
+	// AcqAuto (the zero value) sweeps exhaustively on grids up to
+	// acqAutoThreshold candidates — where the SweepPlan is fast and the
+	// full posterior arrays are cheap — and switches to the adaptive
+	// engine beyond, where the exhaustive sweep stops scaling.
+	AcqAuto AcquisitionMode = iota
+	// AcqExhaustive forces the full-grid sweep: every candidate's
+	// posterior is computed every period. The correctness oracle the
+	// adaptive engine is tested against.
+	AcqExhaustive
+	// AcqAdaptive forces the coarse-to-fine engine: a strided sub-lattice
+	// sweep refined around the incumbents plus best-first local search
+	// seeded from the safe set, evaluating a few percent of the grid.
+	AcqAdaptive
+)
+
+// String returns the mode's flag/metadata spelling.
+func (m AcquisitionMode) String() string {
+	switch m {
+	case AcqExhaustive:
+		return "exhaustive"
+	case AcqAdaptive:
+		return "adaptive"
+	default:
+		return "auto"
+	}
+}
+
+// acqAutoThreshold is the grid size above which AcqAuto abandons the
+// exhaustive sweep. The paper's 11⁴ = 14 641 grid stays comfortably below
+// it, so default-configured agents keep their bitwise-exact behaviour; the
+// bound also marks where the adaptive engine's informed-set flood still
+// guarantees the exhaustive argmax exactly (see acquire.go).
+const acqAutoThreshold = 32768
 
 // gpCost, gpDelay, gpMAP index the agent's three GPs, matching the paper's
 // function indices i = 0 (cost), 1 (delay), 2 (mAP).
@@ -341,7 +410,16 @@ const (
 // concurrent use.
 type Agent struct {
 	opts Options
+	// grid is the materialized control space. Exhaustive agents build it
+	// at construction; adaptive agents leave it nil — a multi-million-point
+	// grid is exactly what the adaptive engine avoids materializing — and
+	// Grid() enumerates lazily for diagnostics and baselines that ask.
 	grid []Control
+	// adaptive is the resolved acquisition engine: Options.Acquisition
+	// after AcqAuto has been decided against the grid size.
+	adaptive bool
+	// acq is the pooled adaptive-engine state (nil on exhaustive agents).
+	acq *acqEngine
 
 	gps [numGPs]*gp.GP
 	// powerGPs learn p_s (0) and p_b (1) in decomposed-cost mode.
@@ -387,6 +465,14 @@ type agentMetrics struct {
 	trainSize    *telemetry.Gauge
 	sweep        *telemetry.Histogram
 
+	// Acquisition-engine instrumentation: candidates whose posterior was
+	// actually computed, multigrid refinement rounds, budget-exhaustion
+	// fallbacks, and the selection latency split by engine mode.
+	acqCandidates *telemetry.Counter
+	acqRefines    *telemetry.Counter
+	acqFallback   *telemetry.Counter
+	acqLatency    *telemetry.Histogram
+
 	// Checkpoint instrumentation (SaveCheckpoint/LoadCheckpoint).
 	ckptSaves        *telemetry.Counter
 	ckptRestores     *telemetry.Counter
@@ -398,11 +484,24 @@ type agentMetrics struct {
 
 // SelectionInfo reports diagnostics from one acquisition step.
 type SelectionInfo struct {
-	// SafeSetSize is |S_t| including the seed set.
+	// SafeSetSize is |S_t| including the seed set. Under the adaptive
+	// engine it counts the safe points among the evaluated candidates —
+	// on small grids that equals the exhaustive count exactly (the
+	// informed-set flood visits every certifiable point); on large grids
+	// it is a lower bound.
 	SafeSetSize int
 	// FromSeed is true when no learned control passed the safety test and
 	// the acquisition fell back to the seed set S₀.
 	FromSeed bool
+	// Adaptive reports which acquisition engine produced this selection.
+	Adaptive bool
+	// CandidatesEvaluated is the number of grid points whose posterior
+	// was computed this period — the grid size for the exhaustive sweep,
+	// typically a few percent of it for the adaptive engine.
+	CandidatesEvaluated int
+	// RefineRounds is the number of multigrid refinement rounds the
+	// adaptive engine ran (0 under the exhaustive sweep).
+	RefineRounds int
 	// LCB is the acquisition value of the selected control (normalized).
 	LCB float64
 	// Cost, Delay, MAP are the posterior beliefs at the selected control
@@ -422,11 +521,23 @@ func NewAgent(opts Options) (*Agent, error) {
 	if err := opts.applyDefaults(); err != nil {
 		return nil, err
 	}
-	grid, err := opts.Grid.Enumerate()
-	if err != nil {
+	gridSize := opts.Grid.Size()
+	a := &Agent{opts: opts}
+	switch opts.Acquisition {
+	case AcqAdaptive:
+		a.adaptive = true
+	case AcqAuto:
+		a.adaptive = gridSize > acqAutoThreshold && opts.Rule != AcquisitionSafeOpt
+	}
+	if !a.adaptive {
+		grid, err := opts.Grid.Enumerate()
+		if err != nil {
+			return nil, err
+		}
+		a.grid = grid
+	} else if err := opts.Grid.Validate(); err != nil {
 		return nil, err
 	}
-	a := &Agent{opts: opts, grid: grid}
 	newGP := func(ls []float64, noiseVar float64) (*gp.GP, error) {
 		if opts.Engine == EngineSparse {
 			return gp.NewSparse(opts.KernelFactory(ls), noiseVar, a.sparseConfig())
@@ -444,8 +555,10 @@ func NewAgent(opts Options) (*Agent, error) {
 		}
 		a.gps[i] = g
 		a.gps[i].Instrument(opts.Telemetry, objectiveNames[i])
-		a.mu[i] = make([]float64, len(grid))
-		a.sigma[i] = make([]float64, len(grid))
+		if !a.adaptive {
+			a.mu[i] = make([]float64, gridSize)
+			a.sigma[i] = make([]float64, gridSize)
+		}
 	}
 	if opts.DecomposedCost {
 		ls := opts.LengthScales
@@ -459,8 +572,10 @@ func NewAgent(opts Options) (*Agent, error) {
 			}
 			a.powerGPs[i] = g
 			a.powerGPs[i].Instrument(opts.Telemetry, powerObjectiveNames[i])
-			a.powMu[i] = make([]float64, len(grid))
-			a.powSigma[i] = make([]float64, len(grid))
+			if !a.adaptive {
+				a.powMu[i] = make([]float64, gridSize)
+				a.powSigma[i] = make([]float64, gridSize)
+			}
 		}
 	}
 	// One sweep plan per objective, built from the grid's level values;
@@ -486,16 +601,24 @@ func NewAgent(opts Options) (*Agent, error) {
 		ckptRestoreBytes: opts.Telemetry.Gauge("edgebol_ckpt_restore_bytes"),
 		ckptSaveLat:      opts.Telemetry.Histogram("edgebol_ckpt_save_seconds", telemetry.LatencyBuckets()),
 		ckptRestoreLat:   opts.Telemetry.Histogram("edgebol_ckpt_restore_seconds", telemetry.LatencyBuckets()),
+
+		acqCandidates: opts.Telemetry.Counter("edgebol_acq_candidates_evaluated"),
+		acqRefines:    opts.Telemetry.Counter("edgebol_acq_refine_rounds"),
+		acqFallback:   opts.Telemetry.Counter("edgebol_acq_fallback_total"),
+		acqLatency: opts.Telemetry.Histogram("edgebol_acq_select_seconds",
+			telemetry.LatencyBuckets(), "mode", a.acqMode().String()),
 	}
-	const dims = ContextDims + ControlDims
-	a.feats = make([][]float64, len(grid))
-	flat := make([]float64, len(grid)*dims)
-	for i, x := range grid {
-		row := flat[i*dims : (i+1)*dims : (i+1)*dims]
-		x.appendFeatures(row[ContextDims:ContextDims])
-		a.feats[i] = row
+	if !a.adaptive {
+		const dims = ContextDims + ControlDims
+		a.feats = make([][]float64, len(a.grid))
+		flat := make([]float64, len(a.grid)*dims)
+		for i, x := range a.grid {
+			row := flat[i*dims : (i+1)*dims : (i+1)*dims]
+			x.appendFeatures(row[ContextDims:ContextDims])
+			a.feats[i] = row
+		}
+		a.safe = make([]bool, len(a.grid))
 	}
-	a.safe = make([]bool, len(grid))
 	// Locate seed controls on the grid (snapped if off-grid) by direct
 	// index arithmetic.
 	for _, s := range opts.SafeSeed {
@@ -504,7 +627,18 @@ func NewAgent(opts Options) (*Agent, error) {
 	if len(a.safeSeedIx) == 0 {
 		return nil, fmt.Errorf("core: no safe seed maps onto the grid")
 	}
+	if a.adaptive {
+		a.acq = newAcqEngine(a)
+	}
 	return a, nil
+}
+
+// acqMode reports the resolved acquisition engine (never AcqAuto).
+func (a *Agent) acqMode() AcquisitionMode {
+	if a.adaptive {
+		return AcqAdaptive
+	}
+	return AcqExhaustive
 }
 
 // sparseConfig derives the gp.SparseConfig from the agent's options —
@@ -570,6 +704,10 @@ func (a *Agent) switchToSparse() error {
 // "sparse". Under EngineAuto it flips when the switch threshold is crossed.
 func (a *Agent) EngineActive() string { return a.gps[gpDelay].EngineName() }
 
+// AcquisitionEngine reports the resolved acquisition engine as its flag
+// spelling: "exhaustive" or "adaptive" (never "auto").
+func (a *Agent) AcquisitionEngine() string { return a.acqMode().String() }
+
 // InducingPoints reports the current inducing-basis size of the delay GP
 // (the engines convert in lockstep, so one GP is representative); 0 while
 // the exact engine is active.
@@ -601,8 +739,20 @@ func (a *Agent) needsGenericSweep() bool {
 	return false
 }
 
-// Grid returns the enumerated control space.
-func (a *Agent) Grid() []Control { return a.grid }
+// Grid returns the enumerated control space. Adaptive agents do not
+// materialize the grid for acquisition; the first Grid call enumerates it
+// lazily for diagnostics and baselines that iterate the space explicitly.
+func (a *Agent) Grid() []Control {
+	if a.grid == nil {
+		grid, err := a.opts.Grid.Enumerate()
+		if err != nil {
+			// The spec was validated at construction; unreachable.
+			panic(err)
+		}
+		a.grid = grid
+	}
+	return a.grid
+}
 
 // Constraints returns the active constraints.
 func (a *Agent) Constraints() Constraints { return a.opts.Constraints }
@@ -678,6 +828,9 @@ func (a *Agent) Observations() int { return a.t }
 //
 //edgebol:hot
 func (a *Agent) SelectControl(ctx Context) (Control, SelectionInfo) {
+	if a.adaptive {
+		return a.selectAdaptive(ctx)
+	}
 	start := time.Now()
 	var cbuf [ContextDims]float64
 	cf := ctx.appendFeatures(cbuf[:0])
@@ -759,12 +912,6 @@ func (a *Agent) SelectControl(ctx Context) (Control, SelectionInfo) {
 	// noise, not a service failure, and the paper's own Fig. 9 inset shows
 	// observed mAP fluctuating below ρ^min at the optimum.
 	zetaD := math.Sqrt(a.gps[gpDelay].NoiseVar())
-	predSigma := func(s, zeta float64) float64 { return math.Sqrt(s*s + zeta*zeta) }
-	// A candidate is certified only when the posterior actually carries
-	// information about it: at prior uncertainty (σ ≈ 1) the bound test is
-	// vacuous whenever the thresholds are lax relative to the prior, and
-	// "unexplored" must not read as "safe".
-	const informedSigma = 0.95
 	nSafe := 0
 	for i := range a.grid {
 		ok := a.opts.DisableSafeSet
@@ -787,7 +934,6 @@ func (a *Agent) SelectControl(ctx Context) (Control, SelectionInfo) {
 	// re-picking a seed that measurements show to be infeasible would lock
 	// the agent onto a violating configuration whenever that seed is also
 	// the cost minimizer.
-	const seedRetireSigma = 0.5
 	for _, gi := range a.safeSeedIx {
 		if a.safe[gi] {
 			continue
@@ -799,7 +945,7 @@ func (a *Agent) SelectControl(ctx Context) (Control, SelectionInfo) {
 	}
 
 	pick := func() (int, float64) {
-		if a.opts.Acquisition == AcquisitionSafeOpt {
+		if a.opts.Rule == AcquisitionSafeOpt {
 			return a.pickSafeOpt(dmax, rmin)
 		}
 		best := -1
@@ -845,18 +991,21 @@ func (a *Agent) SelectControl(ctx Context) (Control, SelectionInfo) {
 	}
 	resolvedWorkers := gp.ResolveWorkers(basis, len(a.grid), workers)
 	info := SelectionInfo{
-		SafeSetSize:  nSafe,
-		FromSeed:     fromSeed,
-		LCB:          bestLCB,
-		Cost:         Posterior{Mean: a.mu[gpCost][best], Sigma: a.sigma[gpCost][best]},
-		Delay:        Posterior{Mean: a.mu[gpDelay][best], Sigma: a.sigma[gpDelay][best]},
-		MAP:          Posterior{Mean: a.mu[gpMAP][best], Sigma: a.sigma[gpMAP][best]},
-		Workers:      resolvedWorkers,
-		SweepSeconds: time.Since(start).Seconds(),
+		SafeSetSize:         nSafe,
+		FromSeed:            fromSeed,
+		CandidatesEvaluated: len(a.grid),
+		LCB:                 bestLCB,
+		Cost:                Posterior{Mean: a.mu[gpCost][best], Sigma: a.sigma[gpCost][best]},
+		Delay:               Posterior{Mean: a.mu[gpDelay][best], Sigma: a.sigma[gpDelay][best]},
+		MAP:                 Posterior{Mean: a.mu[gpMAP][best], Sigma: a.sigma[gpMAP][best]},
+		Workers:             resolvedWorkers,
+		SweepSeconds:        time.Since(start).Seconds(),
 	}
 	a.met.safeSize.Set(float64(nSafe))
 	a.met.lcb.Set(bestLCB)
 	a.met.sweep.Observe(info.SweepSeconds)
+	a.met.acqCandidates.Add(uint64(len(a.grid)))
+	a.met.acqLatency.Observe(info.SweepSeconds)
 	if fromSeed {
 		a.met.seedFallback.Inc()
 	}
@@ -977,29 +1126,33 @@ func (a *Agent) emitPeriod(ctx Context, x Control, k KPIs) {
 	}
 	info := a.lastInfo
 	a.met.reg.EmitPeriod(telemetry.PeriodRecord{
-		Period:       a.t,
-		NumUsers:     ctx.NumUsers,
-		MeanCQI:      ctx.MeanCQI,
-		VarCQI:       ctx.VarCQI,
-		Resolution:   x.Resolution,
-		Airtime:      x.Airtime,
-		GPUSpeed:     x.GPUSpeed,
-		MCS:          x.MCS,
-		Delay:        k.Delay,
-		GPUDelay:     k.GPUDelay,
-		MAP:          k.MAP,
-		ServerPower:  k.ServerPower,
-		BSPower:      k.BSPower,
-		Cost:         a.opts.Weights.Cost(k),
-		SafeSetSize:  info.SafeSetSize,
-		FromSeed:     info.FromSeed,
-		LCB:          info.LCB,
-		PostMean:     [3]float64{info.Cost.Mean, info.Delay.Mean, info.MAP.Mean},
-		PostSigma:    [3]float64{info.Cost.Sigma, info.Delay.Sigma, info.MAP.Sigma},
-		TrainSize:    a.gps[gpDelay].Len(),
-		Evictions:    evictions,
-		Workers:      info.Workers,
-		SweepSeconds: info.SweepSeconds,
+		Period:              a.t,
+		NumUsers:            ctx.NumUsers,
+		MeanCQI:             ctx.MeanCQI,
+		VarCQI:              ctx.VarCQI,
+		Resolution:          x.Resolution,
+		Airtime:             x.Airtime,
+		GPUSpeed:            x.GPUSpeed,
+		MCS:                 x.MCS,
+		SplitLayer:          x.SplitLayer,
+		Delay:               k.Delay,
+		GPUDelay:            k.GPUDelay,
+		MAP:                 k.MAP,
+		ServerPower:         k.ServerPower,
+		BSPower:             k.BSPower,
+		Cost:                a.opts.Weights.Cost(k),
+		SafeSetSize:         info.SafeSetSize,
+		FromSeed:            info.FromSeed,
+		LCB:                 info.LCB,
+		AcqMode:             a.acqMode().String(),
+		CandidatesEvaluated: info.CandidatesEvaluated,
+		RefineRounds:        info.RefineRounds,
+		PostMean:            [3]float64{info.Cost.Mean, info.Delay.Mean, info.MAP.Mean},
+		PostSigma:           [3]float64{info.Cost.Sigma, info.Delay.Sigma, info.MAP.Sigma},
+		TrainSize:           a.gps[gpDelay].Len(),
+		Evictions:           evictions,
+		Workers:             info.Workers,
+		SweepSeconds:        info.SweepSeconds,
 	})
 }
 

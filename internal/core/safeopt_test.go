@@ -10,7 +10,7 @@ func newSafeOptAgent(t *testing.T, cons Constraints) *Agent {
 		Constraints: cons,
 		Norm:        quadNorm(),
 		NoiseVars:   [3]float64{1e-4, 1e-4, 1e-4},
-		Acquisition: AcquisitionSafeOpt,
+		Rule:        AcquisitionSafeOpt,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -48,14 +48,14 @@ func TestLCBConvergesFasterThanSafeOpt(t *testing.T) {
 	env := &quadEnv{ctx: Context{NumUsers: 1, MeanCQI: 15}}
 	cons := Constraints{MaxDelay: 0.9, MinMAP: 0.3}
 	w := CostWeights{Delta1: 1, Delta2: 1}
-	tailCost := func(acq Acquisition) float64 {
+	tailCost := func(acq AcquisitionRule) float64 {
 		a, err := NewAgent(Options{
 			Grid:        testGrid(),
 			Weights:     w,
 			Constraints: cons,
 			Norm:        quadNorm(),
 			NoiseVars:   [3]float64{1e-4, 1e-4, 1e-4},
-			Acquisition: acq,
+			Rule:        acq,
 		})
 		if err != nil {
 			t.Fatal(err)

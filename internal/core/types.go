@@ -16,18 +16,25 @@ import (
 	"repro/internal/ran"
 )
 
-// Control is the joint control policy x = [η, a, γ, m] of §4.2, with every
-// component normalized to (0,1] ranges:
+// Control is the joint control policy x = [η, a, γ, m, ς] of §4.2 extended
+// with the DNN split point of the split-inference workload, with every
+// component normalized:
 //
 //   - Resolution η: average image resolution as a fraction of 640×480 pixels.
 //   - Airtime a: uplink duty-cycle cap.
 //   - GPUSpeed γ: GPU power-limit position between the driver's min and max.
 //   - MCS m: max-MCS cap position; MCSCap() maps it to an integer index.
+//   - SplitLayer ς: position of the device/edge DNN partition boundary in
+//     [0, 1] — the fraction of the network executed on the device before the
+//     intermediate activation is shipped uplink (Bayes-Split-Edge). 0 keeps
+//     the whole DNN on the edge (the paper's original workload, and the
+//     zero-value default), 1 runs it entirely on the device.
 type Control struct {
 	Resolution float64
 	Airtime    float64
 	GPUSpeed   float64
 	MCS        float64
+	SplitLayer float64
 }
 
 // MCSCap returns the integer MCS cap encoded by the normalized MCS policy.
@@ -56,16 +63,19 @@ func (c Control) Validate() error {
 	if c.MCS < 0 || c.MCS > 1 || math.IsNaN(c.MCS) {
 		return fmt.Errorf("core: MCS policy %v outside [0,1]", c.MCS)
 	}
+	if c.SplitLayer < 0 || c.SplitLayer > 1 || math.IsNaN(c.SplitLayer) {
+		return fmt.Errorf("core: split layer %v outside [0,1]", c.SplitLayer)
+	}
 	return nil
 }
 
 // appendFeatures appends the control's normalized GP features to dst.
 func (c Control) appendFeatures(dst []float64) []float64 {
-	return append(dst, c.Resolution, c.Airtime, c.GPUSpeed, c.MCS)
+	return append(dst, c.Resolution, c.Airtime, c.GPUSpeed, c.MCS, c.SplitLayer)
 }
 
 // ControlDims is the dimensionality of the control space.
-const ControlDims = 4
+const ControlDims = 5
 
 // Context is the slice state c = [n, mean CQI, var CQI] of §4.2: the number
 // of users plus aggregate uplink channel-quality statistics. Aggregating

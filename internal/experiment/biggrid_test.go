@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestBigGridScaledDown runs the multi-million-candidate scenario at a
+// test-sized grid that still clears the auto threshold (9⁴×6 = 39 366
+// candidates), so the adaptive engine engages for real: budgeted
+// evaluation, one row per period, and every verifier check green.
+func TestBigGridScaledDown(t *testing.T) {
+	cfg := BigGridConfig{Periods: 40, GridLevels: 9, SplitLayers: 6}
+	if cfg.Grid().Size() <= 32768 {
+		t.Fatalf("test grid %d too small to engage the adaptive engine", cfg.Grid().Size())
+	}
+	tab, err := BigGrid(tinyScale(), cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != cfg.Periods {
+		t.Fatalf("%d rows, want %d", len(tab.Rows), cfg.Periods)
+	}
+	cand, err := column(tab, "candidates", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := core.AcquisitionBudget(cfg.Grid().Size())
+	for i, c := range cand {
+		if c <= 0 || int(c) > budget {
+			t.Fatalf("period %d: %v candidates outside (0, %d]", i, c, budget)
+		}
+	}
+	checks, err := VerifyBigGrid(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) < 4 {
+		t.Fatalf("only %d checks emitted", len(checks))
+	}
+	for _, c := range checks {
+		if !c.OK {
+			t.Errorf("check failed: %s: %s (%s)", c.Figure, c.Claim, c.Detail)
+		}
+	}
+}
+
+// TestBigGridRejectsDegenerateConfig covers the config validation.
+func TestBigGridRejectsDegenerateConfig(t *testing.T) {
+	if _, err := BigGrid(tinyScale(), BigGridConfig{Periods: 1, GridLevels: 9, SplitLayers: 6}, 1); err == nil {
+		t.Fatal("1-period horizon accepted")
+	}
+}

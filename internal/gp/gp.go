@@ -218,6 +218,16 @@ func (g *GP) Training(max int) (xs []float64, ys []float64) {
 	return xs, ys
 }
 
+// TrainingRow returns a read-only view of retained training input i
+// (oldest first, i in [0, Len())) — no copy, valid until the next
+// mutating call. It is the allocation-free accessor the adaptive
+// acquisition engine uses to re-derive the observed grid anchors each
+// period; both engines retain the full input history (the sparse engine
+// keeps it for basis insertions and checkpointing).
+func (g *GP) TrainingRow(i int) []float64 {
+	return g.xs[i*g.dim : (i+1)*g.dim]
+}
+
 // basisLen returns the number of points a posterior query solves against:
 // the inducing-set size under the sparse engine, the training size under
 // the exact one. It is the n of every read path's O(n²) solve.

@@ -244,30 +244,7 @@ func (p *SweepPlan) Sweep(ctx []float64, mu, sigma []float64, workers int) {
 		return
 	}
 	p.sync()
-	// Context partials: the even/odd accumulation chains of
-	// scaledSqDistInv restricted to the context dimensions. Because those
-	// dimensions precede the control dimensions, each partial is the exact
-	// floating-point prefix of its chain.
-	if cap(p.c0) < n {
-		p.c0 = make([]float64, n)
-		p.c1 = make([]float64, n)
-	}
-	c0, c1 := p.c0[:n], p.c1[:n]
-	dim := g.dim
-	bxs := g.basisXs()
-	for i := 0; i < n; i++ {
-		row := bxs[i*dim : i*dim+p.ctxDims]
-		var s0, s1 float64
-		for j, x := range row {
-			t := (x - ctx[j]) * p.inv[j]
-			if j%2 == 0 {
-				s0 += t * t
-			} else {
-				s1 += t * t
-			}
-		}
-		c0[i], c1[i] = s0, s1
-	}
+	c0, c1 := p.contextPartials(ctx, n)
 	workers = ResolveWorkers(n, p.size, workers)
 	if workers <= 1 {
 		p.sweepRange(0, p.size, c0, c1, mu, sigma)
@@ -288,6 +265,163 @@ func (p *SweepPlan) Sweep(ctx []float64, mu, sigma []float64, workers int) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// contextPartials computes the per-period context partials: the even/odd
+// accumulation chains of scaledSqDistInv restricted to the context
+// dimensions, one entry per basis row, into the plan's reused buffers.
+// Because the context dimensions precede the control dimensions, each
+// partial is the exact floating-point prefix of its chain.
+func (p *SweepPlan) contextPartials(ctx []float64, n int) (c0, c1 []float64) {
+	if cap(p.c0) < n {
+		p.c0 = make([]float64, n)
+		p.c1 = make([]float64, n)
+	}
+	c0, c1 = p.c0[:n], p.c1[:n]
+	dim := p.g.dim
+	bxs := p.g.basisXs()
+	for i := 0; i < n; i++ {
+		row := bxs[i*dim : i*dim+p.ctxDims]
+		var s0, s1 float64
+		for j, x := range row {
+			t := (x - ctx[j]) * p.inv[j]
+			if j%2 == 0 {
+				s0 += t * t
+			} else {
+				s1 += t * t
+			}
+		}
+		c0[i], c1[i] = s0, s1
+	}
+	return c0, c1
+}
+
+// SweepSubset evaluates the GP posterior at the grid points whose flat
+// indices are listed in idxs (each in [0, GridSize()), enumeration order),
+// writing into mu and sigma (each of length len(idxs), parallel to idxs).
+// Per candidate the arithmetic is identical to Sweep's — the same distance
+// tables, chain order, and fused tiled solve, and the per-column math is
+// independent of how columns are tiled — so output j equals the Sweep
+// output at grid index idxs[j] bitwise, for every worker count and any
+// subset composition. This is the adaptive acquisition engine's primitive:
+// a period costs O(len(idxs)) instead of O(GridSize()).
+func (p *SweepPlan) SweepSubset(ctx []float64, idxs []int32, mu, sigma []float64, workers int) {
+	if len(ctx) != p.ctxDims {
+		panic(fmt.Sprintf("gp: SweepSubset context dimension %d does not match plan's %d", len(ctx), p.ctxDims))
+	}
+	if len(mu) != len(idxs) || len(sigma) != len(idxs) {
+		panic(fmt.Sprintf("gp: SweepSubset output lengths %d, %d do not match %d indices", len(mu), len(sigma), len(idxs)))
+	}
+	g := p.g
+	if g.met.sweep != nil {
+		start := time.Now()
+		defer func() { g.met.sweep.ObserveDuration(time.Since(start)) }()
+	}
+	n := g.basisLen()
+	if n == 0 {
+		prior := math.Sqrt(g.kernel.Prior())
+		for i := range mu {
+			mu[i] = 0
+			sigma[i] = prior
+		}
+		return
+	}
+	p.sync()
+	c0, c1 := p.contextPartials(ctx, n)
+	m := len(idxs)
+	workers = ResolveWorkers(n, m, workers)
+	if workers <= 1 {
+		p.sweepSubsetRange(idxs, 0, m, c0, c1, mu, sigma)
+		return
+	}
+	chunk := (m + workers - 1) / workers
+	chunk = (chunk + sweepTile - 1) / sweepTile * sweepTile
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			p.sweepSubsetRange(idxs, lo, hi, c0, c1, mu, sigma)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// sweepSubsetRange is sweepRange over an index list: positions [lo, hi) of
+// idxs are evaluated with the identical per-candidate arithmetic, writing
+// results at the same positions of mu and sigma.
+//
+//edgebol:hot
+func (p *SweepPlan) sweepSubsetRange(idxs []int32, lo, hi int, c0, c1, mu, sigma []float64) {
+	g := p.g
+	n := g.basisLen()
+	prior := g.kernel.Prior()
+	tile := hi - lo
+	if tile > sweepTile {
+		tile = sweepTile
+	}
+	buf := make([]float64, tile*n)
+	views := make([][]float64, tile)
+	for b := range views {
+		views[b] = buf[b*n : (b+1)*n]
+	}
+	var buf2 []float64
+	var views2 [][]float64
+	if g.sp != nil {
+		buf2 = make([]float64, tile*n)
+		views2 = make([][]float64, tile)
+		for b := range views2 {
+			views2[b] = buf2[b*n : (b+1)*n]
+		}
+	}
+	var solver linalg.FusedSolver
+	var vsq, vsqNy, muNy [sweepTile]float64
+	li := make([]int, len(p.levels))
+	rowsE := make([][]float64, len(p.evens))
+	rowsO := make([][]float64, len(p.odds))
+	for base := lo; base < hi; base += tile {
+		m := hi - base
+		if m > tile {
+			m = tile
+		}
+		for b := 0; b < m; b++ {
+			p.levelIndices(int(idxs[base+b]), li)
+			for e, d := range p.evens {
+				rowsE[e] = p.tables[d][li[d]][:n]
+			}
+			for o, d := range p.odds {
+				rowsO[o] = p.tables[d][li[d]][:n]
+			}
+			col := views[b]
+			fillSqDist(col, c0, c1, rowsE, rowsO)
+			p.applyTail(col)
+		}
+		if g.sp != nil {
+			copy(buf2, buf)
+			solver.SolveFused(g.sp.cholSig, views[:m], g.sp.alpha, mu[base:base+m], vsq[:m])
+			solver.SolveFused(g.sp.cholKmm, views2[:m], g.sp.zeroAlpha[:n], muNy[:m], vsqNy[:m])
+			for b := 0; b < m; b++ {
+				v := prior - vsqNy[b] + vsq[b]
+				if v < 0 {
+					v = 0
+				}
+				sigma[base+b] = math.Sqrt(v)
+			}
+			continue
+		}
+		solver.SolveFused(g.chol, views[:m], g.alpha, mu[base:base+m], vsq[:m])
+		for b := 0; b < m; b++ {
+			v := prior - vsq[b]
+			if v < 0 {
+				v = 0
+			}
+			sigma[base+b] = math.Sqrt(v)
+		}
+	}
 }
 
 // sweepRange evaluates grid points [lo, hi): per candidate, assemble the
@@ -387,9 +521,17 @@ func (p *SweepPlan) levelIndices(g int, li []int) {
 //
 //edgebol:hot
 func fillSqDist(col, c0, c1 []float64, rowsE, rowsO [][]float64) {
+	if len(rowsE) == 2 && len(rowsO) == 3 {
+		// EdgeBOL's layout: 3 context + 5 control dimensions put two
+		// control terms on the even chain and three on the odd one.
+		e0, e1, o0, o1, o2 := rowsE[0], rowsE[1], rowsO[0], rowsO[1], rowsO[2]
+		for i := range col {
+			col[i] = ((c0[i] + e0[i]) + e1[i]) + (((c1[i] + o0[i]) + o1[i]) + o2[i])
+		}
+		return
+	}
 	if len(rowsE) == 2 && len(rowsO) == 2 {
-		// EdgeBOL's layout: 3 context + 4 control dimensions split the
-		// control terms two per chain.
+		// 3 context + 4 control dimensions: two control terms per chain.
 		e0, e1, o0, o1 := rowsE[0], rowsE[1], rowsO[0], rowsO[1]
 		for i := range col {
 			col[i] = ((c0[i] + e0[i]) + e1[i]) + ((c1[i] + o0[i]) + o1[i])

@@ -20,6 +20,9 @@ type PeriodRecord struct {
 	Airtime    float64
 	GPUSpeed   float64
 	MCS        float64
+	// SplitLayer is the device/edge DNN partition position (0 = all-edge,
+	// the paper's original workload).
+	SplitLayer float64
 
 	// KPIs observed for the period, raw units.
 	Delay       float64
@@ -34,6 +37,13 @@ type PeriodRecord struct {
 	SafeSetSize int
 	FromSeed    bool
 	LCB         float64
+	// AcqMode is the resolved acquisition engine ("exhaustive" or
+	// "adaptive"); CandidatesEvaluated counts grid points whose posterior
+	// was computed this period, and RefineRounds the multigrid refinement
+	// rounds of the adaptive engine (0 when exhaustive).
+	AcqMode             string
+	CandidatesEvaluated int
+	RefineRounds        int
 
 	// Posterior beliefs at the chosen control, normalized GP units,
 	// indexed cost=0, delay=1, mAP=2.

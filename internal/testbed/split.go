@@ -1,0 +1,60 @@
+package testbed
+
+// Split-inference model: Control.SplitLayer s ∈ [0,1] places the
+// device/edge partition point of the detector DNN. At s = 0 the whole
+// network runs on the edge and the UE uploads the encoded image — the
+// paper's original workload. At s = 1 the whole network runs on the
+// device and only the detections cross the air. In between, the device
+// executes the prefix up to the split and uploads that layer's
+// activations.
+//
+// Two normalized profiles describe the partition, both piecewise linear
+// over the same breakpoints:
+//
+//   - splitActVals: uplink bits relative to the encoded image. The early
+//     convolutional stages of a detector *inflate* the representation
+//     (more channels than the 8-bit-compressed input), so the curve rises
+//     above 1 before the downsampling stages shrink it; past the backbone
+//     only compact feature maps, and finally the box/label payload,
+//     remain.
+//   - splitFlopsVals: fraction of the network's FLOPs executed on the
+//     device. Early high-resolution stages are FLOPs-dense, so the curve
+//     is steepest first.
+//
+// The endpoints are exact by construction — ActFrac(0) = 1 and
+// FlopsFrac(0) = 0 bitwise — so a split-0 control reproduces the 4-D
+// testbed's KPIs bit for bit: multiplying the image bits by 1.0 and the
+// edge service time by (1 − 0.0), and adding a 0.0 device time, are
+// identity operations in IEEE-754. That is what keeps every legacy test
+// and recorded trace valid under the widened control space.
+var (
+	splitBreaks    = [...]float64{0, 0.15, 0.4, 0.7, 1}
+	splitActVals   = [...]float64{1, 1.35, 0.6, 0.25, 0.05}
+	splitFlopsVals = [...]float64{0, 0.25, 0.55, 0.8, 1}
+)
+
+// splitInterp linearly interpolates a profile over splitBreaks, returning
+// the table values exactly at the breakpoints.
+func splitInterp(s float64, vals *[len(splitBreaks)]float64) float64 {
+	if s <= splitBreaks[0] {
+		return vals[0]
+	}
+	for i := 1; i < len(splitBreaks); i++ {
+		if s == splitBreaks[i] { //edgebol:allow floateq -- exact breakpoint hit returns the table value bitwise (the s = 0 identity contract)
+			return vals[i]
+		}
+		if s < splitBreaks[i] {
+			f := (s - splitBreaks[i-1]) / (splitBreaks[i] - splitBreaks[i-1])
+			return vals[i-1] + f*(vals[i]-vals[i-1])
+		}
+	}
+	return vals[len(vals)-1]
+}
+
+// splitActFrac returns the uplink payload of a split-s period relative to
+// the encoded image (1 at s = 0, bitwise).
+func splitActFrac(s float64) float64 { return splitInterp(s, &splitActVals) }
+
+// splitFlopsFrac returns the fraction of the DNN's FLOPs executed on the
+// device under split s (0 at s = 0, bitwise).
+func splitFlopsFrac(s float64) float64 { return splitInterp(s, &splitFlopsVals) }

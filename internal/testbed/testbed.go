@@ -61,6 +61,13 @@ type Config struct {
 	// SNR, making the context genuinely time-varying (used by dynamic
 	// scenarios; zero disables).
 	ShadowingStdDB float64
+	// DeviceSlowdown is the device/edge compute-speed ratio of the
+	// split-inference model (see split.go): executing a FLOPs fraction f
+	// of the DNN on the device costs DeviceSlowdown · f times the
+	// full-speed edge service time. Zero defaults to 6 — a mobile NPU
+	// against a server GPU. Irrelevant while every control keeps
+	// SplitLayer at 0 (the paper's original 4-D space).
+	DeviceSlowdown float64
 }
 
 // DefaultConfig returns the calibrated simulated prototype.
@@ -119,7 +126,18 @@ func (c Config) Validate() error {
 	if c.ShadowingStdDB < 0 {
 		return fmt.Errorf("testbed: negative shadowing std")
 	}
+	if c.DeviceSlowdown < 0 {
+		return fmt.Errorf("testbed: negative DeviceSlowdown")
+	}
 	return nil
+}
+
+// deviceSlowdown returns the resolved device/edge compute-speed ratio.
+func (c Config) deviceSlowdown() float64 {
+	if c.DeviceSlowdown == 0 {
+		return 6
+	}
+	return c.DeviceSlowdown
 }
 
 // effectiveBLER returns the detailed-MAC block-error rate.
@@ -374,18 +392,30 @@ func (tb *Testbed) evaluateMode(x core.Control, noisy bool) (core.KPIs, error) {
 	imageBits := tb.cfg.BitsPerPixel * vision.FullPixels * x.Resolution
 	serviceTime := tb.cfg.Edge.ServiceTime(x.Resolution, x.GPUSpeed)
 
+	// Split inference (split.go): the device executes a FLOPs fraction of
+	// the DNN before uploading, which scales the uplink payload by the
+	// activation profile, adds a serial device-compute stage, and leaves
+	// only the suffix of the network on the edge GPU. At SplitLayer 0 the
+	// three factors are exactly 1, 0, and 1 and every expression below is
+	// bitwise identical to the 4-D model.
+	actFrac := splitActFrac(x.SplitLayer)
+	flopsFrac := splitFlopsFrac(x.SplitLayer)
+	txBits := imageBits * actFrac
+	deviceTime := tb.cfg.deviceSlowdown() * tb.cfg.Edge.ServiceTime(x.Resolution, 1) * flopsFrac
+	edgeService := serviceTime * (1 - flopsFrac)
+
 	// Closed-loop delays: each user keeps one image in flight
-	// (D_i = fixed + tx_i + GPU wait + GPU service). The GPU serves all
-	// users FCFS, so user i waits for work injected by the others; the
-	// coupled delays are solved by fixed-point iteration.
+	// (D_i = fixed + device + tx_i + GPU wait + GPU service). The GPU
+	// serves all users FCFS, so user i waits for work injected by the
+	// others; the coupled delays are solved by fixed-point iteration.
 	n := len(allocs)
-	tx, err := tb.txDelays(allocs, pol, imageBits, noisy)
+	tx, err := tb.txDelays(allocs, pol, txBits, noisy)
 	if err != nil {
 		return core.KPIs{}, err
 	}
 	d := make([]float64, n)
 	for i := range d {
-		d[i] = tb.cfg.FixedDelay + tx[i] + serviceTime
+		d[i] = tb.cfg.FixedDelay + deviceTime + tx[i] + edgeService
 	}
 	pool := float64(tb.cfg.Edge.PoolSize())
 	var maxWait float64
@@ -399,12 +429,12 @@ func (tb *Testbed) evaluateMode(x core.Control, noisy bool) (core.KPIs, error) {
 					others += 1 / d[j]
 				}
 			}
-			rho := serviceTime * others / pool
+			rho := edgeService * others / pool
 			if rho > 0.95 {
 				rho = 0.95
 			}
-			wait := serviceTime * rho / (2 * pool * (1 - rho)) // M/D/c-style wait
-			nd := tb.cfg.FixedDelay + tx[i] + serviceTime + wait
+			wait := edgeService * rho / (2 * pool * (1 - rho)) // M/D/c-style wait
+			nd := tb.cfg.FixedDelay + deviceTime + tx[i] + edgeService + wait
 			changed = math.Max(changed, math.Abs(nd-d[i]))
 			d[i] = nd
 			maxWait = math.Max(maxWait, wait)
@@ -420,7 +450,7 @@ func (tb *Testbed) evaluateMode(x core.Control, noisy bool) (core.KPIs, error) {
 		maxDelay = math.Max(maxDelay, d[i])
 		arrivalRate += 1 / d[i]
 	}
-	gpuUtil := serviceTime * arrivalRate / pool
+	gpuUtil := edgeService * arrivalRate / pool
 	if gpuUtil > 0.95 {
 		gpuUtil = 0.95
 	}
@@ -430,7 +460,7 @@ func (tb *Testbed) evaluateMode(x core.Control, noisy bool) (core.KPIs, error) {
 	// application-layer overhead, plus efficient background load.
 	var appRate, mcsSum float64
 	for i, a := range allocs {
-		appRate += imageBits / d[i]
+		appRate += txBits / d[i]
 		mcsSum += float64(a.MCS)
 	}
 	onAir := appRate/ran.AppEfficiency + (tb.cfg.LoadFactor-1)*appRate
@@ -439,7 +469,7 @@ func (tb *Testbed) evaluateMode(x core.Control, noisy bool) (core.KPIs, error) {
 
 	return core.KPIs{
 		Delay:       maxDelay,
-		GPUDelay:    serviceTime + maxWait,
+		GPUDelay:    edgeService + maxWait,
 		ServerPower: serverPower,
 		BSPower:     bsPower,
 	}, nil
